@@ -1,0 +1,45 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper (see
+DESIGN.md's experiment index), prints it through pytest's capture so it
+appears in ``bench_output.txt``, and appends it to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Reporter:
+    """Prints a reproduction table to the live terminal and a file."""
+
+    def __init__(self, name: str, capsys) -> None:
+        self._name = name
+        self._capsys = capsys
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        """Emit one line of the reproduction report."""
+        self._lines.append(text)
+        with self._capsys.disabled():
+            print(text)
+
+    def flush(self) -> None:
+        """Persist the collected report under benchmarks/results/."""
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self._name}.txt"
+        path.write_text("\n".join(self._lines) + "\n")
+
+
+@pytest.fixture
+def reporter(request, capsys):
+    """A :class:`Reporter` named after the requesting test."""
+    name = request.node.name.replace("[", "_").replace("]", "")
+    instance = Reporter(name, capsys)
+    yield instance
+    instance.flush()

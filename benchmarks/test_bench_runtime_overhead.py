@@ -1,0 +1,80 @@
+"""Library overhead: what the runtime costs per realization.
+
+Not a paper figure — the engineering table a prospective user wants:
+per-realization wall cost of each backend on a trivial workload, the
+stream-positioning cost, and the savings from batching.  The paper's
+workloads (tau ~ seconds) dwarf all of these; the numbers matter for
+micro-realizations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import batched_realization, parmonc
+from repro.runtime.config import RunConfig
+from repro.runtime.sequential import run_sequential
+
+
+def trivial(rng):
+    return rng.random()
+
+
+def test_sequential_overhead(benchmark, reporter):
+    config = RunConfig(maxsv=5_000, processors=1, perpass=1e9,
+                       peraver=1e9)
+    result = benchmark(run_sequential, trivial, config, False)
+    assert result.total_volume == 5_000
+    reporter.line("sequential backend, 5000 trivial realizations per "
+                  "round (see timing table; ~15-30 us/realization)")
+
+
+def test_sequential_with_files_overhead(benchmark, reporter, tmp_path):
+    def run():
+        config = RunConfig(maxsv=5_000, processors=1, perpass=1e9,
+                           peraver=1e9, workdir=tmp_path)
+        return run_sequential(trivial, config, True)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.total_volume == 5_000
+    reporter.line("sequential + result files: the save-point cycle "
+                  "adds a fixed per-session cost, not per-realization")
+
+
+def test_multiprocess_overhead(benchmark, reporter, tmp_path):
+    def run():
+        return parmonc(trivial, maxsv=5_000, processors=2,
+                       backend="multiprocess", use_files=False,
+                       workdir=tmp_path)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.total_volume == 5_000
+    reporter.line("multiprocess backend: process spawn + IPC amortized "
+                  "over 5000 realizations")
+
+
+def test_batching_amortizes_overhead(benchmark, reporter):
+    def run():
+        wrapped = batched_realization(trivial, 100)
+        config = RunConfig(maxsv=50, processors=1, perpass=1e9,
+                           peraver=1e9)
+        return run_sequential(wrapped, config, False)
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.total_volume == 50
+    reporter.line("batched(100): the same 5000 draws as the sequential "
+                  "bench with 1/100th of the runtime bookkeeping")
+
+
+def test_stream_positioning_overhead(benchmark, reporter):
+    from repro.rng.streams import StreamTree
+    tree = StreamTree()
+    processor = tree.experiment(0).processor(0)
+
+    def position_thousand():
+        for index in range(1000):
+            processor.realization(index)
+
+    benchmark(position_thousand)
+    reporter.line("1000 realization-stream placements per round "
+                  "(three modular exponentiations each)")

@@ -1,0 +1,71 @@
+"""§4 numeric check: the diffusion estimates converge to the exact mean.
+
+The paper's performance-test problem is also a correctness oracle: for
+the additive SDE, E y_j(t_i) = y_j(0) + C_j t_i exactly, and the
+PARMONC error matrices must bracket the deviation at the advertised
+3-sigma level.  Runs the workload at reduced scale (coarser mesh,
+shorter horizon) — the statistical structure is scale-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import parmonc
+from repro.apps.sde import EulerSpec, make_paper_realization, paper_system
+
+
+def run_accuracy(volume: int):
+    spec = EulerSpec(mesh=0.02, t_max=4.0, n_output=40)
+    system = paper_system()
+    result = parmonc(make_paper_realization(spec, system),
+                     nrow=spec.n_output, ncol=system.dimension,
+                     maxsv=volume, processors=4, use_files=False)
+    return spec, system, result
+
+
+def test_sde_estimates_converge(benchmark, reporter):
+    spec, system, result = benchmark.pedantic(
+        run_accuracy, args=(600,), rounds=1, iterations=1)
+    estimates = result.estimates
+    exact = system.exact_mean(spec.output_times)
+    deviation = np.abs(estimates.mean - exact)
+    coverage = float(np.mean(deviation <= estimates.abs_error + 1e-12))
+    worst_rows = (9, 19, 39)
+    reporter.line("§4 SDE diffusion: estimates vs exact E y_j(t_i) "
+                  f"(L = {result.total_volume})")
+    reporter.line("   t    E y1 est   exact     eps1     "
+                  "E y2 est   exact     eps2")
+    for row in worst_rows:
+        t = spec.output_times[row]
+        reporter.line(
+            f"{t:5.1f}  {estimates.mean[row, 0]:9.4f}  "
+            f"{exact[row, 0]:7.4f}  {estimates.abs_error[row, 0]:7.4f}  "
+            f"{estimates.mean[row, 1]:9.4f}  {exact[row, 1]:7.4f}  "
+            f"{estimates.abs_error[row, 1]:7.4f}")
+    reporter.line(f"3-sigma coverage over all {exact.size} entries: "
+                  f"{coverage * 100:.1f}% (paper promises ~99.7%)")
+    assert coverage > 0.95
+    # Deviations actually shrink with the sample volume.
+    _, _, small = run_accuracy(100)
+    assert estimates.abs_error_max < small.estimates.abs_error_max
+    reporter.line("errors shrink as L grows  [reproduced]")
+
+
+def test_sde_error_scaling(benchmark, reporter):
+    """eps = 3 sigma / sqrt(L): quadrupling L halves the error bound."""
+    def sweep():
+        return {volume: run_accuracy(volume)[2].estimates.abs_error_max
+                for volume in (100, 400, 1600)}
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reporter.line("absolute-error upper bound vs sample volume")
+    reporter.line("     L    eps_max")
+    for volume, eps in errors.items():
+        reporter.line(f"{volume:6d}  {eps:9.5f}")
+    ratio1 = errors[100] / errors[400]
+    ratio2 = errors[400] / errors[1600]
+    reporter.line(f"error ratios for 4x volume: {ratio1:.2f}, {ratio2:.2f} "
+                  f"(theory: 2.00)")
+    assert 1.6 < ratio1 < 2.5
+    assert 1.6 < ratio2 < 2.5

@@ -1,0 +1,55 @@
+"""The Dyadkin–Hamilton selection criterion (paper reference [14]).
+
+The 128-bit multiplier was chosen by "a study of 128-bit multipliers
+for congruential pseudorandom number generators" — a spectral-test
+survey.  This bench regenerates a table in that style: normalized
+figures of merit ``S_d`` (1.0 = theoretically optimal lattice) for the
+PARMONC multiplier against the r=40 legacy multiplier, MINSTD, and the
+canonical negative control RANDU.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rng.multiplier import BASE_MULTIPLIER, MODULUS
+from repro.rng.spectral import spectral_report
+
+CANDIDATES = {
+    "rnd128 (5^101, m=2^128)": (BASE_MULTIPLIER, MODULUS),
+    "legacy40 (5^17, m=2^40)": (pow(5, 17, 1 << 40), 1 << 40),
+    "MINSTD (16807, m=2^31-1)": (16807, (1 << 31) - 1),
+    "RANDU (65539, m=2^31)": (65539, 1 << 31),
+}
+DIMENSIONS = (2, 3, 4, 5, 6)
+
+
+def compute_merits():
+    return {name: spectral_report(multiplier, modulus,
+                                  dimensions=DIMENSIONS)
+            for name, (multiplier, modulus) in CANDIDATES.items()}
+
+
+def test_spectral_table(benchmark, reporter):
+    reports = benchmark.pedantic(compute_merits, rounds=1, iterations=1)
+    reporter.line("spectral figures of merit S_d "
+                  "(1.0 = optimal lattice; < 0.1 = defective)")
+    header = f"{'multiplier':<26s}" + "".join(
+        f"   S_{d}  " for d in DIMENSIONS)
+    reporter.line(header)
+    for name, report in reports.items():
+        row = f"{name:<26s}" + "".join(
+            f" {report.merits[d]:6.3f} " for d in DIMENSIONS)
+        reporter.line(row)
+    # The selection property: the PARMONC multiplier is healthy in all
+    # tested dimensions...
+    assert reports["rnd128 (5^101, m=2^128)"].worst > 0.3
+    # ...RANDU is catastrophic exactly in dimension 3...
+    assert reports["RANDU (65539, m=2^31)"].merits[3] < 0.02
+    assert reports["RANDU (65539, m=2^31)"].merits[2] > 0.3
+    # ...and the legacy generator's lattice is fine; its problem is the
+    # period (shown in test_bench_rng_quality), not the merit.
+    assert reports["legacy40 (5^17, m=2^40)"].worst > 0.1
+    reporter.line("PARMONC multiplier passes the Dyadkin-Hamilton "
+                  "criterion in dimensions 2-6; RANDU's d=3 defect is "
+                  "detected  [reproduced]")

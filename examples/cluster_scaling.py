@@ -1,0 +1,49 @@
+"""A miniature of the paper's Fig. 2 on the simulated cluster.
+
+Runs the §4 diffusion workload's *cost model* (tau = 7.7 s per
+realization, ~125 KB moment messages, data pass after EVERY realization
+— the paper's strictest condition) on 1..64 virtual processors and
+prints T_comp(L), the virtual time until the 0-th processor has
+received, averaged and saved the complete sample.  The speedup column
+shows the paper's headline: proportional to M despite the aggressive
+exchange schedule.
+
+The full four-panel reproduction (up to M = 512, L = 75000) lives in
+benchmarks/test_bench_fig2_scaling.py.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro import parmonc
+from repro.cluster import ClusterSpec, DurationModel
+from repro.runtime.messages import message_bytes
+
+
+def main():
+    total_sample = 2_000
+    spec = ClusterSpec(
+        duration_model=DurationModel(mean=7.7, distribution="fixed"),
+        message_bytes=message_bytes(1000, 2),  # the paper's ~120 KB
+    )
+    print(f"L = {total_sample} realizations, tau = 7.7 s, "
+          f"pass after every realization\n")
+    print("   M    T_comp (s)    speedup   efficiency")
+    baseline = None
+    for processors in (1, 2, 4, 8, 16, 32, 64):
+        result = parmonc(
+            lambda rng: 0.0, maxsv=total_sample,
+            perpass=0.0, peraver=60.0,
+            processors=processors, backend="simcluster",
+            cluster_spec=spec, use_files=False,
+            execute_realizations=False,
+        )
+        t_comp = result.virtual_time
+        if baseline is None:
+            baseline = t_comp
+        speedup = baseline / t_comp
+        print(f"{processors:4d}  {t_comp:12.1f}  {speedup:9.2f}   "
+              f"{speedup / processors:9.3f}")
+
+
+if __name__ == "__main__":
+    main()

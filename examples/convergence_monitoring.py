@@ -1,0 +1,50 @@
+"""Watching a simulation converge through its save-points.
+
+PARMONC periodically averages and saves results *during* the run
+(§2.2: "it is desirable to control the absolute and relative
+stochastic errors during the simulation").  The library surfaces that
+trace on ``RunResult.history``: one ``(time, volume, eps_max)`` entry
+per save-point.  This example plots (in ASCII) the 1/sqrt(L) error
+decay of a live run and shows the run_until() loop that stops at a
+target accuracy.
+
+Run:  python examples/convergence_monitoring.py
+"""
+
+import math
+import tempfile
+
+from repro import MonteCarloRun, parmonc
+
+
+def heavy_tailish(rng):
+    """A realization with some variance: (X1 + X2**2) / 2."""
+    return 0.5 * (rng.random() + rng.random() ** 2)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as workdir:
+        result = parmonc(heavy_tailish, maxsv=20_000, processors=2,
+                         peraver=0.0, perpass=0.0, workdir=workdir)
+        history = result.history
+        print(f"{len(history)} save-points recorded; "
+              f"error decay along the run:")
+        print("      L      eps_max   eps_max * sqrt(L)  (should be ~flat)")
+        step = max(1, len(history) // 8)
+        for _, volume, eps in history[::step]:
+            print(f"{volume:7d}   {eps:.6f}    {eps * math.sqrt(volume):8.4f}")
+        _, final_volume, final_eps = history[-1]
+        print(f"final:  L = {final_volume}, eps_max = {final_eps:.6f}\n")
+
+    with tempfile.TemporaryDirectory() as workdir:
+        run = MonteCarloRun(heavy_tailish, workdir=workdir, processors=2)
+        target = 0.004
+        result = run.run_until(target_abs_error=target,
+                               session_volume=5_000)
+        print(f"run_until(eps <= {target}): stopped after "
+              f"{result.sessions} session(s), L = {result.total_volume}, "
+              f"eps_max = {result.estimates.abs_error_max:.6f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Randomized quasi-Monte Carlo inside the PARMONC runtime.
+
+Each PARMONC realization below is one *randomized-QMC batch*: a fixed
+low-discrepancy point set (Halton, or a Fibonacci lattice) shifted by a
+uniform vector drawn from the realization's own RNG substream.  The
+shifts make every batch an independent unbiased estimate, so the
+standard error machinery applies — but the per-batch error decays near
+N^-1 instead of the Monte Carlo N^-1/2.
+
+Run:  python examples/quasi_monte_carlo.py
+"""
+
+import math
+
+from repro import parmonc
+from repro.qmc import (
+    fibonacci_lattice,
+    mc_batch_realization,
+    rqmc_halton_realization,
+    rqmc_lattice_realization,
+)
+
+EXACT = (math.e - 1.0) * math.sin(1.0)
+
+
+def smooth(x):
+    return math.exp(x[0]) * math.cos(x[1])
+
+
+def periodic(x):
+    return ((1 + math.sin(2 * math.pi * x[0]))
+            * (1 + math.sin(2 * math.pi * x[1])))  # integral = 1
+
+
+def main():
+    replicates = 40
+    print(f"smooth integrand, exact value {EXACT:.6f}; "
+          f"{replicates} replicates per method\n")
+    print("  batch N    MC sigma     RQMC-Halton sigma")
+    for batch in (16, 64, 256, 1024):
+        mc = parmonc(mc_batch_realization(smooth, 2, batch),
+                     maxsv=replicates, use_files=False).estimates
+        rqmc = parmonc(rqmc_halton_realization(smooth, 2, batch),
+                       maxsv=replicates, use_files=False).estimates
+        print(f"{batch:9d}   {math.sqrt(mc.variance[0, 0]):.3e}"
+              f"     {math.sqrt(rqmc.variance[0, 0]):.3e}")
+
+    n, z = fibonacci_lattice(12)
+    lattice = parmonc(rqmc_lattice_realization(periodic, n, z),
+                      maxsv=replicates, use_files=False).estimates
+    print(f"\nperiodic integrand on the n={n} Fibonacci lattice:")
+    print(f"  mean = {lattice.mean[0, 0]:.12f} (exact 1), "
+          f"sigma = {math.sqrt(lattice.variance[0, 0]):.2e}")
+    print("  (lattice rules integrate low-order trigonometric "
+          "polynomials exactly)")
+
+
+if __name__ == "__main__":
+    main()

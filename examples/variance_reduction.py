@@ -1,0 +1,75 @@
+"""Variance reduction: the other lever on the estimator cost.
+
+The paper's cost model (§2.2) is C(zeta) = tau_zeta * Var(zeta) —
+parallelization divides tau by M, and this example divides Var instead,
+using the repro.vr wrappers on a smooth integration problem.  A 60x
+variance reduction buys the same accuracy as 60 extra processors.
+
+Run:  python examples/variance_reduction.py
+"""
+
+import math
+
+from repro import parmonc
+from repro.vr import (
+    StratifiedRealization,
+    antithetic_realization,
+    control_variate_realization,
+    fit_control_coefficient,
+    importance_realization,
+    exponential_proposal,
+)
+
+EXACT = math.e - 1.0  # integral_0^1 exp(x) dx
+
+
+def smooth(rng):
+    return math.exp(rng.random())
+
+
+def show(name, routine, maxsv=20_000):
+    estimates = parmonc(routine, maxsv=maxsv, processors=2,
+                        use_files=False).estimates
+    print(f"{name:<30s} mean={estimates.mean[0, 0]:.5f} "
+          f"(exact {EXACT:.5f})  var={estimates.variance[0, 0]:.2e}  "
+          f"eps={estimates.abs_error[0, 0]:.2e}")
+    return estimates.variance[0, 0]
+
+
+def main():
+    base_variance = show("plain Monte Carlo", smooth)
+
+    variance = show("antithetic variates",
+                    antithetic_realization(smooth), maxsv=10_000)
+    print(f"  -> {base_variance / variance:.0f}x variance reduction\n")
+
+    control = lambda rng: rng.random()
+    beta, correlation = fit_control_coefficient(smooth, control)
+    print(f"control variate: pilot correlation {correlation:.3f}, "
+          f"beta = {beta:.3f}")
+    variance = show("control variate",
+                    control_variate_realization(smooth, control, 0.5,
+                                                beta))
+    print(f"  -> {base_variance / variance:.0f}x variance reduction\n")
+
+    show("stratified (16 cells)", StratifiedRealization(smooth, 16))
+    print("  -> reported variance unchanged, but the *estimate* spread "
+          "drops ~300x\n     (PARMONC's iid error bound is conservative "
+          "here; see repro.vr.stratified)\n")
+
+    # Proposal rate 6 against integrand rate 8: deliberately imperfect,
+    # so the reduction is large but finite (a rate-8 proposal matches
+    # the integrand exactly and drives the variance to zero).
+    decaying = lambda x: math.exp(-8.0 * x)
+    plain_var = parmonc(lambda rng: decaying(rng.random()), maxsv=20_000,
+                        use_files=False).estimates.variance[0, 0]
+    weighted = importance_realization(decaying, exponential_proposal(6.0))
+    importance_var = parmonc(weighted, maxsv=20_000,
+                             use_files=False).estimates.variance[0, 0]
+    print(f"importance sampling on exp(-8x): variance {plain_var:.2e} "
+          f"-> {importance_var:.2e} "
+          f"({plain_var / importance_var:.0f}x reduction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `setup.py develop` works offline (no wheel package).
+
+All real metadata lives in pyproject.toml; this file exists because the
+build environment has no network access and no `wheel` distribution,
+which PEP 660 editable installs require with this setuptools version.
+"""
+
+from setuptools import setup
+
+setup()

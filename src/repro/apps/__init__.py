@@ -1,0 +1,37 @@
+"""Bundled Monte Carlo applications.
+
+One module per application area the paper names: SDE trajectories (the
+§4 performance test), plain integration, radiation transfer, statistical
+physics (Ising/Metropolis), population biology (branching processes),
+queueing theory (M/M/1) and financial mathematics (option pricing).
+Each module exposes problem dataclasses with analytic oracles and a
+``make_realization`` factory producing a routine for :func:`repro.parmonc`.
+"""
+
+from __future__ import annotations
+
+from repro.apps import (
+    coagulation,
+    kinetics,
+    pde,
+    finance,
+    integration,
+    ising,
+    population,
+    queueing,
+    sde,
+    transport,
+)
+
+__all__ = [
+    "sde",
+    "integration",
+    "transport",
+    "ising",
+    "population",
+    "queueing",
+    "finance",
+    "coagulation",
+    "kinetics",
+    "pde",
+]

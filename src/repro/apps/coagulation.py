@@ -1,0 +1,155 @@
+"""Smoluchowski coagulation — §2.1 names it among the target problems.
+
+A realization is one Marcus–Lushnikov trajectory: ``n0`` monomers in a
+volume equal to ``n0`` coalesce pairwise under the constant kernel
+``K``; waiting times between coalescences are exponential with rate
+``K * n(n-1) / (2 V)`` (Gillespie's direct method), and merged cluster
+sizes add.  The realization matrix records, at each output time, the
+normalized total cluster count followed by the concentrations of sizes
+``1..max_size``.
+
+For the constant kernel with monodisperse initial data the mean-field
+Smoluchowski equations solve in closed form:
+
+    N(t)   = 1 / (1 + K t / 2),
+    c_k(t) = N(t)**2 * (1 - N(t))**(k-1),
+
+which the stochastic realizations approach as ``n0`` grows (finite-size
+bias is O(1/n0)); these oracles drive the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = ["CoagulationProblem", "simulate_coagulation",
+           "make_realization"]
+
+
+@dataclass(frozen=True)
+class CoagulationProblem:
+    """Constant-kernel coagulation of an initially monodisperse system.
+
+    Attributes:
+        n0: Initial number of monomers (simulation volume is ``n0``, so
+            the initial monomer concentration is 1).
+        kernel: The constant coagulation rate ``K``.
+        output_times: Times at which the spectrum is recorded.
+        max_size: Largest cluster size tracked individually.
+    """
+
+    n0: int = 500
+    kernel: float = 1.0
+    output_times: tuple[float, ...] = (0.5, 1.0, 2.0, 4.0)
+    max_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n0 < 2:
+            raise ConfigurationError(f"n0 must be >= 2, got {self.n0}")
+        if self.kernel <= 0.0:
+            raise ConfigurationError(
+                f"kernel must be > 0, got {self.kernel}")
+        if not self.output_times or any(
+                t <= 0 for t in self.output_times) or \
+                list(self.output_times) != sorted(self.output_times):
+            raise ConfigurationError(
+                "output_times must be positive and increasing")
+        if self.max_size < 1:
+            raise ConfigurationError(
+                f"max_size must be >= 1, got {self.max_size}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Realization matrix shape: (times, 1 + max_size)."""
+        return (len(self.output_times), 1 + self.max_size)
+
+    def exact_total(self, t: float) -> float:
+        """Mean-field total cluster concentration ``N(t)``."""
+        return 1.0 / (1.0 + self.kernel * t / 2.0)
+
+    def exact_concentration(self, k: int, t: float) -> float:
+        """Mean-field concentration ``c_k(t)`` of size-``k`` clusters."""
+        if k < 1:
+            raise ConfigurationError(f"cluster size must be >= 1, got {k}")
+        total = self.exact_total(t)
+        return total * total * (1.0 - total) ** (k - 1)
+
+    def exact_matrix(self) -> np.ndarray:
+        """The full oracle matrix matching :func:`simulate_coagulation`."""
+        matrix = np.empty(self.shape)
+        for row, t in enumerate(self.output_times):
+            matrix[row, 0] = self.exact_total(t)
+            for k in range(1, self.max_size + 1):
+                matrix[row, k] = self.exact_concentration(k, t)
+        return matrix
+
+
+def simulate_coagulation(problem: CoagulationProblem,
+                         rng: Lcg128) -> np.ndarray:
+    """One Marcus–Lushnikov trajectory; returns the spectrum matrix.
+
+    Gillespie direct method: with ``n`` clusters alive, the next
+    coalescence happens after an Exp(K n(n-1) / (2 n0)) waiting time and
+    merges a uniformly random unordered pair.  Consumes three base
+    random numbers per event.
+    """
+    volume = float(problem.n0)
+    sizes = [1] * problem.n0
+    time = 0.0
+    output = np.zeros(problem.shape)
+    next_output = 0
+
+    def record(row: int) -> None:
+        counts = np.zeros(problem.max_size + 1)
+        counts[0] = len(sizes)
+        for size in sizes:
+            if size <= problem.max_size:
+                counts[size] += 1
+        output[row] = counts / volume
+
+    while next_output < len(problem.output_times):
+        n = len(sizes)
+        if n < 2:
+            # Fully merged: the spectrum is frozen from here on.
+            for row in range(next_output, len(problem.output_times)):
+                record(row)
+            break
+        rate = problem.kernel * n * (n - 1) / (2.0 * volume)
+        waiting = -math.log(rng.random()) / rate
+        while (next_output < len(problem.output_times)
+               and time + waiting > problem.output_times[next_output]):
+            record(next_output)
+            next_output += 1
+        time += waiting
+        # Choose an unordered pair (i < j) uniformly.
+        i = int(rng.random() * n) % n
+        j = int(rng.random() * (n - 1)) % (n - 1)
+        if j >= i:
+            j += 1
+        merged = sizes[i] + sizes[j]
+        first, second = (i, j) if i > j else (j, i)
+        sizes.pop(first)
+        sizes.pop(second)
+        sizes.append(merged)
+    return output
+
+
+def make_realization(problem: CoagulationProblem
+                     ) -> Callable[[Lcg128], np.ndarray]:
+    """Build a PARMONC realization for the coagulation problem.
+
+    Use with ``nrow=len(problem.output_times)``,
+    ``ncol=1 + problem.max_size``; column 0 of the averaged matrix
+    estimates ``N(t)`` and column ``k`` estimates ``c_k(t)``.
+    """
+    def realization(rng: Lcg128) -> np.ndarray:
+        return simulate_coagulation(problem, rng)
+
+    return realization

@@ -1,0 +1,161 @@
+"""Monte Carlo integration workloads.
+
+The bread-and-butter PARMONC use case: a realization is one evaluation
+of the integrand at a uniform point of the domain, so the sample mean
+estimates the integral.  Problems with known closed forms serve as
+accuracy oracles across the test and benchmark suites.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = [
+    "IntegrationProblem",
+    "unit_square_quarter_circle",
+    "product_of_powers",
+    "oscillatory_genz",
+    "exponential_peak",
+    "make_realization",
+]
+
+
+@dataclass(frozen=True)
+class IntegrationProblem:
+    """A definite integral over an axis-aligned box.
+
+    Attributes:
+        integrand: Callable ``f(x) -> float`` with ``x`` a point array of
+            shape ``(dim,)``.
+        lower: Box lower corner, shape ``(dim,)``.
+        upper: Box upper corner, shape ``(dim,)``.
+        exact: Known value of the integral (the test oracle); None when
+            no closed form exists.
+        name: Human-readable label.
+    """
+
+    integrand: Callable[[np.ndarray], float]
+    lower: np.ndarray
+    upper: np.ndarray
+    exact: float | None = None
+    name: str = "integral"
+
+    def __post_init__(self) -> None:
+        lower = np.atleast_1d(np.asarray(self.lower, dtype=np.float64))
+        upper = np.atleast_1d(np.asarray(self.upper, dtype=np.float64))
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ConfigurationError(
+                f"bounds must be equal-length vectors, got {lower.shape} "
+                f"and {upper.shape}")
+        if np.any(upper <= lower):
+            raise ConfigurationError(
+                "every upper bound must exceed its lower bound")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the integration domain."""
+        return self.lower.size
+
+    @property
+    def volume(self) -> float:
+        """Volume of the box."""
+        return float(np.prod(self.upper - self.lower))
+
+    def sample_point(self, rng: Lcg128) -> np.ndarray:
+        """Draw a uniform point of the box, one uniform per coordinate."""
+        uniforms = np.array([rng.random() for _ in range(self.dimension)])
+        return self.lower + (self.upper - self.lower) * uniforms
+
+
+def make_realization(problem: IntegrationProblem
+                     ) -> Callable[[Lcg128], float]:
+    """Build the PARMONC realization routine for an integration problem.
+
+    The returned routine's expectation is exactly the integral value.
+    """
+    def realization(rng: Lcg128) -> float:
+        point = problem.sample_point(rng)
+        return problem.integrand(point) * problem.volume
+
+    return realization
+
+
+def unit_square_quarter_circle() -> IntegrationProblem:
+    """Indicator of the quarter disc in the unit square; exact pi/4.
+
+    The classic "estimate pi" workload of every Monte Carlo quickstart.
+    """
+    return IntegrationProblem(
+        integrand=lambda x: 1.0 if x[0] * x[0] + x[1] * x[1] <= 1.0 else 0.0,
+        lower=np.zeros(2), upper=np.ones(2),
+        exact=math.pi / 4.0,
+        name="quarter circle indicator")
+
+
+def product_of_powers(exponents: Sequence[int] = (1, 2, 3)
+                      ) -> IntegrationProblem:
+    """``integral over [0,1]^d of prod x_k^{p_k}``; exact ``prod 1/(p_k+1)``.
+
+    A smooth separable integrand whose exact value is trivially
+    computable for any dimension.
+    """
+    powers = tuple(int(p) for p in exponents)
+    if any(p < 0 for p in powers):
+        raise ConfigurationError(
+            f"exponents must be non-negative, got {powers}")
+    exact = 1.0
+    for p in powers:
+        exact /= (p + 1)
+    return IntegrationProblem(
+        integrand=lambda x: float(np.prod(x ** np.array(powers))),
+        lower=np.zeros(len(powers)), upper=np.ones(len(powers)),
+        exact=exact,
+        name=f"product of powers {powers}")
+
+
+def oscillatory_genz(frequencies: Sequence[float] = (1.0, 2.0),
+                     offset: float = 0.3) -> IntegrationProblem:
+    """Genz "oscillatory" family: ``cos(2 pi u + sum a_k x_k)`` on [0,1]^d.
+
+    The closed form follows by iterated integration of the cosine; a
+    standard high-dimensional quadrature stress test.
+    """
+    a = np.asarray(frequencies, dtype=np.float64)
+    if a.ndim != 1 or a.size == 0 or np.any(a == 0.0):
+        raise ConfigurationError(
+            "frequencies must be a non-empty vector of nonzero values")
+    # Exact: integrating cos(c + sum a_k x_k) over the cube multiplies by
+    # (sin shifted differences); use the product formula via complex
+    # exponentials: Re[e^{i c} prod (e^{i a_k} - 1)/(i a_k)].
+    phase = 2.0 * math.pi * offset
+    product = np.prod((np.exp(1j * a) - 1.0) / (1j * a))
+    exact = float(np.real(np.exp(1j * phase) * product))
+    return IntegrationProblem(
+        integrand=lambda x: math.cos(phase + float(np.dot(a, x))),
+        lower=np.zeros(a.size), upper=np.ones(a.size),
+        exact=exact,
+        name=f"Genz oscillatory dim={a.size}")
+
+
+def exponential_peak(rate: float = 2.0) -> IntegrationProblem:
+    """``integral_0^1 rate * exp(-rate x) dx``; exact ``1 - exp(-rate)``.
+
+    A peaked 1-D integrand exercising variance larger than the smooth
+    cases.
+    """
+    if rate <= 0.0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    return IntegrationProblem(
+        integrand=lambda x: rate * math.exp(-rate * float(x[0])),
+        lower=np.zeros(1), upper=np.ones(1),
+        exact=1.0 - math.exp(-rate),
+        name=f"exponential peak rate={rate}")

@@ -1,0 +1,232 @@
+"""Stochastic chemical kinetics — §2.1 lists "modeling the chemical
+reactions" among the classic Monte Carlo applications.
+
+Implements Gillespie's stochastic simulation algorithm (SSA, direct
+method) for mass-action reaction networks.  A realization is one exact
+trajectory of the chemical master equation, observed at fixed output
+times; the realization matrix holds the copy number of every species at
+every output time.
+
+Two oracle networks ship with the module:
+
+* :func:`isomerization` — ``A -> B`` with rate ``k``: ``E A(t) = A0
+  exp(-k t)`` exactly (the master equation is linear).
+* :func:`dimerization` — ``A + A -> C``: no elementary closed form, but
+  mass conservation ``A + 2 C = A0`` holds pathwise and drives
+  invariant tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = ["Reaction", "ReactionNetwork", "simulate_ssa",
+           "make_realization", "isomerization", "dimerization",
+           "predator_prey"]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One mass-action reaction channel.
+
+    Attributes:
+        reactants: Stoichiometry of consumed species (index -> count).
+        products: Stoichiometry of produced species.
+        rate: The stochastic rate constant ``c``.
+        name: Label for diagnostics.
+    """
+
+    reactants: dict[int, int]
+    products: dict[int, int]
+    rate: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0.0:
+            raise ConfigurationError(
+                f"reaction rate must be > 0, got {self.rate}")
+        for stoichiometry in (self.reactants, self.products):
+            for species, count in stoichiometry.items():
+                if species < 0 or count < 1:
+                    raise ConfigurationError(
+                        f"invalid stoichiometry entry {species}: {count}")
+        if sum(self.reactants.values()) > 2:
+            raise ConfigurationError(
+                "mass-action propensities implemented up to second "
+                "order (at most two reactant molecules)")
+
+    def propensity(self, state: np.ndarray) -> float:
+        """Mass-action propensity ``a(x)`` in the current state."""
+        value = self.rate
+        for species, count in self.reactants.items():
+            copies = state[species]
+            if count == 1:
+                value *= copies
+            else:  # count == 2: combinatorial pairs
+                value *= copies * (copies - 1) / 2.0
+        return float(value)
+
+    def apply(self, state: np.ndarray) -> None:
+        """Fire the reaction once, updating ``state`` in place."""
+        for species, count in self.reactants.items():
+            state[species] -= count
+        for species, count in self.products.items():
+            state[species] += count
+
+
+@dataclass(frozen=True)
+class ReactionNetwork:
+    """A reaction system with initial copy numbers and an output grid.
+
+    Attributes:
+        species: Species names (defines the state vector order).
+        initial: Initial copy numbers.
+        reactions: The reaction channels.
+        output_times: Increasing observation times.
+    """
+
+    species: tuple[str, ...]
+    initial: tuple[int, ...]
+    reactions: tuple[Reaction, ...]
+    output_times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.species) != len(self.initial):
+            raise ConfigurationError(
+                f"{len(self.species)} species but {len(self.initial)} "
+                f"initial counts")
+        if any(count < 0 for count in self.initial):
+            raise ConfigurationError("initial counts must be >= 0")
+        if not self.reactions:
+            raise ConfigurationError("network needs at least one reaction")
+        if not self.output_times or any(
+                t <= 0 for t in self.output_times) or \
+                list(self.output_times) != sorted(self.output_times):
+            raise ConfigurationError(
+                "output_times must be positive and increasing")
+        n = len(self.species)
+        for reaction in self.reactions:
+            touched = set(reaction.reactants) | set(reaction.products)
+            if any(index >= n for index in touched):
+                raise ConfigurationError(
+                    f"reaction {reaction.name!r} references a species "
+                    f"index >= {n}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Realization matrix shape: (output times, species)."""
+        return (len(self.output_times), len(self.species))
+
+
+def simulate_ssa(network: ReactionNetwork, rng: Lcg128,
+                 max_events: int = 1_000_000) -> np.ndarray:
+    """One exact SSA trajectory observed at the network's output grid.
+
+    Gillespie's direct method: waiting time Exp(a0), channel chosen
+    with probability ``a_j / a0``.  Consumes two base random numbers
+    per event.
+    """
+    state = np.array(network.initial, dtype=np.int64)
+    time = 0.0
+    output = np.zeros(network.shape)
+    next_output = 0
+
+    def record_until(limit_time: float) -> None:
+        nonlocal next_output
+        while (next_output < len(network.output_times)
+               and network.output_times[next_output] < limit_time):
+            output[next_output] = state
+            next_output += 1
+
+    for _ in range(max_events):
+        propensities = [reaction.propensity(state)
+                        for reaction in network.reactions]
+        total = sum(propensities)
+        if total <= 0.0:
+            break  # system exhausted; state frozen
+        waiting = -math.log(rng.random()) / total
+        record_until(time + waiting)
+        if next_output >= len(network.output_times):
+            return output
+        time += waiting
+        target = rng.random() * total
+        cumulative = 0.0
+        for reaction, propensity in zip(network.reactions, propensities):
+            cumulative += propensity
+            if target < cumulative:
+                reaction.apply(state)
+                break
+    # Exhausted (or hit the event cap): remaining outputs see the
+    # frozen state.
+    while next_output < len(network.output_times):
+        output[next_output] = state
+        next_output += 1
+    return output
+
+
+def make_realization(network: ReactionNetwork
+                     ) -> Callable[[Lcg128], np.ndarray]:
+    """Build a PARMONC realization for a reaction network.
+
+    Use with ``nrow=len(network.output_times)``,
+    ``ncol=len(network.species)``; the averaged matrix estimates the
+    mean copy number of each species at each time.
+    """
+    def realization(rng: Lcg128) -> np.ndarray:
+        return simulate_ssa(network, rng)
+
+    return realization
+
+
+def isomerization(a0: int = 200, rate: float = 1.0,
+                  output_times: Sequence[float] = (0.5, 1.0, 2.0)
+                  ) -> ReactionNetwork:
+    """``A -> B``: the linear decay network with exact mean.
+
+    ``E A(t) = a0 exp(-rate t)`` and ``E B(t) = a0 - E A(t)``.
+    """
+    return ReactionNetwork(
+        species=("A", "B"),
+        initial=(a0, 0),
+        reactions=(Reaction({0: 1}, {1: 1}, rate, name="A->B"),),
+        output_times=tuple(output_times))
+
+
+def dimerization(a0: int = 100, rate: float = 0.01,
+                 output_times: Sequence[float] = (0.5, 2.0, 8.0)
+                 ) -> ReactionNetwork:
+    """``A + A -> C``: second-order kinetics with pathwise conservation.
+
+    The invariant ``A + 2 C = a0`` holds on every trajectory.
+    """
+    return ReactionNetwork(
+        species=("A", "C"),
+        initial=(a0, 0),
+        reactions=(Reaction({0: 2}, {1: 1}, rate, name="A+A->C"),),
+        output_times=tuple(output_times))
+
+
+def predator_prey(prey: int = 50, predators: int = 20,
+                  output_times: Sequence[float] = (1.0, 2.0, 4.0)
+                  ) -> ReactionNetwork:
+    """A stochastic Lotka–Volterra system (birth, predation, death).
+
+    No closed form — included as a branchy, variable-cost realization
+    for runtime stress tests (extinctions freeze trajectories early).
+    """
+    return ReactionNetwork(
+        species=("prey", "predator"),
+        initial=(prey, predators),
+        reactions=(
+            Reaction({0: 1}, {0: 2}, 1.0, name="prey birth"),
+            Reaction({0: 1, 1: 1}, {1: 2}, 0.02, name="predation"),
+            Reaction({1: 1}, {}, 1.0, name="predator death"),
+        ),
+        output_times=tuple(output_times))

@@ -1,0 +1,133 @@
+"""Monte Carlo for PDEs: walk-on-spheres for the Laplace equation.
+
+Section 2.1 opens with the "theory of stochastic representations for
+solutions to equations of mathematical physics" — the Feynman–Kac
+family.  The simplest member: the solution of the Dirichlet problem
+
+    Laplace u = 0 in D,    u = g on the boundary of D,
+
+is ``u(x) = E[g(B_exit)]`` for Brownian motion started at ``x``.  The
+walk-on-spheres (WoS) method samples the exit point without simulating
+paths: from the current point, jump to a uniformly random point of the
+largest sphere inside the domain; repeat until within ``epsilon`` of
+the boundary; project and evaluate ``g``.  Each jump consumes one base
+random number (2-D: a uniform angle), making realizations cheap and
+stream-pure.
+
+The bundled domain is the unit disk, where harmonic polynomials
+``r^n cos(n theta)`` give exact solutions at every interior point —
+the accuracy oracle used by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = ["DirichletDisk", "walk_on_spheres", "make_realization",
+           "harmonic_polynomial"]
+
+
+def harmonic_polynomial(degree: int) -> Callable[[float, float], float]:
+    """The harmonic function ``Re((x + iy)^n) = r^n cos(n theta)``.
+
+    Returns a boundary-data callable ``g(x, y)``; the exact solution of
+    the disk Dirichlet problem with this data is the same expression
+    evaluated at the interior point.
+    """
+    if degree < 0:
+        raise ConfigurationError(f"degree must be >= 0, got {degree}")
+
+    def g(x: float, y: float) -> float:
+        return float(np.real((x + 1j * y) ** degree))
+
+    return g
+
+
+@dataclass(frozen=True)
+class DirichletDisk:
+    """The Dirichlet problem on the unit disk.
+
+    Attributes:
+        boundary: Boundary data ``g(x, y)`` evaluated on the unit
+            circle.
+        points: Interior evaluation points, shape ``(k, 2)``, all
+            strictly inside the disk.
+        epsilon: WoS absorption layer width.
+        max_steps: Safety cap on jumps per walk.
+    """
+
+    boundary: Callable[[float, float], float]
+    points: tuple[tuple[float, float], ...]
+    epsilon: float = 1e-4
+    max_steps: int = 10_000
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("need at least one interior point")
+        for x, y in self.points:
+            if math.hypot(x, y) >= 1.0:
+                raise ConfigurationError(
+                    f"point ({x}, {y}) is not strictly inside the unit "
+                    f"disk")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {self.epsilon}")
+        if self.max_steps < 1:
+            raise ConfigurationError(
+                f"max_steps must be >= 1, got {self.max_steps}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Realization matrix shape: (points, 1)."""
+        return (len(self.points), 1)
+
+    def exact_for(self, solution: Callable[[float, float], float]
+                  ) -> np.ndarray:
+        """Evaluate a known solution at the interior points."""
+        return np.array([[solution(x, y)] for x, y in self.points])
+
+
+def walk_on_spheres(problem: DirichletDisk, x: float, y: float,
+                    rng: Lcg128) -> float:
+    """One WoS walk from ``(x, y)``; returns ``g`` at the exit point.
+
+    In the disk, the largest inscribed sphere at radius ``r`` from the
+    centre has radius ``1 - r``; the walk jumps to a uniform angle on
+    it.  Within ``epsilon`` of the circle the point is projected onto
+    the boundary.
+    """
+    for _ in range(problem.max_steps):
+        radius = math.hypot(x, y)
+        distance = 1.0 - radius
+        if distance <= problem.epsilon:
+            if radius == 0.0:
+                return problem.boundary(1.0, 0.0)
+            return problem.boundary(x / radius, y / radius)
+        angle = 2.0 * math.pi * rng.random()
+        x += distance * math.cos(angle)
+        y += distance * math.sin(angle)
+    # The cap is astronomically unlikely to bind (the walk exits in
+    # O(log 1/epsilon) steps in expectation); project and evaluate.
+    radius = math.hypot(x, y)
+    return problem.boundary(x / radius, y / radius)
+
+
+def make_realization(problem: DirichletDisk
+                     ) -> Callable[[Lcg128], np.ndarray]:
+    """Build a PARMONC realization: one walk per interior point.
+
+    Use with ``nrow=len(problem.points), ncol=1``; the averaged matrix
+    estimates ``u`` at every requested point simultaneously.
+    """
+    def realization(rng: Lcg128) -> np.ndarray:
+        return np.array([[walk_on_spheres(problem, x, y, rng)]
+                         for x, y in problem.points])
+
+    return realization

@@ -1,0 +1,99 @@
+"""A toy radiation-transfer workload (the field Monte Carlo grew up in).
+
+Particles enter a 1-D slab of optical thickness ``depth`` with
+exponential free paths; at each collision they are absorbed with
+probability ``absorption`` or scattered isotropically (direction cosine
+resampled uniformly on [-1, 1]).  The realization returns the triple
+(transmitted, reflected, absorbed) as indicator values, so the sample
+means estimate the three probabilities.
+
+For pure absorption (``absorption = 1``) transmission has the closed
+form ``exp(-depth)``, giving an exact oracle; with scattering the
+estimator exercises a genuinely branchy, variable-cost realization —
+the kind of workload the asynchronous PARMONC exchange is designed for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = ["SlabProblem", "simulate_particle", "make_realization"]
+
+
+@dataclass(frozen=True)
+class SlabProblem:
+    """Transport through a homogeneous 1-D slab.
+
+    Attributes:
+        depth: Slab optical thickness (mean free paths).
+        absorption: Absorption probability per collision, in [0, 1].
+        max_collisions: Safety cap on collisions per history.
+    """
+
+    depth: float = 2.0
+    absorption: float = 0.5
+    max_collisions: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0.0:
+            raise ConfigurationError(
+                f"depth must be > 0, got {self.depth}")
+        if not 0.0 <= self.absorption <= 1.0:
+            raise ConfigurationError(
+                f"absorption must be in [0, 1], got {self.absorption}")
+        if self.max_collisions < 1:
+            raise ConfigurationError(
+                f"max_collisions must be >= 1, got {self.max_collisions}")
+
+    def exact_transmission(self) -> float | None:
+        """Closed-form transmission, available for pure absorption."""
+        if self.absorption == 1.0:
+            return math.exp(-self.depth)
+        return None
+
+
+def simulate_particle(problem: SlabProblem,
+                      rng: Lcg128) -> tuple[float, float, float]:
+    """Track one particle history; return (transmitted, reflected, absorbed).
+
+    Exactly one of the three indicators is 1.0.  Histories exceeding the
+    collision cap count as absorbed (they have forgotten their entry
+    direction long since).
+    """
+    position = 0.0
+    direction = 1.0  # direction cosine; enters travelling "right"
+    for _ in range(problem.max_collisions):
+        free_path = -math.log(rng.random())
+        position += direction * free_path
+        if position >= problem.depth:
+            return (1.0, 0.0, 0.0)
+        if position <= 0.0:
+            return (0.0, 1.0, 0.0)
+        if rng.random() < problem.absorption:
+            return (0.0, 0.0, 1.0)
+        # Isotropic scattering: fresh direction cosine on [-1, 1],
+        # nudged off zero so the particle always makes progress.
+        direction = 2.0 * rng.random() - 1.0
+        if direction == 0.0:
+            direction = 1e-12
+    return (0.0, 0.0, 1.0)
+
+
+def make_realization(problem: SlabProblem
+                     ) -> Callable[[Lcg128], np.ndarray]:
+    """Build a PARMONC realization returning the 1x3 indicator matrix.
+
+    Use with ``nrow=1, ncol=3``; the averaged matrix is
+    ``[P_transmit, P_reflect, P_absorb]``.
+    """
+    def realization(rng: Lcg128) -> np.ndarray:
+        return np.array([simulate_particle(problem, rng)])
+
+    return realization

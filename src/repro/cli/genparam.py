@@ -1,0 +1,68 @@
+"""The ``genparam`` command (§3.5).
+
+Usage::
+
+    $ genparam ne np nr
+
+where ``ne``, ``np`` and ``nr`` are exponents of 2 defining the leap
+lengths of the experiments / processors / realizations hierarchy.  The
+multipliers ``A(2**ne), A(2**np), A(2**nr)`` are computed and written to
+``parmonc_genparam.dat`` in the working directory; subsequent PARMONC
+runs there use them instead of the defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.rng.multiplier import LeapSet
+from repro.runtime.files import write_genparam_file
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the genparam argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="genparam",
+        description="Compute parallel-RNG leap multipliers and store them "
+                    "in parmonc_genparam.dat (PARMONC section 3.5).")
+    parser.add_argument("ne", type=int,
+                        help="log2 of the experiments leap length")
+    parser.add_argument("np", type=int,
+                        help="log2 of the processors leap length")
+    parser.add_argument("nr", type=int,
+                        help="log2 of the realizations leap length")
+    parser.add_argument("--workdir", type=Path, default=Path.cwd(),
+                        help="directory for parmonc_genparam.dat "
+                             "(default: current directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        leaps = LeapSet(experiment_exponent=args.ne,
+                        processor_exponent=args.np,
+                        realization_exponent=args.nr)
+        multipliers = leaps.multipliers()
+        path = write_genparam_file(args.workdir, args.ne, args.np, args.nr,
+                                   multipliers)
+    except ReproError as exc:
+        print(f"genparam: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"wrote {path}")
+    print(f"hierarchy capacities: {leaps.experiment_capacity} experiments"
+          f" x {leaps.processor_capacity} processors"
+          f" x {leaps.realization_capacity} realizations")
+    for label, value in zip(("A(2^ne)", "A(2^np)", "A(2^nr)"), multipliers):
+        print(f"{label} = {value}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

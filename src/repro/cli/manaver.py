@@ -1,0 +1,128 @@
+"""The ``manaver`` command (§3.4): manual averaging after a killed job.
+
+When a cluster job is terminated, the result files may lag behind the
+subtotals the workers had already delivered.  ``manaver`` merges the
+per-processor save-points (plus the previous sessions' merged
+save-point, if any) and rewrites the result files so that no simulated
+realization is lost.
+
+Usage::
+
+    $ manaver [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import re
+
+from repro.exceptions import ReproError
+from repro.runtime.files import DataDirectory
+from repro.stats.merging import merge_snapshots
+
+__all__ = ["main", "manual_average"]
+
+_SEQNUM_PATTERN = re.compile(r"\bseqnum=(\d+)\b")
+
+
+def _registry_seqnums(data: DataDirectory) -> set[int]:
+    """Every seqnum ever registered in parmonc_exp.dat.
+
+    The registry is the one record that survives a crash *before* the
+    save-point was rewritten, so it is the authoritative source for
+    which experiments subsequences are burnt.
+    """
+    seqnums = set()
+    for line in data.read_registry():
+        match = _SEQNUM_PATTERN.search(line)
+        if match:
+            seqnums.add(int(match.group(1)))
+    return seqnums
+
+
+def manual_average(workdir: Path) -> dict:
+    """Merge save-points under ``workdir`` and rewrite result files.
+
+    Returns a summary dict: total volume, processors recovered, and
+    whether a previous-session base was included.
+
+    Raises:
+        ReproError: When no save-points exist at all.
+    """
+    data = DataDirectory(workdir)
+    snapshots = []
+    base_included = False
+    sessions = 1
+    if data.has_savepoint():
+        base, meta = data.load_savepoint()
+        snapshots.append(base)
+        base_included = True
+        sessions = meta.sessions
+    processor_snapshots = data.load_processor_snapshots()
+    snapshots.extend(processor_snapshots.values())
+    if not snapshots:
+        raise ReproError(
+            f"no save-points found under {data.root}; nothing to average")
+    if processor_snapshots:
+        # The subtotals belong to a session that never finalized;
+        # count it.
+        sessions += 1 if base_included else 0
+    merged = merge_snapshots(snapshots)
+    if merged.volume == 0:
+        raise ReproError(
+            "save-points contain zero realizations; nothing to average")
+    # Burnt experiments subsequences: the savepoint's record plus
+    # everything the registry saw (which covers the crashed session).
+    used = set(meta.used_seqnums) if base_included else set()
+    used |= _registry_seqnums(data)
+    seqnum = max(used) if used else -1
+    data.write_results(merged.estimates(), seqnum=seqnum,
+                       processors=len(processor_snapshots),
+                       sessions=sessions)
+    # Persist the recovered total so a later res=1 session resumes from
+    # the *full* sample, then drop the now-absorbed subtotals.
+    data.save_savepoint(merged, used_seqnums=tuple(sorted(used)),
+                        sessions=sessions)
+    data.clear_processor_snapshots()
+    return {
+        "volume": merged.volume,
+        "processors_recovered": len(processor_snapshots),
+        "base_included": base_included,
+        "results_dir": data.results_dir,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the manaver argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="manaver",
+        description="Average subtotal sample moments left by a terminated "
+                    "job and rewrite the result files (PARMONC "
+                    "section 3.4).")
+    parser.add_argument("--workdir", type=Path, default=Path.cwd(),
+                        help="directory containing parmonc_data "
+                             "(default: current directory)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        summary = manual_average(args.workdir)
+    except ReproError as exc:
+        print(f"manaver: error: {exc}", file=sys.stderr)
+        return 2
+    print(f"recovered {summary['volume']} realizations from "
+          f"{summary['processors_recovered']} processor save-point(s)"
+          + (" plus the previous sessions' base"
+             if summary["base_included"] else ""))
+    print(f"results written under {summary['results_dir']}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

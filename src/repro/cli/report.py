@@ -1,0 +1,114 @@
+"""The ``parmonc-report`` command: summarize a run's result files.
+
+Reads the ``parmonc_data`` directory of §3.6 and prints a human
+summary: the run log, the experiment registry, the shape and corner of
+the mean matrix, the worst errors, and the resumability status.
+
+Usage::
+
+    $ parmonc-report [--workdir DIR] [--rows N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError, ResumeError
+from repro.runtime.files import DataDirectory
+
+__all__ = ["main", "render_report"]
+
+
+def render_report(workdir: Path, rows: int = 5) -> str:
+    """Build the report text for a ``parmonc_data`` directory.
+
+    Raises:
+        ReproError: If no results exist under ``workdir``.
+    """
+    data = DataDirectory(workdir)
+    if not data.root.exists():
+        raise ReproError(f"no parmonc_data directory under {workdir}")
+    lines = [f"PARMONC run summary — {data.root}", "=" * 60]
+    try:
+        log = data.read_log()
+    except ResumeError:
+        log = {}
+    if log:
+        lines.append("run log (func_log.dat):")
+        for key in ("total_sample_volume", "matrix_shape",
+                    "mean_time_per_realization_sec",
+                    "abs_error_upper_bound",
+                    "rel_error_upper_bound_percent", "seqnum",
+                    "processors", "sessions", "written_at"):
+            if key in log:
+                lines.append(f"  {key:<34s} {log[key]}")
+    else:
+        lines.append("no result files yet (run still in flight, or "
+                     "recover with manaver)")
+    try:
+        mean = data.read_mean_matrix()
+        lines.append("")
+        lines.append(f"sample means (func.dat), shape "
+                     f"{mean.shape[0]}x{mean.shape[1]}, first rows:")
+        for row in mean[:rows]:
+            lines.append("  " + " ".join(f"{value: .6e}"
+                                         for value in row[:6])
+                         + (" ..." if mean.shape[1] > 6 else ""))
+        if mean.shape[0] > rows:
+            lines.append(f"  ... ({mean.shape[0] - rows} more rows)")
+    except ResumeError:
+        pass
+    registry = data.read_registry()
+    if registry:
+        lines.append("")
+        lines.append(f"experiments started ({len(registry)}):")
+        for entry in registry[-5:]:
+            lines.append(f"  {entry}")
+        if len(registry) > 5:
+            lines.append(f"  ... ({len(registry) - 5} earlier entries)")
+    lines.append("")
+    if data.has_savepoint():
+        snapshot, meta = data.load_savepoint()
+        lines.append(
+            f"resumable: yes — merged save-point holds "
+            f"{snapshot.volume} realizations over {meta.sessions} "
+            f"session(s); next free seqnum is "
+            f"{max(meta.used_seqnums) + 1 if meta.used_seqnums else 0}")
+    else:
+        lines.append("resumable: no merged save-point present")
+    pending = data.load_processor_snapshots()
+    if pending:
+        recoverable = sum(s.volume for s in pending.values())
+        lines.append(
+            f"NOTE: {len(pending)} processor save-point(s) with "
+            f"{recoverable} realizations await `manaver` recovery")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the parmonc-report argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="parmonc-report",
+        description="Summarize the result files of a PARMONC run.")
+    parser.add_argument("--workdir", type=Path, default=Path.cwd(),
+                        help="directory containing parmonc_data")
+    parser.add_argument("--rows", type=int, default=5,
+                        help="matrix rows to preview")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        print(render_report(args.workdir, rows=max(1, args.rows)))
+    except ReproError as exc:
+        print(f"parmonc-report: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""The ``parmonc-run`` command: launch a simulation from the shell.
+
+The user supplies the realization routine as ``module:function`` (any
+importable module, including a plain ``.py`` file on the path), plus the
+``parmoncc`` arguments::
+
+    $ parmonc-run mymodel:one_trajectory --nrow 1000 --ncol 2 \\
+          --maxsv 100000 --processors 8 --backend multiprocess
+
+This plays the role of the paper's tiny C ``main()`` that does nothing
+but call ``parmoncc``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from pathlib import Path
+
+from repro.core.parmonc import BACKENDS, parmonc
+from repro.exceptions import ConfigurationError, ReproError
+
+__all__ = ["main", "load_routine"]
+
+
+def load_routine(spec: str):
+    """Resolve a ``module:function`` specification to a callable."""
+    module_name, separator, attribute = spec.partition(":")
+    if not separator or not module_name or not attribute:
+        raise ConfigurationError(
+            f"routine spec must look like 'module:function', got {spec!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import module {module_name!r}: {exc}") from exc
+    try:
+        routine = getattr(module, attribute)
+    except AttributeError as exc:
+        raise ConfigurationError(
+            f"module {module_name!r} has no attribute "
+            f"{attribute!r}") from exc
+    if not callable(routine):
+        raise ConfigurationError(
+            f"{spec!r} resolved to a non-callable "
+            f"{type(routine).__name__}")
+    return routine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the parmonc-run argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="parmonc-run",
+        description="Run a parallel stochastic simulation for a "
+                    "user-supplied realization routine.")
+    parser.add_argument("routine",
+                        help="realization routine as module:function")
+    parser.add_argument("--nrow", type=int, default=1)
+    parser.add_argument("--ncol", type=int, default=1)
+    parser.add_argument("--maxsv", type=int, required=True,
+                        help="maximal total sample volume")
+    parser.add_argument("--res", type=int, choices=(0, 1), default=0,
+                        help="0 = new simulation, 1 = resume previous")
+    parser.add_argument("--seqnum", type=int, default=0,
+                        help="experiments subsequence number")
+    parser.add_argument("--perpass", type=float, default=1.0,
+                        help="seconds between worker data passes")
+    parser.add_argument("--peraver", type=float, default=5.0,
+                        help="seconds between collector saves")
+    parser.add_argument("--processors", "-M", type=int, default=1)
+    parser.add_argument("--backend", choices=BACKENDS,
+                        default="sequential")
+    parser.add_argument("--workdir", type=Path, default=Path.cwd())
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="job time limit in seconds")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    # Allow module:function specs relative to the working directory, the
+    # way a user naturally runs `parmonc-run mymodel:f` next to mymodel.py.
+    sys.path.insert(0, str(args.workdir))
+    try:
+        routine = load_routine(args.routine)
+        result = parmonc(
+            routine, nrow=args.nrow, ncol=args.ncol, maxsv=args.maxsv,
+            res=args.res, seqnum=args.seqnum, perpass=args.perpass,
+            peraver=args.peraver, processors=args.processors,
+            backend=args.backend, workdir=args.workdir,
+            time_limit=args.time_limit)
+    except ReproError as exc:
+        print(f"parmonc-run: error: {exc}", file=sys.stderr)
+        return 2
+    estimates = result.estimates
+    print(result)
+    print(f"total sample volume: {result.total_volume}")
+    if estimates is not None:
+        print(f"abs error upper bound: {estimates.abs_error_max:.6e}")
+        print(f"rel error upper bound: {estimates.rel_error_max:.4f}%")
+    if result.data_dir is not None:
+        print(f"results under: {result.data_dir}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""A minimal discrete-event engine: a time-ordered callback queue."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Priority queue of timed callbacks with FIFO tie-breaking.
+
+    Events scheduled for the same instant run in scheduling order, which
+    keeps simulations deterministic regardless of float coincidences.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._sequence = count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (last dispatched event's time)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: float,
+                 callback: Callable[[float], None]) -> None:
+        """Schedule ``callback(when)`` to run at simulation time ``when``."""
+        if when < self._now:
+            raise ConfigurationError(
+                f"cannot schedule an event at {when} before the current "
+                f"simulation time {self._now}")
+        heapq.heappush(self._heap, (when, next(self._sequence), callback))
+
+    def step(self) -> bool:
+        """Dispatch the earliest event; return False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, callback = heapq.heappop(self._heap)
+        self._now = when
+        callback(when)
+        return True
+
+    def run(self, until: float | None = None) -> float:
+        """Dispatch events until the queue drains or ``until`` is reached.
+
+        Returns the final simulation time.  Events scheduled beyond
+        ``until`` stay queued.
+        """
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            self.step()
+        return self._now

@@ -1,0 +1,156 @@
+"""Cost models for processors and realization durations.
+
+The Fig. 2 performance test reports a mean computer time of 7.7 seconds
+per realization; these models supply such durations to the discrete-
+event simulation, optionally with stochastic jitter and per-processor
+speed heterogeneity (the situation §2.2 says requires no load balancing
+because workers are independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DurationModel", "Processor", "Accelerator"]
+
+_DISTRIBUTIONS = ("fixed", "exponential", "lognormal", "uniform")
+
+
+@dataclass(frozen=True)
+class DurationModel:
+    """Sampler of per-realization compute durations.
+
+    Attributes:
+        mean: Mean duration ``tau`` in seconds (7.7 in the paper's test).
+        distribution: ``"fixed"`` (deterministic), ``"exponential"``,
+            ``"lognormal"`` or ``"uniform"``.
+        spread: Dispersion parameter — the lognormal sigma, or the
+            relative half-width for ``"uniform"``; ignored by the other
+            distributions.
+    """
+
+    mean: float = 7.7
+    distribution: str = "fixed"
+    spread: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0.0:
+            raise ConfigurationError(
+                f"mean duration must be > 0, got {self.mean}")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}; choose "
+                f"from {_DISTRIBUTIONS}")
+        if self.spread < 0.0:
+            raise ConfigurationError(
+                f"spread must be >= 0, got {self.spread}")
+        if self.distribution == "uniform" and self.spread >= 1.0:
+            raise ConfigurationError(
+                "uniform spread must be < 1 so durations stay positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one realization duration in seconds."""
+        if self.distribution == "fixed":
+            return self.mean
+        if self.distribution == "exponential":
+            return float(rng.exponential(self.mean))
+        if self.distribution == "lognormal":
+            # Parameterize so the mean equals self.mean for any sigma.
+            sigma = self.spread
+            mu = np.log(self.mean) - 0.5 * sigma * sigma
+            return float(rng.lognormal(mu, sigma))
+        low = self.mean * (1.0 - self.spread)
+        high = self.mean * (1.0 + self.spread)
+        return float(rng.uniform(low, high))
+
+
+@dataclass(frozen=True)
+class Accelerator:
+    """A batch accelerator attached to a node (the paper's §5 GPU).
+
+    The model is the standard GPU execution shape: realizations are
+    simulated in SIMT batches, each kernel launch paying a fixed
+    overhead, with per-realization time divided by a throughput factor.
+    Small batches waste the device on launch overhead; large batches
+    approach ``tau / speedup`` per realization — exactly the trade-off
+    a PARMONC-on-GPU port would tune.
+
+    Attributes:
+        batch: Realizations executed per kernel launch.
+        speedup: Per-realization throughput factor versus the CPU
+            duration model (e.g. 50.0 for a mid-range accelerator).
+        launch_overhead: Fixed seconds per kernel launch.
+    """
+
+    batch: int = 256
+    speedup: float = 50.0
+    launch_overhead: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.batch < 1:
+            raise ConfigurationError(
+                f"batch must be >= 1, got {self.batch}")
+        if self.speedup <= 0.0:
+            raise ConfigurationError(
+                f"speedup must be > 0, got {self.speedup}")
+        if self.launch_overhead < 0.0:
+            raise ConfigurationError(
+                f"launch overhead must be >= 0, got "
+                f"{self.launch_overhead}")
+
+    def chunk_duration(self, chunk: int, base_duration: float) -> float:
+        """Seconds to execute ``chunk`` realizations in one launch."""
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        return self.launch_overhead + chunk * base_duration / self.speedup
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A simulated cluster node.
+
+    Attributes:
+        rank: Processor index (0 is also the collector).
+        speed_factor: Relative speed; durations are divided by it, so a
+            factor of 2.0 makes the node twice as fast.
+        accelerator: Optional batch accelerator (GPU) — when present,
+            the node executes realizations in batches via
+            :meth:`Accelerator.chunk_duration` instead of one at a time.
+    """
+
+    rank: int
+    speed_factor: float = 1.0
+    accelerator: Accelerator | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(f"rank must be >= 0, got {self.rank}")
+        if self.speed_factor <= 0.0:
+            raise ConfigurationError(
+                f"speed factor must be > 0, got {self.speed_factor}")
+
+    @property
+    def batch(self) -> int:
+        """Realizations completed per execution event (1 without GPU)."""
+        return self.accelerator.batch if self.accelerator else 1
+
+    def duration(self, model: DurationModel,
+                 rng: np.random.Generator) -> float:
+        """Sample this node's next single-realization duration."""
+        return model.sample(rng) / self.speed_factor
+
+    def chunk_duration(self, chunk: int, model: DurationModel,
+                       rng: np.random.Generator) -> float:
+        """Sample the duration of the node's next ``chunk`` realizations."""
+        base = model.sample(rng) / self.speed_factor
+        if self.accelerator is None:
+            if chunk != 1:
+                raise ConfigurationError(
+                    f"a CPU node executes one realization per event, "
+                    f"requested chunk of {chunk}")
+            return base
+        return self.accelerator.chunk_duration(chunk, base)

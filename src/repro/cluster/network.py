@@ -1,0 +1,106 @@
+"""Network and collector-service cost models.
+
+The paper's performance test sends ~120 KB per pass over a cluster
+interconnect.  We model a message's life as: transfer delay (latency +
+size/bandwidth) to reach the 0-th processor, then FIFO service at the
+collector (deserialize + merge).  Rank 0's own messages skip the wire
+but still pay the service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["NetworkModel", "CollectorService"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point transfer cost model.
+
+    Attributes:
+        latency: Per-message latency in seconds (default 50 us, a
+            typical cluster interconnect).
+        bandwidth: Link bandwidth in bytes/second (default 1 GB/s).
+    """
+
+    latency: float = 50e-6
+    bandwidth: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.latency < 0.0:
+            raise ConfigurationError(
+                f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0.0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def transfer_time(self, nbytes: int, local: bool = False) -> float:
+        """Seconds for ``nbytes`` to reach the collector.
+
+        ``local=True`` models rank 0 messaging itself: no wire, no cost.
+        """
+        if nbytes < 0:
+            raise ConfigurationError(
+                f"message size must be >= 0, got {nbytes}")
+        if local:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class CollectorService:
+    """FIFO single-server model of the 0-th processor's receive path.
+
+    Attributes:
+        service_time: Seconds to ingest one message (deserialize and
+            merge the moment matrices).
+    """
+
+    service_time: float = 200e-6
+
+    def __post_init__(self) -> None:
+        if self.service_time < 0.0:
+            raise ConfigurationError(
+                f"service time must be >= 0, got {self.service_time}")
+        self._busy_until = 0.0
+        self._busy_total = 0.0
+        self._served = 0
+
+    @property
+    def served(self) -> int:
+        """Messages fully processed so far."""
+        return self._served
+
+    @property
+    def busy_total(self) -> float:
+        """Cumulative seconds the server has spent processing."""
+        return self._busy_total
+
+    @property
+    def busy_until(self) -> float:
+        """Simulation time at which the server next becomes idle."""
+        return self._busy_until
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the server was busy."""
+        if horizon <= 0.0:
+            return 0.0
+        return min(1.0, self._busy_total / horizon)
+
+    def admit(self, arrival: float) -> float:
+        """Queue one message arriving at ``arrival``; return completion time.
+
+        FIFO discipline: service starts when the server frees up.
+        """
+        if arrival < 0.0:
+            raise ConfigurationError(
+                f"arrival time must be >= 0, got {arrival}")
+        start = max(arrival, self._busy_until)
+        completion = start + self.service_time
+        self._busy_until = completion
+        self._busy_total += self.service_time
+        self._served += 1
+        return completion

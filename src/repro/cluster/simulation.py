@@ -1,0 +1,356 @@
+"""The PARMONC protocol on a simulated cluster.
+
+Reproduces the paper's deployment mechanics in virtual time: ``M``
+processors simulate realizations asynchronously; each completed
+realization may trigger a cumulative moment pass to the 0-th processor
+(``perpass = 0`` sends after *every* realization, the strictest Fig. 2
+condition); messages cross a modelled network and queue FIFO at the
+collector.  ``T_comp`` — the figure's y-axis — is the virtual time at
+which the collector has received, averaged and saved the complete
+sample.
+
+Realizations can be *executed* (the user routine actually runs, with its
+RNG substream, so the run produces genuine estimates) or merely
+*accounted* (zero-matrix placeholders; only timing matters, which is how
+the 512-processor sweeps stay cheap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.cluster.events import EventQueue
+from repro.cluster.machine import Accelerator, DurationModel, Processor
+from repro.cluster.network import CollectorService, NetworkModel
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.messages import MomentMessage, message_bytes
+from repro.runtime.worker import RealizationRoutine, adapt_realization
+from repro.rng.streams import StreamTree
+from repro.stats.accumulator import MomentAccumulator
+
+__all__ = ["ClusterSpec", "ClusterResult", "ClusterSimulation",
+           "proportional_quotas"]
+
+
+def proportional_quotas(total: int, weights: list[float] | tuple[float, ...]
+                        ) -> list[int]:
+    """Deal ``total`` realizations proportionally to throughput weights.
+
+    The largest-remainder method: exact total, deviations of at most one
+    realization per rank.  This is what a dynamic self-scheduling
+    PARMONC deployment converges to on a heterogeneous or hybrid
+    cluster, expressed as static quotas for the simulator.
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be >= 0, got {total}")
+    if not weights or any(w <= 0 for w in weights):
+        raise ConfigurationError(
+            "weights must be non-empty and strictly positive")
+    scale = total / float(sum(weights))
+    shares = [w * scale for w in weights]
+    quotas = [int(share) for share in shares]
+    remainders = sorted(range(len(weights)),
+                        key=lambda i: shares[i] - quotas[i], reverse=True)
+    for i in remainders[:total - sum(quotas)]:
+        quotas[i] += 1
+    return quotas
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Hardware model of the simulated cluster.
+
+    Attributes:
+        duration_model: Per-realization compute-time sampler (the
+            paper's ``tau ~ 7.7 s``).
+        network: Transfer cost model for worker-to-collector messages.
+        collector_service_time: Seconds the 0-th processor spends
+            ingesting one message.
+        speed_factors: Optional per-rank relative speeds (heterogeneous
+            cluster); length must equal the run's processor count.
+        accelerators: Optional per-rank batch accelerators (§5's GPU /
+            hybrid clusters); None entries are plain CPU nodes.  Length
+            must equal the run's processor count when given.
+        message_bytes: Wire size per pass; None derives it from the
+            matrix shape via :func:`repro.runtime.messages.message_bytes`
+            (the paper's 1000 x 2 problem gives ~125 KB).
+        failures: Optional fault injection — ``{rank: fail_time}``.  A
+            failed node stops silently: no further computation, passes
+            or final message.  Work it completed after its last data
+            pass is lost; everything already passed survives at the
+            collector (the §2.2 motivation for periodic passes).
+        seed: Seed of the simulator's own duration sampler — *not* part
+            of the Monte Carlo sample.
+    """
+
+    duration_model: DurationModel = field(default_factory=DurationModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    collector_service_time: float = 200e-6
+    speed_factors: tuple[float, ...] | None = None
+    accelerators: tuple[Accelerator | None, ...] | None = None
+    message_bytes: int | None = None
+    failures: dict[int, float] | None = None
+    seed: int = 2011
+
+    def processors_for(self, count: int) -> list[Processor]:
+        """Instantiate ``count`` processors with speeds and accelerators."""
+        if self.speed_factors is not None \
+                and len(self.speed_factors) != count:
+            raise ConfigurationError(
+                f"speed_factors has {len(self.speed_factors)} entries "
+                f"for {count} processors")
+        if self.accelerators is not None \
+                and len(self.accelerators) != count:
+            raise ConfigurationError(
+                f"accelerators has {len(self.accelerators)} entries "
+                f"for {count} processors")
+        processors = []
+        for rank in range(count):
+            factor = (self.speed_factors[rank]
+                      if self.speed_factors is not None else 1.0)
+            accelerator = (self.accelerators[rank]
+                           if self.accelerators is not None else None)
+            processors.append(Processor(rank, factor, accelerator))
+        return processors
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Timing and accounting of one simulated run.
+
+    Attributes:
+        t_comp: Virtual seconds until the collector finished receiving,
+            averaging and saving the full sample (Fig. 2's ``T_comp``).
+        total_volume: Realizations delivered in this session.
+        per_rank_volumes: Final volume per worker.
+        messages_sent: Worker data passes (including finals).
+        collector_utilization: Busy fraction of the collector server
+            over ``[0, t_comp]``.
+        mean_queue_delay: Mean seconds a message waited before service.
+        compute_span: Virtual time the last worker finished computing
+            (``t_comp`` minus trailing exchange overhead).
+        failed_ranks: Nodes that died mid-run (fault injection).
+        lost_realizations: Realizations computed but never delivered to
+            the collector before their node failed.
+    """
+
+    t_comp: float
+    total_volume: int
+    per_rank_volumes: dict[int, int]
+    messages_sent: int
+    collector_utilization: float
+    mean_queue_delay: float
+    compute_span: float
+    failed_ranks: tuple[int, ...] = ()
+    lost_realizations: int = 0
+
+
+class ClusterSimulation:
+    """Discrete-event execution of one PARMONC session.
+
+    Args:
+        config: Run configuration (processors, maxsv quotas, perpass,
+            seqnum, shape, optional time_limit in *virtual* seconds).
+        spec: Cluster hardware model.
+        collector: The collector to feed; construct it with ``data=None``
+            for pure timing studies or with a data directory for full
+            runs.
+        routine: Optional realization routine.  When given, every
+            realization executes with its proper RNG substream and the
+            collector accumulates genuine moments; when None, zero
+            placeholder matrices keep the books.
+        quotas: Optional per-rank realization quotas overriding the
+            config's even split — use :func:`proportional_quotas` for
+            heterogeneous/hybrid clusters.  Must sum to ``maxsv``.
+        scheduling: ``"static"`` (default) deals fixed quotas;
+            ``"dynamic"`` is self-scheduling — every worker keeps
+            simulating until ``maxsv`` realizations have been *started*
+            cluster-wide, so faster nodes naturally contribute more.
+            This is the paper's actual §2.2 argument for needing no
+            load balancer; quotas must not be given in this mode.
+    """
+
+    def __init__(self, config: RunConfig, spec: ClusterSpec,
+                 collector: Collector,
+                 routine: RealizationRoutine | None = None,
+                 quotas: list[int] | None = None,
+                 scheduling: str = "static") -> None:
+        if scheduling not in ("static", "dynamic"):
+            raise ConfigurationError(
+                f"scheduling must be 'static' or 'dynamic', "
+                f"got {scheduling!r}")
+        if scheduling == "dynamic" and quotas is not None:
+            raise ConfigurationError(
+                "dynamic scheduling and explicit quotas are mutually "
+                "exclusive")
+        self._config = config
+        self._spec = spec
+        self._collector = collector
+        self._adapted = (adapt_realization(routine)
+                         if routine is not None else None)
+        self._events = EventQueue()
+        self._duration_rng = np.random.default_rng(spec.seed)
+        self._processors = spec.processors_for(config.processors)
+        self._service = CollectorService(spec.collector_service_time)
+        self._nbytes = (spec.message_bytes if spec.message_bytes is not None
+                        else message_bytes(config.nrow, config.ncol))
+        tree = StreamTree(config.leaps)
+        experiment = tree.experiment(config.seqnum)
+        self._streams = [experiment.processor(rank)
+                         for rank in range(config.processors)]
+        self._accumulators = [MomentAccumulator(config.nrow, config.ncol)
+                              for _ in range(config.processors)]
+        self._next_index = [0] * config.processors
+        self._scheduling = scheduling
+        self._total_started = 0
+        self._last_send = [0.0] * config.processors
+        self._failures = dict(spec.failures or {})
+        if 0 in self._failures:
+            raise ConfigurationError(
+                "failing the 0-th processor kills the collector; model "
+                "collector-side crashes with manaver recovery instead")
+        for rank, fail_time in self._failures.items():
+            if not 0 <= rank < config.processors:
+                raise ConfigurationError(
+                    f"failure injected for unknown rank {rank}")
+            if fail_time < 0.0:
+                raise ConfigurationError(
+                    f"failure time must be >= 0, got {fail_time}")
+        self._finaled: set[int] = set()
+        if quotas is None:
+            self._quotas = [config.worker_quota(rank)
+                            for rank in range(config.processors)]
+        else:
+            if len(quotas) != config.processors:
+                raise ConfigurationError(
+                    f"{len(quotas)} quotas given for "
+                    f"{config.processors} processors")
+            if any(q < 0 for q in quotas) or sum(quotas) != config.maxsv:
+                raise ConfigurationError(
+                    f"quotas must be non-negative and sum to maxsv="
+                    f"{config.maxsv}, got sum {sum(quotas)}")
+            self._quotas = list(quotas)
+        self._zero = np.zeros(config.shape)
+        self._messages_sent = 0
+        self._queue_delay_total = 0.0
+        self._last_completion = 0.0
+        self._last_compute = 0.0
+
+    # ------------------------------------------------------------------
+
+    def _start_realization(self, rank: int, now: float) -> None:
+        """Schedule the completion of rank's next realization chunk.
+
+        CPU nodes complete one realization per event; accelerated nodes
+        complete up to their batch width per kernel launch.
+        """
+        deadline = self._config.time_limit
+        if deadline is not None and now >= deadline:
+            self._send(rank, now, final=True)
+            return
+        if self._scheduling == "dynamic":
+            remaining = self._config.maxsv - self._total_started
+        else:
+            remaining = self._quotas[rank] - self._next_index[rank]
+        if remaining <= 0:
+            self._send(rank, now, final=True)
+            return
+        processor = self._processors[rank]
+        chunk = min(processor.batch, remaining)
+        self._total_started += chunk
+        duration = processor.chunk_duration(
+            chunk, self._spec.duration_model, self._duration_rng)
+        self._events.schedule(
+            now + duration,
+            lambda when, r=rank, c=chunk: self._complete_chunk(r, c, when))
+
+    def _dead(self, rank: int, now: float) -> bool:
+        """Whether rank has failed by simulation time ``now``."""
+        fail_time = self._failures.get(rank)
+        return fail_time is not None and now >= fail_time
+
+    def _complete_chunk(self, rank: int, chunk: int, now: float) -> None:
+        """A chunk finished: accumulate, maybe pass data, go on."""
+        if self._dead(rank, now):
+            # The node died while computing: the in-flight chunk (and
+            # everything since its last pass) is lost.
+            return
+        for _ in range(chunk):
+            index = self._next_index[rank]
+            self._next_index[rank] = index + 1
+            if self._adapted is not None:
+                rng = self._streams[rank].realization(index)
+                result = self._adapted(rng)
+            else:
+                result = self._zero
+            self._accumulators[rank].add(result)
+        self._last_compute = max(self._last_compute, now)
+        if (self._config.perpass == 0.0
+                or now - self._last_send[rank] >= self._config.perpass):
+            self._send(rank, now, final=False)
+        self._start_realization(rank, now)
+
+    def _send(self, rank: int, now: float, final: bool) -> None:
+        """Ship rank's cumulative snapshot towards the collector."""
+        if self._dead(rank, now):
+            return
+        if final:
+            self._finaled.add(rank)
+        message = MomentMessage(
+            rank=rank, snapshot=self._accumulators[rank].snapshot(),
+            sent_at=now, final=final)
+        self._messages_sent += 1
+        self._last_send[rank] = now
+        arrival = now + self._spec.network.transfer_time(
+            self._nbytes, local=(rank == 0))
+        completion = self._service.admit(arrival)
+        self._queue_delay_total += completion \
+            - self._service.service_time - arrival
+        self._events.schedule(
+            completion,
+            lambda when, m=message: self._deliver(m, when))
+
+    def _deliver(self, message: MomentMessage, now: float) -> None:
+        """Collector finished ingesting a message."""
+        self._collector.receive(message, now)
+        self._last_completion = max(self._last_completion, now)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ClusterResult:
+        """Execute the session; return virtual-time accounting."""
+        for rank in range(self._config.processors):
+            self._start_realization(rank, 0.0)
+        self._events.run()
+        survivors = [rank for rank in range(self._config.processors)
+                     if rank not in self._failures]
+        if not all(rank in self._finaled for rank in survivors):
+            raise ConfigurationError(
+                "simulation drained its event queue before every "
+                "surviving worker finalized — this indicates an "
+                "internal protocol bug")
+        t_comp = self._last_completion
+        # The final averaging-and-saving sweep the paper times.
+        self._collector.save(t_comp)
+        per_rank = {rank: self._accumulators[rank].volume
+                    for rank in range(self._config.processors)}
+        total = sum(per_rank.values())
+        lost = sum(self._accumulators[rank].volume
+                   - self._collector.worker_volume(rank)
+                   for rank in self._failures)
+        mean_delay = (self._queue_delay_total / self._messages_sent
+                      if self._messages_sent else 0.0)
+        return ClusterResult(
+            t_comp=t_comp,
+            total_volume=total,
+            per_rank_volumes=per_rank,
+            messages_sent=self._messages_sent,
+            collector_utilization=self._service.utilization(t_comp),
+            mean_queue_delay=mean_delay,
+            compute_span=self._last_compute,
+            failed_ranks=tuple(sorted(self._failures)),
+            lost_realizations=lost)

@@ -1,0 +1,12 @@
+"""The library's primary public surface: ``parmonc`` and friends."""
+
+from __future__ import annotations
+
+from repro.core.batched import batched_realization
+from repro.core.parmonc import BACKENDS, parmonc
+from repro.core.run import MonteCarloRun
+from repro.core.sweep import SweepPoint, SweepResult, parameter_sweep
+
+__all__ = ["parmonc", "MonteCarloRun", "BACKENDS",
+           "batched_realization", "parameter_sweep", "SweepPoint",
+           "SweepResult"]

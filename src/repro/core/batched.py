@@ -1,0 +1,59 @@
+"""Batching cheap realizations.
+
+When a single realization costs less than the runtime's bookkeeping
+(~15 us), simulate ``k`` of them per call and return their mean: the
+batched variable is still a realization in the PARMONC sense (one value
+per substream, finite variance), the estimator of its mean is unchanged
+and exactly unbiased, and the per-call variance drops by ``k`` while
+the per-call cost grows by ``k`` — so the error-versus-wall-time
+trade-off is identical, minus the overhead.
+
+Error accounting caveat: the reported ``eps`` then bounds the error of
+the *batched* variable from ``L`` batch samples — numerically the same
+bound as ``k * L`` raw samples, which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = ["batched_realization"]
+
+
+def batched_realization(routine: Callable[[Lcg128], object],
+                        batch: int) -> Callable[[Lcg128], np.ndarray]:
+    """Wrap a routine to simulate ``batch`` copies per call.
+
+    The copies draw sequentially from the call's substream (each
+    realization substream holds 2**43 numbers — thousands of cheap
+    copies fit comfortably), so the batched routine remains a pure
+    function of its stream.
+
+    Args:
+        routine: One-argument realization routine.
+        batch: Copies per call; must be >= 1.
+
+    Example:
+        >>> from repro.rng.streams import StreamTree
+        >>> wrapped = batched_realization(lambda rng: rng.random(), 100)
+        >>> value = wrapped(StreamTree().rng(0, 0, 0))
+        >>> 0.3 < float(value) < 0.7
+        True
+    """
+    if not callable(routine):
+        raise ConfigurationError("routine must be callable")
+    if batch < 1:
+        raise ConfigurationError(f"batch must be >= 1, got {batch}")
+
+    def batched(rng: Lcg128) -> np.ndarray:
+        total = np.asarray(routine(rng), dtype=np.float64).copy()
+        for _ in range(batch - 1):
+            total += np.asarray(routine(rng), dtype=np.float64)
+        return total / batch
+
+    return batched

@@ -1,0 +1,122 @@
+"""The ``parmonc`` entry point — Python twin of ``parmoncc``/``parmoncf``.
+
+The paper's C usage::
+
+    parmoncc(difftraj, &nrow, &ncol, &maxsv, &res, &seqnum,
+             &perpass, &peraver);
+
+becomes::
+
+    result = parmonc(difftraj, nrow=1000, ncol=2, maxsv=10**9,
+                     res=1, seqnum=2, perpass=minutes(10),
+                     peraver=minutes(20), processors=8)
+
+with the user routine written either as ``difftraj(rng)`` (explicit
+generator) or as the paper's argument-less style calling the global
+``rnd128()``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cluster.simulation import ClusterSpec
+from repro.exceptions import ConfigurationError
+from repro.rng.multiplier import DEFAULT_LEAPS, LeapSet
+from repro.runtime.config import RunConfig
+from repro.runtime.files import read_genparam_file
+from repro.runtime.multiprocess import run_multiprocess
+from repro.runtime.result import RunResult
+from repro.runtime.sequential import run_sequential
+from repro.runtime.simcluster import run_simcluster
+from repro.runtime.worker import RealizationRoutine
+
+__all__ = ["parmonc", "BACKENDS"]
+
+#: Names accepted by the ``backend`` argument.
+BACKENDS = ("sequential", "multiprocess", "simcluster")
+
+
+def _resolve_leaps(workdir: Path, leaps: LeapSet | None) -> LeapSet:
+    """Explicit leaps win; otherwise honour ``parmonc_genparam.dat``."""
+    if leaps is not None:
+        return leaps
+    stored = read_genparam_file(workdir)
+    if stored is None:
+        return DEFAULT_LEAPS
+    return LeapSet(
+        experiment_exponent=stored["ne_exponent"],
+        processor_exponent=stored["np_exponent"],
+        realization_exponent=stored["nr_exponent"])
+
+
+def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
+            maxsv: int = 1, res: int = 0, seqnum: int = 0,
+            perpass: float = 1.0, peraver: float = 5.0, *,
+            processors: int = 1, backend: str = "sequential",
+            workdir: str | Path | None = None,
+            leaps: LeapSet | None = None,
+            time_limit: float | None = None,
+            use_files: bool = True,
+            cluster_spec: ClusterSpec | None = None,
+            execute_realizations: bool = True,
+            start_method: str | None = None) -> RunResult:
+    """Run a massively parallel stochastic simulation.
+
+    Args:
+        realization: Routine computing a single realization of the
+            random object; ``fn(rng) -> matrix`` or argument-less
+            ``fn() -> matrix`` drawing from the global ``rnd128()``.
+        nrow: Rows of the realization matrix ``[zeta_ij]``.
+        ncol: Columns of the realization matrix.
+        maxsv: Maximal total sample volume.
+        res: 0 for a new simulation, 1 to resume the previous one (its
+            results are folded in automatically, formula (5)).
+        seqnum: "Experiments" subsequence number; when resuming it must
+            differ from every previous session's.
+        perpass: Seconds between a worker's data passes.  0 means "after
+            every realization" — the paper's strictest performance-test
+            condition; expect heavy exchange traffic.  Use
+            :func:`repro.runtime.minutes` for the paper's minute-valued
+            arguments.
+        peraver: Seconds between collector averaging/saving sweeps
+            (0 = on every message; each sweep rewrites the result
+            files).
+        processors: Number of processors ``M``.
+        backend: ``"sequential"``, ``"multiprocess"`` (real OS
+            processes) or ``"simcluster"`` (discrete-event simulation in
+            virtual time).
+        workdir: Directory for ``parmonc_data``; defaults to the current
+            directory.  A ``parmonc_genparam.dat`` there overrides the
+            default leap parameters, as in §3.5.
+        leaps: Explicit hierarchy parameters (beats the genparam file).
+        time_limit: Job time limit in seconds (virtual seconds under
+            ``simcluster``).
+        use_files: Set False for throwaway in-memory estimation.
+        cluster_spec: Hardware model for the ``simcluster`` backend.
+        execute_realizations: ``simcluster`` only — False turns the run
+            into a pure timing study.
+        start_method: ``multiprocess`` only — multiprocessing start
+            method override.
+
+    Returns:
+        The session's :class:`~repro.runtime.result.RunResult`.
+    """
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    resolved_workdir = Path(workdir) if workdir is not None else Path.cwd()
+    config = RunConfig(
+        nrow=nrow, ncol=ncol, maxsv=maxsv, res=res, seqnum=seqnum,
+        perpass=perpass, peraver=peraver, processors=processors,
+        workdir=resolved_workdir,
+        leaps=_resolve_leaps(resolved_workdir, leaps),
+        time_limit=time_limit)
+    if backend == "sequential":
+        return run_sequential(realization, config, use_files=use_files)
+    if backend == "multiprocess":
+        return run_multiprocess(realization, config, use_files=use_files,
+                                start_method=start_method)
+    return run_simcluster(realization, config, spec=cluster_spec,
+                          use_files=use_files,
+                          execute_realizations=execute_realizations)

@@ -1,0 +1,144 @@
+"""A Pythonic, resumable wrapper around :func:`repro.core.parmonc`.
+
+Where :func:`parmonc` mirrors the C calling convention,
+:class:`MonteCarloRun` manages the session lifecycle for you: the first
+:meth:`run` starts fresh, every :meth:`resume` picks an unused
+``seqnum`` automatically and folds earlier sessions in, and
+:meth:`run_until` keeps resuming until a target absolute error is
+reached — the workflow the paper's "endless simulation" example gestures
+at, made explicit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.parmonc import parmonc
+from repro.exceptions import ConfigurationError, ResumeError
+from repro.runtime.files import DataDirectory
+from repro.runtime.result import RunResult
+from repro.runtime.worker import RealizationRoutine
+
+__all__ = ["MonteCarloRun"]
+
+
+class MonteCarloRun:
+    """Lifecycle manager for a resumable stochastic simulation.
+
+    Args:
+        realization: The user realization routine.
+        nrow: Rows of the realization matrix.
+        ncol: Columns of the realization matrix.
+        workdir: Where ``parmonc_data`` lives; sessions of the same run
+            must share it.
+        processors: Default processor count for sessions.
+        backend: Default backend name.
+        **defaults: Extra keyword defaults forwarded to :func:`parmonc`
+            (``perpass``, ``peraver``, ``leaps``, ...).
+
+    Example:
+        >>> import tempfile
+        >>> def half(rng):
+        ...     return rng.random()
+        >>> with tempfile.TemporaryDirectory() as tmp:
+        ...     run = MonteCarloRun(half, workdir=tmp)
+        ...     first = run.run(maxsv=200)
+        ...     second = run.resume(maxsv=200)
+        >>> second.total_volume
+        400
+    """
+
+    def __init__(self, realization: RealizationRoutine, nrow: int = 1,
+                 ncol: int = 1, *, workdir: str | Path | None = None,
+                 processors: int = 1, backend: str = "sequential",
+                 **defaults) -> None:
+        self._realization = realization
+        self._nrow = nrow
+        self._ncol = ncol
+        self._workdir = Path(workdir) if workdir is not None else Path.cwd()
+        self._processors = processors
+        self._backend = backend
+        self._defaults = defaults
+        self._last_result: RunResult | None = None
+
+    @property
+    def workdir(self) -> Path:
+        """The run's working directory."""
+        return self._workdir
+
+    @property
+    def last_result(self) -> RunResult | None:
+        """Result of the most recent session, if any."""
+        return self._last_result
+
+    def _data(self) -> DataDirectory:
+        return DataDirectory(self._workdir)
+
+    def _next_seqnum(self) -> int:
+        """First "experiments" subsequence not used by earlier sessions."""
+        data = self._data()
+        if not data.has_savepoint():
+            return 0
+        _, meta = data.load_savepoint()
+        return max(meta.used_seqnums) + 1
+
+    def run(self, maxsv: int, *, seqnum: int = 0, **overrides) -> RunResult:
+        """Start a fresh simulation (``res=0``), discarding prior results."""
+        self._last_result = self._launch(maxsv=maxsv, res=0, seqnum=seqnum,
+                                         **overrides)
+        return self._last_result
+
+    def resume(self, maxsv: int, *, seqnum: int | None = None,
+               **overrides) -> RunResult:
+        """Resume the previous simulation (``res=1``).
+
+        Picks the next unused ``seqnum`` automatically unless one is
+        given explicitly.
+        """
+        if not self._data().has_savepoint():
+            raise ResumeError(
+                f"nothing to resume under {self._workdir}; call run() "
+                f"first")
+        chosen = seqnum if seqnum is not None else self._next_seqnum()
+        self._last_result = self._launch(maxsv=maxsv, res=1, seqnum=chosen,
+                                         **overrides)
+        return self._last_result
+
+    def run_until(self, target_abs_error: float, *,
+                  session_volume: int = 1000,
+                  max_sessions: int = 100, **overrides) -> RunResult:
+        """Run sessions until ``eps_max`` drops below the target.
+
+        Args:
+            target_abs_error: Stop once the absolute-error upper bound
+                is at or below this value.
+            session_volume: ``maxsv`` of each session.
+            max_sessions: Hard cap on sessions (the error may stagnate
+                if the variance is badly underestimated early on).
+
+        Returns:
+            The final session's result.
+        """
+        if target_abs_error <= 0.0:
+            raise ConfigurationError(
+                f"target_abs_error must be > 0, got {target_abs_error}")
+        if max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {max_sessions}")
+        result = (self.resume(session_volume, **overrides)
+                  if self._data().has_savepoint()
+                  else self.run(session_volume, **overrides))
+        sessions = 1
+        while (result.estimates.abs_error_max > target_abs_error
+               and sessions < max_sessions):
+            result = self.resume(session_volume, **overrides)
+            sessions += 1
+        return result
+
+    def _launch(self, **kwargs) -> RunResult:
+        merged = dict(self._defaults)
+        merged.update(kwargs)
+        merged.setdefault("processors", self._processors)
+        merged.setdefault("backend", self._backend)
+        return parmonc(self._realization, self._nrow, self._ncol,
+                       workdir=self._workdir, **merged)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the PARMONC reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+user code can catch the whole family with a single ``except`` clause.
+Warnings derive from :class:`ReproWarning`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "ResumeError",
+    "BackendError",
+    "RealizationError",
+    "ReproWarning",
+    "PeriodWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A run or generator was configured with invalid parameters.
+
+    Raised, for example, when ``maxsv`` is not positive, when leap
+    exponents are not strictly decreasing, or when a resumed run reuses
+    the previous session's ``seqnum`` (forbidden by PARMONC section 3.2).
+    """
+
+
+class CapacityError(ReproError, ValueError):
+    """A stream index exceeds the capacity of the subsequence hierarchy.
+
+    The default PARMONC hierarchy supports 2**10 experiments, 2**17
+    processors per experiment and 2**55 realizations per processor;
+    addressing beyond those bounds would alias another stream.
+    """
+
+
+class ResumeError(ReproError, RuntimeError):
+    """Resuming a previous simulation failed.
+
+    Raised when ``res=1`` is requested but no previous results exist, or
+    when the stored results are incompatible with the new run (different
+    matrix shape, corrupted save-point, mismatched generator parameters).
+    """
+
+
+class BackendError(ReproError, RuntimeError):
+    """A runtime backend failed to start, communicate or shut down."""
+
+
+class RealizationError(ReproError, RuntimeError):
+    """The user-supplied realization routine raised or misbehaved.
+
+    Wraps the original exception (available as ``__cause__``) together
+    with the stream coordinates at which the failure occurred so that
+    the offending realization can be replayed deterministically.
+    """
+
+    def __init__(self, message: str, *, experiment: int | None = None,
+                 processor: int | None = None,
+                 realization: int | None = None) -> None:
+        super().__init__(message)
+        self.experiment = experiment
+        self.processor = processor
+        self.realization = realization
+
+
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by :mod:`repro`."""
+
+
+class PeriodWarning(ReproWarning):
+    """A generator consumed more of its subsequence than is safe.
+
+    PARMONC recommends using only the first half of the generator period
+    (the first 2**125 numbers of the 2**126 period); the same rule is
+    applied per leaped subsequence.
+    """

@@ -1,0 +1,110 @@
+"""The Halton low-discrepancy sequence.
+
+The ``i``-th Halton point in dimension ``d`` is the vector of radical
+inverses of ``i`` in the first ``d`` prime bases.  Implemented from
+scratch (van der Corput digit reversal), with the index offset
+starting at 1 to avoid the all-zeros point.
+
+Raw Halton points are deterministic; randomized estimation uses a
+Cranley–Patterson shift (see :mod:`repro.qmc.rqmc`), which preserves
+the low discrepancy while making each shifted batch an unbiased
+estimator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PRIMES", "radical_inverse", "halton_points",
+           "HaltonSequence"]
+
+#: The first 32 primes — Halton bases for up to 32 dimensions.
+PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+          59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+          127, 131)
+
+
+def radical_inverse(index: int, base: int) -> float:
+    """Reverse the digits of ``index`` in ``base`` about the point.
+
+    ``radical_inverse(6, 2)`` reverses binary ``110`` to ``0.011`` =
+    0.375.
+    """
+    if index < 0:
+        raise ConfigurationError(f"index must be >= 0, got {index}")
+    if base < 2:
+        raise ConfigurationError(f"base must be >= 2, got {base}")
+    result = 0.0
+    scale = 1.0 / base
+    while index > 0:
+        index, digit = divmod(index, base)
+        result += digit * scale
+        scale /= base
+    return result
+
+
+def halton_points(n: int, dim: int, start: int = 1) -> np.ndarray:
+    """The first ``n`` Halton points in ``dim`` dimensions.
+
+    Args:
+        n: Number of points.
+        dim: Dimension; at most ``len(PRIMES)``.
+        start: Index of the first point (default 1, skipping the
+            origin).
+
+    Returns:
+        An ``(n, dim)`` float64 array with entries in [0, 1).
+    """
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if not 1 <= dim <= len(PRIMES):
+        raise ConfigurationError(
+            f"dimension must be in [1, {len(PRIMES)}], got {dim}")
+    if start < 0:
+        raise ConfigurationError(f"start must be >= 0, got {start}")
+    points = np.empty((n, dim), dtype=np.float64)
+    for column, base in enumerate(PRIMES[:dim]):
+        for row in range(n):
+            points[row, column] = radical_inverse(start + row, base)
+    return points
+
+
+class HaltonSequence:
+    """A stateful Halton point stream.
+
+    Args:
+        dim: Dimension (up to 32).
+        start: First index (default 1).
+
+    Example:
+        >>> seq = HaltonSequence(2)
+        >>> seq.next_points(2).tolist()
+        [[0.5, 0.3333333333333333], [0.25, 0.6666666666666666]]
+    """
+
+    def __init__(self, dim: int, start: int = 1) -> None:
+        if not 1 <= dim <= len(PRIMES):
+            raise ConfigurationError(
+                f"dimension must be in [1, {len(PRIMES)}], got {dim}")
+        if start < 0:
+            raise ConfigurationError(f"start must be >= 0, got {start}")
+        self._dim = dim
+        self._next = start
+
+    @property
+    def dim(self) -> int:
+        """Point dimension."""
+        return self._dim
+
+    @property
+    def next_index(self) -> int:
+        """Index of the next emitted point."""
+        return self._next
+
+    def next_points(self, n: int) -> np.ndarray:
+        """Emit the next ``n`` points of the sequence."""
+        points = halton_points(n, self._dim, start=self._next)
+        self._next += n
+        return points

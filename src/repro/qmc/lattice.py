@@ -1,0 +1,97 @@
+"""Rank-1 lattice rules.
+
+A rank-1 lattice with ``n`` points and generator vector ``z`` is
+
+    x_i = (i * z / n) mod 1,    i = 0 .. n-1.
+
+For periodic smooth integrands a good generator gives errors of order
+``n^-alpha`` — far beyond the Monte Carlo ``n^-1/2``.  Two
+constructions are provided:
+
+* :func:`fibonacci_lattice` — the classical optimal 2-D family,
+  ``n = F_k``, ``z = (1, F_{k-1})``;
+* :func:`korobov_generator` — a brute-force search for the Korobov
+  parameter ``a`` (``z = (1, a, a^2, ...) mod n``) minimizing the
+  ``P_2`` worst-case criterion, computed exactly via the Bernoulli
+  polynomial identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["lattice_points", "fibonacci_lattice", "korobov_generator",
+           "p2_criterion"]
+
+
+def lattice_points(n: int, generator: tuple[int, ...]) -> np.ndarray:
+    """The ``n`` points of the rank-1 lattice with the given generator."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not generator:
+        raise ConfigurationError("generator vector must be non-empty")
+    z = np.asarray(generator, dtype=np.float64)
+    indices = np.arange(n, dtype=np.float64)[:, None]
+    return (indices * z[None, :] / n) % 1.0
+
+
+def fibonacci_lattice(k: int) -> tuple[int, tuple[int, int]]:
+    """The 2-D Fibonacci lattice ``(n, z) = (F_k, (1, F_{k-1}))``.
+
+    Args:
+        k: Fibonacci index, at least 3 (so n >= 2).
+
+    Returns:
+        ``(n, generator)`` ready for :func:`lattice_points`.
+    """
+    if k < 3:
+        raise ConfigurationError(f"k must be >= 3, got {k}")
+    previous, current = 1, 1
+    for _ in range(k - 2):
+        previous, current = current, previous + current
+    return current, (1, previous)
+
+
+def p2_criterion(n: int, generator: tuple[int, ...]) -> float:
+    """The ``P_2`` figure of demerit of a lattice rule (lower is better).
+
+    ``P_2 = -1 + (1/n) sum_i prod_d (1 + 2 pi^2 B_2({x_id}))`` with
+    ``B_2(x) = x^2 - x + 1/6`` — the exact worst-case squared error
+    over the unit ball of a dominating mixed-smoothness space.
+    """
+    points = lattice_points(n, generator)
+    bernoulli = points * points - points + 1.0 / 6.0
+    weights = 1.0 + 2.0 * np.pi ** 2 * bernoulli
+    return float(np.mean(np.prod(weights, axis=1)) - 1.0)
+
+
+def korobov_generator(n: int, dim: int,
+                      max_candidates: int | None = None
+                      ) -> tuple[int, ...]:
+    """Search the Korobov family for the best ``a`` under ``P_2``.
+
+    The Korobov generator is ``z = (1, a, a^2 mod n, ...)``; candidates
+    ``a`` coprime-ish to ``n`` are scanned exhaustively (or the first
+    ``max_candidates``) and the minimizer returned.  O(candidates * n *
+    dim) — fine for the ``n <= 4096`` the benches use.
+    """
+    if n < 3:
+        raise ConfigurationError(f"n must be >= 3, got {n}")
+    if dim < 1:
+        raise ConfigurationError(f"dim must be >= 1, got {dim}")
+    best_a = 1
+    best_value = float("inf")
+    candidates = range(2, n // 2 + 1)
+    if max_candidates is not None:
+        candidates = list(candidates)[:max_candidates]
+    for a in candidates:
+        if np.gcd(a, n) != 1:
+            continue
+        generator = tuple(pow(a, power, n) for power in range(dim))
+        value = p2_criterion(n, generator)
+        if value < best_value:
+            best_value = value
+            best_a = a
+    return tuple(pow(best_a, power, n) for power in range(dim))

@@ -1,0 +1,112 @@
+"""The PARMONC parallel random number generator.
+
+Two interfaces are offered:
+
+* An object interface — :class:`Lcg128`, :class:`VectorLcg128` and the
+  :class:`StreamTree` hierarchy — which is what the runtime uses.
+* The paper-faithful procedural interface: :func:`initialize_rnd128`
+  selects a subsequence (normally done for you by ``parmonc``) and
+  :func:`rnd128` returns the next base random number, exactly like the
+  argument-less FORTRAN/C function of section 3.3.
+
+The procedural interface keeps one generator per *caller context*; inside
+a PARMONC run each worker process initializes it with its own processor
+and realization coordinates, so user realization code can simply call
+``rnd128()``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128, state_to_unit
+from repro.rng.multiplier import (
+    BASE_MULTIPLIER,
+    DEFAULT_LEAPS,
+    MODULUS,
+    MODULUS_BITS,
+    PERIOD,
+    RECOMMENDED_LIMIT,
+    LeapSet,
+    jump_multiplier,
+    jump_multiplier_pow2,
+)
+from repro.rng.streams import (
+    ExperimentStream,
+    ProcessorStream,
+    StreamCoordinates,
+    StreamTree,
+)
+from repro.rng.vectorized import VectorLcg128, generate_block
+
+__all__ = [
+    "Lcg128",
+    "VectorLcg128",
+    "StreamTree",
+    "StreamCoordinates",
+    "ExperimentStream",
+    "ProcessorStream",
+    "LeapSet",
+    "DEFAULT_LEAPS",
+    "BASE_MULTIPLIER",
+    "MODULUS",
+    "MODULUS_BITS",
+    "PERIOD",
+    "RECOMMENDED_LIMIT",
+    "jump_multiplier",
+    "jump_multiplier_pow2",
+    "generate_block",
+    "state_to_unit",
+    "rnd128",
+    "initialize_rnd128",
+    "install_rnd128",
+    "current_rnd128",
+]
+
+# The process-wide generator behind the procedural rnd128() API.  Each
+# worker process of a parallel run re-initializes it with its own stream
+# coordinates, so there is no cross-process sharing to worry about.
+_GLOBAL_RNG: Lcg128 = Lcg128()
+
+
+def initialize_rnd128(experiment: int = 0, processor: int = 0,
+                      realization: int = 0,
+                      leaps: LeapSet = DEFAULT_LEAPS,
+                      tree: StreamTree | None = None) -> Lcg128:
+    """Point the global :func:`rnd128` at a hierarchy subsequence.
+
+    Inside a ``parmonc`` run this is called for the user automatically
+    before every realization; call it yourself only when using
+    :func:`rnd128` standalone.
+
+    Returns:
+        The newly installed generator (also reachable via
+        :func:`current_rnd128`).
+    """
+    global _GLOBAL_RNG
+    if tree is None:
+        tree = StreamTree(leaps)
+    _GLOBAL_RNG = tree.rng(experiment, processor, realization)
+    return _GLOBAL_RNG
+
+
+def install_rnd128(generator: Lcg128) -> None:
+    """Install an existing generator behind the procedural API."""
+    global _GLOBAL_RNG
+    if not isinstance(generator, Lcg128):
+        raise ConfigurationError(
+            f"expected an Lcg128 instance, got {type(generator).__name__}")
+    _GLOBAL_RNG = generator
+
+
+def rnd128() -> float:
+    """Return the next base random number from the active subsequence.
+
+    The Python counterpart of the paper's ``a = rnd128();`` — uniform on
+    (0, 1), no arguments, stream selection handled externally.
+    """
+    return _GLOBAL_RNG.random()
+
+
+def current_rnd128() -> Lcg128:
+    """Return the generator currently backing :func:`rnd128`."""
+    return _GLOBAL_RNG

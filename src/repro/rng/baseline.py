@@ -1,0 +1,251 @@
+"""Baseline generators the paper positions ``rnd128`` against.
+
+Section 2.2 motivates the 128-bit generator by the inadequacy of a
+"well known RNG with special parameters r = 40 and A = 5**17" whose
+period ``2**38 ≈ 2.75e11`` can be exhausted by a *single* realization.
+This module implements that generator, a 64-bit sibling, the classic
+MINSTD generator, and von Neumann's middle-square method (a historical
+generator the statistical battery should reject), so the quality and
+period-exhaustion benchmarks have concrete comparators.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "SmallLcg",
+    "legacy40",
+    "lcg64",
+    "MinStd",
+    "MiddleSquare",
+]
+
+
+class SmallLcg:
+    """Multiplicative congruential generator modulo ``2**r`` for small r.
+
+    Same recurrence family as the 128-bit core (paper formula (6)) but
+    parameterized, so period-exhaustion experiments can use generators
+    whose orbit actually fits in a benchmark run.
+
+    Args:
+        modulus_bits: Word size ``r``; period is ``2**(r-2)``.
+        multiplier: Odd multiplier ``A``.
+        state: Odd initial state ``u_0``.
+    """
+
+    __slots__ = ("_state", "_multiplier", "_mask", "_bits", "_count")
+
+    def __init__(self, modulus_bits: int, multiplier: int,
+                 state: int = 1) -> None:
+        if modulus_bits < 3:
+            raise ConfigurationError(
+                f"modulus must have at least 3 bits, got {modulus_bits}")
+        if multiplier % 2 == 0 or state % 2 == 0:
+            raise ConfigurationError("multiplier and state must be odd")
+        self._bits = modulus_bits
+        self._mask = (1 << modulus_bits) - 1
+        self._multiplier = multiplier & self._mask
+        self._state = state & self._mask
+        self._count = 0
+
+    @property
+    def period(self) -> int:
+        """Orbit length ``2**(r-2)`` of the generator."""
+        return 1 << (self._bits - 2)
+
+    @property
+    def state(self) -> int:
+        """Current state ``u_k``."""
+        return self._state
+
+    @property
+    def multiplier(self) -> int:
+        """The multiplier ``A``."""
+        return self._multiplier
+
+    @property
+    def modulus_bits(self) -> int:
+        """Word size ``r``."""
+        return self._bits
+
+    @property
+    def count(self) -> int:
+        """Number of draws taken so far."""
+        return self._count
+
+    @property
+    def wrapped(self) -> bool:
+        """Whether the stream has consumed at least one full period."""
+        return self._count >= self.period
+
+    def next_raw(self) -> int:
+        """Advance once and return the new state."""
+        self._state = (self._state * self._multiplier) & self._mask
+        self._count += 1
+        return self._state
+
+    def random(self) -> float:
+        """Return the next value of ``u_k * 2**-r`` as a double in (0, 1)."""
+        raw = self.next_raw()
+        value = raw * 2.0 ** -self._bits
+        if value == 0.0:
+            return 2.0 ** -self._bits
+        return value
+
+    def block(self, size: int) -> np.ndarray:
+        """Return the next ``size`` draws as a float64 array."""
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.random()
+        return out
+
+    def jumped(self, steps: int) -> "SmallLcg":
+        """Return a clone advanced ``steps`` draws ahead."""
+        if steps < 0:
+            raise ConfigurationError(f"steps must be >= 0, got {steps}")
+        head = (self._state
+                * pow(self._multiplier, steps, self._mask + 1)) & self._mask
+        return SmallLcg(self._bits, self._multiplier, head)
+
+    def __iter__(self) -> Iterator[float]:
+        while True:
+            yield self.random()
+
+    def __repr__(self) -> str:
+        return (f"SmallLcg(bits={self._bits}, "
+                f"multiplier={self._multiplier}, count={self._count})")
+
+
+def legacy40(state: int = 1) -> SmallLcg:
+    """The paper's insufficient baseline: ``r = 40``, ``A = 5**17``.
+
+    Period ``2**38 ≈ 2.75e11`` — small enough that a single heavy
+    realization can consume it entirely (section 2.2).
+    """
+    return SmallLcg(40, pow(5, 17, 1 << 40), state)
+
+
+def lcg64(state: int = 1) -> SmallLcg:
+    """A 64-bit member of the same family: ``r = 64``, ``A = 5**19``.
+
+    Period ``2**62``; adequate for serial work, still far short of the
+    128-bit generator used by PARMONC.
+    """
+    return SmallLcg(64, pow(5, 19, 1 << 64), state)
+
+
+class MinStd:
+    """Park–Miller MINSTD: ``x_{k+1} = 16807 x_k mod (2**31 - 1)``.
+
+    A prime-modulus baseline with period ``2**31 - 2``; included so the
+    quality battery compares the power-of-two family against the other
+    classic LCG family.
+    """
+
+    _MODULUS = (1 << 31) - 1
+    _MULTIPLIER = 16807
+
+    __slots__ = ("_state", "_count")
+
+    def __init__(self, state: int = 1) -> None:
+        state %= self._MODULUS
+        if state == 0:
+            raise ConfigurationError("MINSTD state must be nonzero mod 2**31-1")
+        self._state = state
+        self._count = 0
+
+    @property
+    def period(self) -> int:
+        """Orbit length ``2**31 - 2``."""
+        return self._MODULUS - 1
+
+    @property
+    def state(self) -> int:
+        """Current state."""
+        return self._state
+
+    @property
+    def count(self) -> int:
+        """Number of draws taken so far."""
+        return self._count
+
+    def next_raw(self) -> int:
+        """Advance once and return the new state."""
+        self._state = (self._state * self._MULTIPLIER) % self._MODULUS
+        self._count += 1
+        return self._state
+
+    def random(self) -> float:
+        """Return the next value in (0, 1)."""
+        return self.next_raw() / self._MODULUS
+
+    def block(self, size: int) -> np.ndarray:
+        """Return the next ``size`` draws as a float64 array."""
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.random()
+        return out
+
+    def __repr__(self) -> str:
+        return f"MinStd(state={self._state}, count={self._count})"
+
+
+class MiddleSquare:
+    """Von Neumann's middle-square method — a deliberately bad generator.
+
+    Kept as a negative control: a statistical battery that fails to
+    reject middle-square (which collapses into short cycles and zero
+    absorption) would be too weak to certify anything.
+    """
+
+    __slots__ = ("_state", "_digits", "_count")
+
+    def __init__(self, state: int = 675248, digits: int = 6) -> None:
+        if digits < 2 or digits % 2 != 0:
+            raise ConfigurationError(
+                f"digits must be an even integer >= 2, got {digits}")
+        if not 0 <= state < 10 ** digits:
+            raise ConfigurationError(
+                f"state must have at most {digits} digits, got {state}")
+        self._state = state
+        self._digits = digits
+        self._count = 0
+
+    @property
+    def state(self) -> int:
+        """Current state."""
+        return self._state
+
+    @property
+    def count(self) -> int:
+        """Number of draws taken so far."""
+        return self._count
+
+    def next_raw(self) -> int:
+        """Advance once and return the new state."""
+        squared = self._state * self._state
+        # Take the middle `digits` digits of the 2*digits-digit square.
+        shift = 10 ** (self._digits // 2)
+        self._state = (squared // shift) % (10 ** self._digits)
+        self._count += 1
+        return self._state
+
+    def random(self) -> float:
+        """Return the next value in [0, 1) — zeros included, by design."""
+        return self.next_raw() / 10 ** self._digits
+
+    def block(self, size: int) -> np.ndarray:
+        """Return the next ``size`` draws as a float64 array."""
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.random()
+        return out
+
+    def __repr__(self) -> str:
+        return f"MiddleSquare(state={self._state}, digits={self._digits})"

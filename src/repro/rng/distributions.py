@@ -1,0 +1,150 @@
+"""Transformations of base random numbers into common distributions.
+
+Monte Carlo estimators are functions of base uniforms (paper formula
+(2)): ``zeta = zeta(alpha_1, ..., alpha_k)``.  This module collects the
+standard transformations used by the bundled applications, in two
+flavours: scalar functions drawing from any generator exposing
+``random()`` (such as :class:`~repro.rng.lcg128.Lcg128`), and vectorized
+functions transforming pre-drawn uniform arrays.
+
+All transformations are deterministic functions of the consumed
+uniforms, so a realization simulated from a given stream is exactly
+reproducible — the property PARMONC's realization subsequences rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "UniformSource",
+    "uniform",
+    "normal_pair",
+    "normal",
+    "exponential",
+    "bernoulli",
+    "poisson",
+    "discrete",
+    "normals_from_uniforms",
+    "exponentials_from_uniforms",
+]
+
+
+class UniformSource(Protocol):
+    """Anything that yields base random numbers via ``random()``."""
+
+    def random(self) -> float:
+        """Return the next uniform value on (0, 1)."""
+        ...
+
+
+def uniform(rng: UniformSource, low: float = 0.0, high: float = 1.0) -> float:
+    """Return a uniform draw on ``[low, high)``."""
+    if not high > low:
+        raise ConfigurationError(f"need high > low, got [{low}, {high})")
+    return low + (high - low) * rng.random()
+
+
+def normal_pair(rng: UniformSource) -> tuple[float, float]:
+    """Return two independent standard normals via Box–Muller.
+
+    Consumes exactly two base random numbers, which keeps the uniform
+    budget of a realization predictable (unlike rejection methods).
+    """
+    u1 = rng.random()
+    u2 = rng.random()
+    radius = math.sqrt(-2.0 * math.log(u1))
+    angle = 2.0 * math.pi * u2
+    return radius * math.cos(angle), radius * math.sin(angle)
+
+
+def normal(rng: UniformSource, mean: float = 0.0, stddev: float = 1.0) -> float:
+    """Return one normal draw; consumes two base random numbers.
+
+    The second Box–Muller variate is intentionally discarded rather than
+    cached: caching would make the uniform consumption of a realization
+    depend on call history, breaking replayability of substreams.
+    """
+    if stddev < 0.0:
+        raise ConfigurationError(f"stddev must be >= 0, got {stddev}")
+    value, _ = normal_pair(rng)
+    return mean + stddev * value
+
+
+def exponential(rng: UniformSource, rate: float = 1.0) -> float:
+    """Return an exponential draw with the given rate via inversion."""
+    if rate <= 0.0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    return -math.log(rng.random()) / rate
+
+
+def bernoulli(rng: UniformSource, probability: float) -> bool:
+    """Return True with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(
+            f"probability must be in [0, 1], got {probability}")
+    return rng.random() < probability
+
+
+def poisson(rng: UniformSource, mean: float) -> int:
+    """Return a Poisson draw via Knuth's product method.
+
+    Suitable for the moderate means used by the bundled applications;
+    consumes a random number of uniforms (on average ``mean + 1``).
+    """
+    if mean < 0.0:
+        raise ConfigurationError(f"mean must be >= 0, got {mean}")
+    if mean == 0.0:
+        return 0
+    threshold = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > threshold:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def discrete(rng: UniformSource, weights: Sequence[float]) -> int:
+    """Return an index drawn with probability proportional to ``weights``."""
+    if not weights:
+        raise ConfigurationError("weights must be non-empty")
+    total = float(sum(weights))
+    if total <= 0.0 or any(w < 0.0 for w in weights):
+        raise ConfigurationError(
+            "weights must be non-negative with a positive sum")
+    target = rng.random() * total
+    cumulative = 0.0
+    for index, weight in enumerate(weights):
+        cumulative += weight
+        if target < cumulative:
+            return index
+    return len(weights) - 1  # guard against rounding at the top end
+
+
+def normals_from_uniforms(u1: np.ndarray, u2: np.ndarray) -> np.ndarray:
+    """Vectorized Box–Muller: map two uniform arrays to one normal array.
+
+    Matches the scalar :func:`normal` convention (cosine branch only), so
+    a vectorized realization consumes uniforms identically to its scalar
+    twin.
+    """
+    u1 = np.asarray(u1, dtype=np.float64)
+    u2 = np.asarray(u2, dtype=np.float64)
+    if u1.shape != u2.shape:
+        raise ConfigurationError(
+            f"uniform arrays must have equal shapes, "
+            f"got {u1.shape} and {u2.shape}")
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)
+
+
+def exponentials_from_uniforms(u: np.ndarray, rate: float = 1.0) -> np.ndarray:
+    """Vectorized inversion sampling of the exponential distribution."""
+    if rate <= 0.0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    return -np.log(np.asarray(u, dtype=np.float64)) / rate

@@ -1,0 +1,233 @@
+"""The 128-bit multiplicative congruential generator behind ``rnd128``.
+
+This module implements the scalar reference generator.  Exact Python
+integers stand in for the 64-bit integer arithmetic of the original
+FORTRAN implementation; the produced double-precision outputs are the
+same.  A numpy-vectorized, bit-identical block generator lives in
+:mod:`repro.rng.vectorized`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, PeriodWarning
+from repro.rng.multiplier import (
+    BASE_MULTIPLIER,
+    MODULUS_BITS,
+    RECOMMENDED_LIMIT,
+    STATE_MASK,
+    jump_multiplier,
+)
+
+__all__ = ["Lcg128", "TOP_SHIFT", "state_to_unit"]
+
+#: Number of low bits discarded when converting a 128-bit state to a
+#: 53-bit double mantissa: ``128 - 53``.
+TOP_SHIFT = MODULUS_BITS - 53
+
+#: Scale factor ``2**-53`` applied to the top 53 state bits.
+_UNIT_SCALE = 2.0 ** -53
+
+#: Smallest value ever returned; substituted when the top 53 bits are zero
+#: so that outputs stay inside the open interval (0, 1).
+_MIN_UNIT = 2.0 ** -53
+
+
+def state_to_unit(state: int) -> float:
+    """Map a 128-bit generator state to a double in the open interval (0, 1).
+
+    The paper defines ``alpha_k = u_k * 2**-128``; a double keeps only the
+    top 53 bits of that ratio, so we use them directly.  States whose top
+    53 bits are all zero (probability ``2**-53`` per draw) are clamped to
+    ``2**-53`` to honour the open-interval contract of base random numbers.
+    """
+    value = (state >> TOP_SHIFT) * _UNIT_SCALE
+    if value == 0.0:
+        return _MIN_UNIT
+    return value
+
+
+class Lcg128:
+    """Multiplicative congruential generator modulo ``2**128``.
+
+    Implements paper formula (6): ``u_{k+1} = u_k * A (mod 2**128)`` with
+    ``A = 5**101 (mod 2**128)`` by default and ``u_0 = 1``.  The period is
+    ``2**126`` and only the first half is recommended; :meth:`random`
+    emits a single :class:`~repro.exceptions.PeriodWarning` if a stream
+    ever crosses that boundary.
+
+    The generator is deliberately tiny and explicit: state, multiplier
+    and a draw counter.  Stream placement (experiments / processors /
+    realizations) is the job of :mod:`repro.rng.streams`, which builds
+    instances of this class positioned at the right point of the general
+    sequence.
+
+    Args:
+        state: Initial state ``u_0``; must be odd (even states fall out
+            of the maximal-period orbit).  Defaults to 1, the paper's
+            ``u_0``.
+        multiplier: The one-step multiplier ``A``; must be odd.
+
+    Example:
+        >>> gen = Lcg128()
+        >>> 0.0 < gen.random() < 1.0
+        True
+    """
+
+    __slots__ = ("_state", "_multiplier", "_count", "_period_warned")
+
+    def __init__(self, state: int = 1,
+                 multiplier: int = BASE_MULTIPLIER) -> None:
+        if not isinstance(state, int) or not isinstance(multiplier, int):
+            raise ConfigurationError("state and multiplier must be integers")
+        state &= STATE_MASK
+        if state % 2 == 0:
+            raise ConfigurationError(
+                f"initial state must be odd to stay on the maximal-period "
+                f"orbit, got {state}")
+        if multiplier % 2 == 0:
+            raise ConfigurationError(
+                f"multiplier must be odd, got an even value")
+        self._state = state
+        self._multiplier = multiplier & STATE_MASK
+        self._count = 0
+        self._period_warned = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def state(self) -> int:
+        """Current 128-bit state ``u_k`` (the *next* output's source)."""
+        return self._state
+
+    @property
+    def multiplier(self) -> int:
+        """The one-step multiplier ``A``."""
+        return self._multiplier
+
+    @property
+    def count(self) -> int:
+        """Number of draws taken from this generator instance."""
+        return self._count
+
+    def __repr__(self) -> str:
+        return (f"Lcg128(state={self._state:#034x}, "
+                f"count={self._count})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lcg128):
+            return NotImplemented
+        return (self._state == other._state
+                and self._multiplier == other._multiplier)
+
+    def __hash__(self) -> int:
+        return hash((self._state, self._multiplier))
+
+    # ------------------------------------------------------------------
+    # Drawing
+
+    def next_raw(self) -> int:
+        """Advance once and return the new 128-bit state ``u_{k+1}``."""
+        self._state = (self._state * self._multiplier) & STATE_MASK
+        self._count += 1
+        if self._count == RECOMMENDED_LIMIT and not self._period_warned:
+            self._period_warned = True
+            warnings.warn(
+                "generator consumed the recommended first half of its "
+                "period (2**125 draws); statistical quality beyond this "
+                "point is not guaranteed", PeriodWarning, stacklevel=2)
+        return self._state
+
+    def random(self) -> float:
+        """Return the next base random number, uniform on (0, 1).
+
+        This is the Python counterpart of the paper's ``rnd128()``.
+        """
+        return state_to_unit(self.next_raw())
+
+    def block(self, size: int) -> np.ndarray:
+        """Return the next ``size`` base random numbers as a float64 array.
+
+        Semantically identical to calling :meth:`random` ``size`` times.
+        For large blocks prefer :class:`repro.rng.vectorized.VectorLcg128`,
+        which produces the same numbers using vectorized limb arithmetic.
+        """
+        if size < 0:
+            raise ConfigurationError(f"block size must be >= 0, got {size}")
+        out = np.empty(size, dtype=np.float64)
+        for i in range(size):
+            out[i] = self.random()
+        return out
+
+    def __iter__(self) -> Iterator[float]:
+        """Iterate over base random numbers indefinitely."""
+        while True:
+            yield self.random()
+
+    # ------------------------------------------------------------------
+    # Stream placement
+
+    def jump(self, steps: int) -> None:
+        """Advance the stream by ``steps`` draws in O(log steps) time.
+
+        Uses the leap identity ``u_{k+n} = u_k * A**n (mod 2**128)``
+        (paper formula (8)).  The draw counter advances by ``steps``.
+        """
+        if steps < 0:
+            raise ConfigurationError(
+                f"cannot jump backwards, got steps={steps}")
+        self._state = (self._state
+                       * jump_multiplier(steps, self._multiplier)) & STATE_MASK
+        self._count += steps
+
+    def jumped(self, steps: int) -> "Lcg128":
+        """Return a new generator ``steps`` draws ahead of this one.
+
+        The receiver is not modified; the clone starts with a zero draw
+        counter, which makes it suitable as the head of a subsequence.
+        """
+        clone = Lcg128(
+            (self._state * jump_multiplier(steps, self._multiplier))
+            & STATE_MASK,
+            self._multiplier)
+        return clone
+
+    def spawn(self, index: int, leap_multiplier: int) -> "Lcg128":
+        """Return the head of the ``index``-th subsequence under this stream.
+
+        ``leap_multiplier`` must be ``A(n)`` for the desired leap length
+        ``n``; the new stream starts ``index * n`` draws ahead, i.e. at
+        state ``u * A(n)**index``.
+        """
+        if index < 0:
+            raise ConfigurationError(
+                f"subsequence index must be >= 0, got {index}")
+        head = (self._state * pow(leap_multiplier, index,
+                                  STATE_MASK + 1)) & STATE_MASK
+        return Lcg128(head, self._multiplier)
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    def getstate(self) -> tuple[int, int, int]:
+        """Return ``(state, multiplier, count)`` for checkpointing."""
+        return (self._state, self._multiplier, self._count)
+
+    def setstate(self, saved: tuple[int, int, int]) -> None:
+        """Restore a checkpoint produced by :meth:`getstate`."""
+        state, multiplier, count = saved
+        if state % 2 == 0 or multiplier % 2 == 0:
+            raise ConfigurationError(
+                "checkpoint contains an even state or multiplier")
+        if count < 0:
+            raise ConfigurationError(
+                f"checkpoint draw count must be >= 0, got {count}")
+        self._state = state & STATE_MASK
+        self._multiplier = multiplier & STATE_MASK
+        self._count = count
+        self._period_warned = count >= RECOMMENDED_LIMIT

@@ -1,0 +1,228 @@
+"""The PARMONC hierarchy of embedded subsequences.
+
+Section 2.4 of the paper divides the general sequence ``{alpha_k}`` into
+nested subsequences::
+
+    general sequence        superset of  "experiments"  subsequences
+    "experiments"  subseq.  superset of  "processors"   subsequences
+    "processors"   subseq.  superset of  "realizations" subsequences
+
+A stream is addressed by coordinates ``(experiment, processor,
+realization)``; its head state is
+
+    u = A(n_e)**experiment * A(n_p)**processor * A(n_r)**realization
+        (mod 2**128)
+
+starting from ``u_0 = 1``.  PARMONC assigns the experiment index from the
+user's ``seqnum`` argument, the processor index from the MPI rank, and
+the realization index from the per-processor realization counter; this
+module is the single place where that arithmetic lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.rng.lcg128 import Lcg128
+from repro.rng.multiplier import (
+    BASE_MULTIPLIER,
+    DEFAULT_LEAPS,
+    LeapSet,
+    MODULUS,
+    STATE_MASK,
+)
+
+__all__ = ["StreamCoordinates", "StreamTree", "ExperimentStream",
+           "ProcessorStream"]
+
+
+@dataclass(frozen=True, order=True)
+class StreamCoordinates:
+    """Address of a realization stream inside the subsequence hierarchy."""
+
+    experiment: int
+    processor: int
+    realization: int
+
+    def __post_init__(self) -> None:
+        for name in ("experiment", "processor", "realization"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ConfigurationError(
+                    f"{name} index must be a non-negative integer, "
+                    f"got {value!r}")
+
+
+class StreamTree:
+    """Factory of independent generator streams for a leap hierarchy.
+
+    Args:
+        leaps: The leap exponents; defaults to the PARMONC defaults
+            (``n_e = 2**115``, ``n_p = 2**98``, ``n_r = 2**43``).
+        base_multiplier: One-step multiplier ``A`` of the underlying
+            generator.
+        strict: When true (the default), stream indices are checked
+            against the hierarchy capacities and out-of-range indices
+            raise :class:`~repro.exceptions.CapacityError`.  Disabling
+            the check reproduces the raw modular arithmetic, in which
+            oversized indices silently alias other streams.
+
+    Example:
+        >>> tree = StreamTree()
+        >>> rng = tree.rng(experiment=2, processor=0, realization=0)
+        >>> 0.0 < rng.random() < 1.0
+        True
+    """
+
+    def __init__(self, leaps: LeapSet = DEFAULT_LEAPS,
+                 base_multiplier: int = BASE_MULTIPLIER,
+                 strict: bool = True) -> None:
+        if base_multiplier % 2 == 0:
+            raise ConfigurationError("base multiplier must be odd")
+        self._leaps = leaps
+        self._base = base_multiplier & STATE_MASK
+        self._strict = strict
+        jump_e, jump_p, jump_r = leaps.multipliers(self._base)
+        self._jump_experiment = jump_e
+        self._jump_processor = jump_p
+        self._jump_realization = jump_r
+
+    # ------------------------------------------------------------------
+
+    @property
+    def leaps(self) -> LeapSet:
+        """The leap exponents of this hierarchy."""
+        return self._leaps
+
+    @property
+    def base_multiplier(self) -> int:
+        """The one-step multiplier of the underlying generator."""
+        return self._base
+
+    @property
+    def jump_multipliers(self) -> tuple[int, int, int]:
+        """``(A(n_e), A(n_p), A(n_r))`` — what ``genparam`` prints."""
+        return (self._jump_experiment, self._jump_processor,
+                self._jump_realization)
+
+    def __repr__(self) -> str:
+        return (f"StreamTree(leaps=2**({self._leaps.experiment_exponent}, "
+                f"{self._leaps.processor_exponent}, "
+                f"{self._leaps.realization_exponent}))")
+
+    # ------------------------------------------------------------------
+
+    def _check(self, name: str, index: int, capacity: int) -> None:
+        if index < 0:
+            raise ConfigurationError(
+                f"{name} index must be >= 0, got {index}")
+        if self._strict and index >= capacity:
+            raise CapacityError(
+                f"{name} index {index} exceeds hierarchy capacity "
+                f"{capacity}; a larger index would alias another stream")
+
+    def head_state(self, coords: StreamCoordinates) -> int:
+        """Return the 128-bit head state for ``coords``."""
+        self._check("experiment", coords.experiment,
+                    self._leaps.experiment_capacity)
+        self._check("processor", coords.processor,
+                    self._leaps.processor_capacity)
+        self._check("realization", coords.realization,
+                    self._leaps.realization_capacity)
+        state = pow(self._jump_experiment, coords.experiment, MODULUS)
+        state = (state * pow(self._jump_processor, coords.processor,
+                             MODULUS)) % MODULUS
+        state = (state * pow(self._jump_realization, coords.realization,
+                             MODULUS)) % MODULUS
+        return state
+
+    def rng(self, experiment: int = 0, processor: int = 0,
+            realization: int = 0) -> Lcg128:
+        """Return a fresh generator at the given hierarchy coordinates."""
+        coords = StreamCoordinates(experiment, processor, realization)
+        return Lcg128(self.head_state(coords), self._base)
+
+    def experiment(self, index: int) -> "ExperimentStream":
+        """Return a handle on the ``index``-th experiment subsequence."""
+        self._check("experiment", index, self._leaps.experiment_capacity)
+        return ExperimentStream(self, index)
+
+
+class ExperimentStream:
+    """One "experiments" subsequence; spawns processor streams.
+
+    Obtained from :meth:`StreamTree.experiment`; corresponds to one value
+    of the PARMONC ``seqnum`` argument.
+    """
+
+    def __init__(self, tree: StreamTree, index: int) -> None:
+        self._tree = tree
+        self._index = index
+
+    @property
+    def index(self) -> int:
+        """The experiment (``seqnum``) index."""
+        return self._index
+
+    @property
+    def tree(self) -> StreamTree:
+        """The owning hierarchy."""
+        return self._tree
+
+    def processor(self, index: int) -> "ProcessorStream":
+        """Return a handle on the ``index``-th processor subsequence."""
+        self._tree._check("processor", index,
+                          self._tree.leaps.processor_capacity)
+        return ProcessorStream(self._tree, self._index, index)
+
+    def __repr__(self) -> str:
+        return f"ExperimentStream(index={self._index})"
+
+
+class ProcessorStream:
+    """One "processors" subsequence; spawns realization generators.
+
+    Corresponds to one MPI rank in the original library.  The
+    :meth:`realization` method is what a worker calls before simulating
+    each realization, guaranteeing that every realization consumes base
+    random numbers from its own disjoint subsequence.
+    """
+
+    def __init__(self, tree: StreamTree, experiment: int,
+                 processor: int) -> None:
+        self._tree = tree
+        self._experiment = experiment
+        self._processor = processor
+
+    @property
+    def experiment(self) -> int:
+        """The experiment index of this processor stream."""
+        return self._experiment
+
+    @property
+    def processor(self) -> int:
+        """The processor (rank) index."""
+        return self._processor
+
+    @property
+    def realization_capacity(self) -> int:
+        """How many disjoint realization streams this processor offers."""
+        return self._tree.leaps.realization_capacity
+
+    def realization(self, index: int) -> Lcg128:
+        """Return the generator for the ``index``-th realization."""
+        coords = StreamCoordinates(self._experiment, self._processor, index)
+        return Lcg128(self._tree.head_state(coords),
+                      self._tree.base_multiplier)
+
+    def realizations(self, start: int = 0):
+        """Yield ``(index, generator)`` pairs for successive realizations."""
+        index = start
+        while True:
+            yield index, self.realization(index)
+            index += 1
+
+    def __repr__(self) -> str:
+        return (f"ProcessorStream(experiment={self._experiment}, "
+                f"processor={self._processor})")

@@ -1,0 +1,51 @@
+"""Autocorrelation test at one or several lags."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.result import TestResult, check_significance
+
+__all__ = ["autocorrelation_test"]
+
+
+def autocorrelation_test(values, lag: int = 1,
+                         alpha: float = 0.01) -> TestResult:
+    """Test that the lag-``lag`` sample autocorrelation is zero.
+
+    For i.i.d. draws the sample autocorrelation ``r_lag`` is
+    asymptotically ``N(0, 1/n)``, so ``z = r_lag * sqrt(n)`` is compared
+    against the standard normal.  Catches the long-range correlations
+    produced by overlapping or wrapped substreams.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1:
+        raise ConfigurationError(
+            f"need a 1-D sample, got shape {sample.shape}")
+    if lag < 1:
+        raise ConfigurationError(f"lag must be >= 1, got {lag}")
+    if sample.size <= lag + 20:
+        raise ConfigurationError(
+            f"sample of size {sample.size} is too small for lag {lag}")
+    centered = sample - sample.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator == 0.0:
+        # Constant sample: maximal dependence, certain rejection.
+        return TestResult(
+            name=f"autocorrelation lag {lag}", statistic=float("inf"),
+            p_value=0.0, alpha=alpha, sample_size=sample.size,
+            details={"lag": lag, "r": 1.0})
+    r = float(np.dot(centered[:-lag], centered[lag:]) / denominator)
+    n_terms = sample.size - lag
+    z = r * math.sqrt(n_terms)
+    p_value = float(2.0 * stats.norm.sf(abs(z)))
+    return TestResult(
+        name=f"autocorrelation lag {lag}",
+        statistic=float(z), p_value=p_value, alpha=alpha,
+        sample_size=sample.size,
+        details={"lag": lag, "r": r})

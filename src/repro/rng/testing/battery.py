@@ -1,0 +1,111 @@
+"""Run the whole battery against a generator and render a report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.autocorrelation import autocorrelation_test
+from repro.rng.testing.birthday import (
+    birthday_spacings_test,
+    collision_test,
+    maximum_of_t_test,
+)
+from repro.rng.testing.frequency import chi_square_uniformity, ks_uniformity
+from repro.rng.testing.gap import gap_test
+from repro.rng.testing.permutation import permutation_test
+from repro.rng.testing.result import TestResult
+from repro.rng.testing.runs import runs_above_below_test, runs_up_down_test
+from repro.rng.testing.serial import serial_pairs_test
+
+__all__ = ["STANDARD_TESTS", "BatteryReport", "run_battery"]
+
+#: The default battery: name -> callable(sample, alpha) -> TestResult.
+STANDARD_TESTS: dict[str, Callable[[np.ndarray, float], TestResult]] = {
+    "chi_square": lambda s, a: chi_square_uniformity(s, bins=64, alpha=a),
+    "ks": lambda s, a: ks_uniformity(s, alpha=a),
+    "serial_pairs": lambda s, a: serial_pairs_test(s, grid=8, alpha=a),
+    "runs_above_below": lambda s, a: runs_above_below_test(s, alpha=a),
+    "runs_up_down": lambda s, a: runs_up_down_test(s, alpha=a),
+    "gap": lambda s, a: gap_test(s, alpha=a),
+    "autocorrelation_1": lambda s, a: autocorrelation_test(s, lag=1, alpha=a),
+    "autocorrelation_7": lambda s, a: autocorrelation_test(s, lag=7, alpha=a),
+    "permutation": lambda s, a: permutation_test(s, tuple_size=3, alpha=a),
+    # Space sizes scale with the sample so the expected counts stay in
+    # the regime each test's asymptotics assume.
+    "birthday": lambda s, a: birthday_spacings_test(
+        s, n_days=max(s.size, s.size ** 3 // 256), alpha=a),
+    "collision": lambda s, a: collision_test(
+        s, n_urns=1 << max(8, (16 * s.size - 1).bit_length()), alpha=a),
+    "maximum_of_t": lambda s, a: maximum_of_t_test(s, t=8, alpha=a),
+}
+
+
+@dataclass(frozen=True)
+class BatteryReport:
+    """Aggregate outcome of a battery run."""
+
+    generator_name: str
+    results: tuple[TestResult, ...]
+
+    @property
+    def n_passed(self) -> int:
+        """Number of tests not rejected."""
+        return sum(1 for r in self.results if r.passed)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of tests rejected."""
+        return len(self.results) - self.n_passed
+
+    @property
+    def all_passed(self) -> bool:
+        """True when no test rejected the sample."""
+        return self.n_failed == 0
+
+    def render(self) -> str:
+        """Return a human-readable multi-line report table."""
+        lines = [f"battery report for {self.generator_name}",
+                 "-" * 78]
+        lines.extend(str(result) for result in self.results)
+        lines.append("-" * 78)
+        lines.append(f"{self.n_passed}/{len(self.results)} tests passed")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run_battery(sample, generator_name: str = "sample",
+                alpha: float = 0.01,
+                tests: Sequence[str] | None = None) -> BatteryReport:
+    """Run the standard battery on a sample of uniforms.
+
+    Args:
+        sample: 1-D array-like of uniforms on (0, 1).  For a fair battery
+            use at least ~10**5 draws.
+        generator_name: Label for the report.
+        alpha: Per-test significance level.  With nine tests at
+            ``alpha = 0.01`` a perfect generator still fails one test in
+            roughly 9% of batteries; judge the battery as a whole.
+        tests: Optional subset of :data:`STANDARD_TESTS` keys to run.
+
+    Returns:
+        A :class:`BatteryReport`; the sample itself is consumed once and
+        shared by every test.
+    """
+    values = np.asarray(sample, dtype=np.float64)
+    if values.ndim != 1:
+        raise ConfigurationError(
+            f"battery needs a 1-D sample, got shape {values.shape}")
+    selected = tests if tests is not None else list(STANDARD_TESTS)
+    unknown = [name for name in selected if name not in STANDARD_TESTS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown test names {unknown}; available: "
+            f"{sorted(STANDARD_TESTS)}")
+    results = tuple(STANDARD_TESTS[name](values, alpha) for name in selected)
+    return BatteryReport(generator_name=generator_name, results=results)

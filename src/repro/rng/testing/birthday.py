@@ -1,0 +1,123 @@
+"""Birthday-spacings and collision tests (Knuth/Marsaglia family).
+
+Both tests look at how draws fall into a large discrete space — they
+catch lattice defects and short periods that marginal tests miss, which
+is why Marsaglia made birthday spacings a DIEHARD staple.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.result import TestResult, check_significance
+
+__all__ = ["birthday_spacings_test", "collision_test",
+           "maximum_of_t_test"]
+
+
+def birthday_spacings_test(values, n_days: int = 2 ** 24,
+                           alpha: float = 0.01) -> TestResult:
+    """Marsaglia's birthday-spacings test.
+
+    ``n`` draws are mapped to "birthdays" in ``[0, n_days)``; the number
+    of *duplicated spacings* between sorted birthdays is asymptotically
+    Poisson with mean ``lambda = n**3 / (4 * n_days)``.  The sample size
+    is chosen by the caller so that lambda is moderate (the test uses
+    the whole sample as one batch and applies a two-sided Poisson
+    p-value).
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1 or sample.size < 100:
+        raise ConfigurationError(
+            "birthday test needs a 1-D sample of at least 100 draws")
+    if n_days < sample.size:
+        raise ConfigurationError(
+            f"n_days={n_days} must be at least the sample size")
+    mean = sample.size ** 3 / (4.0 * n_days)
+    if not 0.5 <= mean <= 1000.0:
+        raise ConfigurationError(
+            f"expected duplicate-spacing count {mean:.2f} is outside "
+            f"[0.5, 1000]; adjust the sample size or n_days")
+    birthdays = np.sort(
+        np.minimum((sample * n_days).astype(np.int64), n_days - 1))
+    spacings = np.sort(np.diff(birthdays))
+    duplicates = int(np.count_nonzero(spacings[1:] == spacings[:-1]))
+    lower = float(stats.poisson.cdf(duplicates, mean))
+    upper = float(stats.poisson.sf(duplicates - 1, mean))
+    p_value = min(1.0, 2.0 * min(lower, upper))
+    return TestResult(
+        name=f"birthday spacings (m=2^{int(math.log2(n_days))})",
+        statistic=float(duplicates), p_value=p_value, alpha=alpha,
+        sample_size=sample.size,
+        details={"expected_duplicates": mean,
+                 "observed_duplicates": duplicates})
+
+
+def collision_test(values, n_urns: int = 2 ** 20,
+                   alpha: float = 0.01) -> TestResult:
+    """Knuth's collision test: balls into a sparse urn space.
+
+    Throwing ``n`` balls into ``m >> n`` urns produces approximately
+    ``n - m (1 - (1 - 1/m)**n)`` collisions in expectation; the count is
+    asymptotically normal.  Detects coarse granularity (too few distinct
+    values) and clustering.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1 or sample.size < 1000:
+        raise ConfigurationError(
+            "collision test needs a 1-D sample of at least 1000 draws")
+    if n_urns < 4 * sample.size:
+        raise ConfigurationError(
+            f"need n_urns >= 4 * sample size for the sparse regime, got "
+            f"{n_urns} urns for {sample.size} draws")
+    urns = np.minimum((sample * n_urns).astype(np.int64), n_urns - 1)
+    collisions = sample.size - np.unique(urns).size
+    # Mean and variance of the collision count in the sparse regime.
+    occupancy = 1.0 - (1.0 - 1.0 / n_urns) ** sample.size
+    mean = sample.size - n_urns * occupancy
+    variance = max(mean * (1.0 - sample.size / (2.0 * n_urns)), 1e-12)
+    z = (collisions - mean) / math.sqrt(variance)
+    p_value = float(2.0 * stats.norm.sf(abs(z)))
+    return TestResult(
+        name=f"collision test (m=2^{int(math.log2(n_urns))})",
+        statistic=float(z), p_value=p_value, alpha=alpha,
+        sample_size=sample.size,
+        details={"collisions": int(collisions),
+                 "expected_collisions": mean})
+
+
+def maximum_of_t_test(values, t: int = 8, bins: int = 32,
+                      alpha: float = 0.01) -> TestResult:
+    """Knuth's maximum-of-t test.
+
+    The maximum of ``t`` independent uniforms has CDF ``x**t``, so
+    ``max(...)**t`` is again uniform; a chi-square on its binned values
+    probes the upper tail of the joint distribution.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if t < 2:
+        raise ConfigurationError(f"t must be >= 2, got {t}")
+    n_groups = sample.size // t
+    if n_groups < bins * 5:
+        raise ConfigurationError(
+            f"sample too small: {n_groups} groups for {bins} bins")
+    maxima = sample[:n_groups * t].reshape(n_groups, t).max(axis=1)
+    transformed = maxima ** t
+    counts = np.bincount(
+        np.minimum((transformed * bins).astype(np.int64), bins - 1),
+        minlength=bins)
+    expected = n_groups / bins
+    statistic = float(np.sum((counts - expected) ** 2) / expected)
+    p_value = float(stats.chi2.sf(statistic, df=bins - 1))
+    return TestResult(
+        name=f"maximum-of-t (t={t})",
+        statistic=statistic, p_value=p_value, alpha=alpha,
+        sample_size=n_groups * t,
+        details={"groups": n_groups, "dof": bins - 1})

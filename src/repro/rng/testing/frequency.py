@@ -1,0 +1,70 @@
+"""Frequency (equidistribution) tests: chi-square and Kolmogorov–Smirnov."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.result import TestResult, check_significance
+
+__all__ = ["chi_square_uniformity", "ks_uniformity"]
+
+
+def _as_uniform_sample(values) -> np.ndarray:
+    sample = np.asarray(values, dtype=np.float64)
+    if sample.ndim != 1 or sample.size == 0:
+        raise ConfigurationError(
+            f"expected a non-empty 1-D sample, got shape {sample.shape}")
+    if np.any(sample < 0.0) or np.any(sample > 1.0):
+        raise ConfigurationError("sample values must lie in [0, 1]")
+    return sample
+
+
+def chi_square_uniformity(values, bins: int = 64,
+                          alpha: float = 0.01) -> TestResult:
+    """Chi-square test of equidistribution over ``bins`` equal cells.
+
+    Rejects when bin occupancies deviate from the uniform expectation
+    ``n / bins`` more than chance allows.  The classic first check of
+    Mikhailov–Voytishek-style RNG verification.
+    """
+    sample = _as_uniform_sample(values)
+    check_significance(alpha)
+    if bins < 2:
+        raise ConfigurationError(f"need at least 2 bins, got {bins}")
+    expected = sample.size / bins
+    if expected < 5.0:
+        raise ConfigurationError(
+            f"sample too small: expected count per bin is {expected:.2f} "
+            f"(< 5); use fewer bins or a larger sample")
+    counts = np.bincount(
+        np.minimum((sample * bins).astype(np.int64), bins - 1),
+        minlength=bins)
+    statistic = float(np.sum((counts - expected) ** 2) / expected)
+    p_value = float(stats.chi2.sf(statistic, df=bins - 1))
+    return TestResult(
+        name=f"chi-square uniformity ({bins} bins)",
+        statistic=statistic, p_value=p_value, alpha=alpha,
+        sample_size=sample.size,
+        details={"bins": bins, "dof": bins - 1,
+                 "min_count": int(counts.min()),
+                 "max_count": int(counts.max())})
+
+
+def ks_uniformity(values, alpha: float = 0.01) -> TestResult:
+    """One-sample Kolmogorov–Smirnov test against the uniform CDF."""
+    sample = _as_uniform_sample(values)
+    check_significance(alpha)
+    ordered = np.sort(sample)
+    n = ordered.size
+    grid = np.arange(1, n + 1) / n
+    d_plus = float(np.max(grid - ordered))
+    d_minus = float(np.max(ordered - (np.arange(n) / n)))
+    statistic = max(d_plus, d_minus)
+    p_value = float(stats.kstwobign.sf(statistic * np.sqrt(n)))
+    return TestResult(
+        name="Kolmogorov-Smirnov uniformity",
+        statistic=statistic, p_value=p_value, alpha=alpha,
+        sample_size=n,
+        details={"d_plus": d_plus, "d_minus": d_minus})

@@ -1,0 +1,64 @@
+"""Gap test: waiting times between visits to a sub-interval."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.result import TestResult, check_significance
+
+__all__ = ["gap_test"]
+
+
+def gap_test(values, low: float = 0.0, high: float = 0.5,
+             max_gap: int | None = None, alpha: float = 0.01) -> TestResult:
+    """Knuth's gap test for the marker interval ``[low, high)``.
+
+    The lengths of gaps between successive draws falling in the marker
+    interval are geometrically distributed with parameter
+    ``p = high - low``; observed gap-length counts are compared with a
+    chi-square statistic (gaps of length ``>= max_gap`` pooled).  When
+    ``max_gap`` is omitted, the largest value keeping every pooled class
+    at an expected count of at least five is chosen automatically.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1 or sample.size == 0:
+        raise ConfigurationError("gap test needs a non-empty 1-D sample")
+    if not 0.0 <= low < high <= 1.0:
+        raise ConfigurationError(
+            f"need 0 <= low < high <= 1, got [{low}, {high})")
+    if max_gap is not None and max_gap < 1:
+        raise ConfigurationError(f"max_gap must be >= 1, got {max_gap}")
+    p = high - low
+    in_marker = (sample >= low) & (sample < high)
+    positions = np.flatnonzero(in_marker)
+    if positions.size < 2:
+        raise ConfigurationError(
+            "sample produced fewer than two marker hits; enlarge the "
+            "sample or the marker interval")
+    gaps = np.diff(positions) - 1
+    n_gaps = gaps.size
+    if max_gap is None:
+        # Largest pooling point whose tail class still expects >= 5 hits.
+        max_gap = 1
+        while (n_gaps * (1.0 - p) ** (max_gap + 1) >= 5.0
+               and max_gap < 64):
+            max_gap += 1
+    # Gap length g has probability p * (1-p)**g; pool the tail >= max_gap.
+    probabilities = p * (1.0 - p) ** np.arange(max_gap)
+    tail = (1.0 - p) ** max_gap
+    expected = np.append(probabilities, tail) * n_gaps
+    if expected.min() < 5.0:
+        raise ConfigurationError(
+            f"expected count in some gap class is {expected.min():.2f} "
+            f"(< 5); reduce max_gap or enlarge the sample")
+    counts = np.bincount(np.minimum(gaps, max_gap), minlength=max_gap + 1)
+    statistic = float(np.sum((counts - expected) ** 2 / expected))
+    p_value = float(stats.chi2.sf(statistic, df=max_gap))
+    return TestResult(
+        name=f"gap test on [{low}, {high})",
+        statistic=statistic, p_value=p_value, alpha=alpha,
+        sample_size=sample.size,
+        details={"gaps": int(n_gaps), "max_gap": max_gap, "dof": max_gap})

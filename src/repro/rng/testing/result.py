@@ -1,0 +1,53 @@
+"""Common result type for statistical tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TestResult", "SignificanceError", "check_significance"]
+
+
+class SignificanceError(ConfigurationError):
+    """A significance level outside the open interval (0, 1) was given."""
+
+
+def check_significance(alpha: float) -> float:
+    """Validate a significance level and return it."""
+    if not 0.0 < alpha < 1.0:
+        raise SignificanceError(
+            f"significance level must be in (0, 1), got {alpha}")
+    return alpha
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test on a sample of uniforms.
+
+    Attributes:
+        name: Human-readable test name, e.g. ``"serial pairs (8x8)"``.
+        statistic: The test statistic value.
+        p_value: Two-sided (or upper-tail, as appropriate) p-value.
+        alpha: Significance level used for the verdict.
+        sample_size: Number of uniforms consumed by the test.
+        details: Free-form extras (bin counts, degrees of freedom, ...).
+    """
+
+    name: str
+    statistic: float
+    p_value: float
+    alpha: float
+    sample_size: int
+    details: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when the sample is *not* rejected at level ``alpha``."""
+        return self.p_value >= self.alpha
+
+    def __str__(self) -> str:
+        verdict = "pass" if self.passed else "FAIL"
+        return (f"{self.name:<34s} stat={self.statistic:>12.4f}  "
+                f"p={self.p_value:8.5f}  n={self.sample_size:>9d}  "
+                f"[{verdict}]")

@@ -1,0 +1,77 @@
+"""Runs tests: randomness of the *order* of draws, not their values."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.result import TestResult, check_significance
+
+__all__ = ["runs_above_below_test", "runs_up_down_test"]
+
+
+def runs_above_below_test(values, threshold: float = 0.5,
+                          alpha: float = 0.01) -> TestResult:
+    """Wald–Wolfowitz runs test about a threshold (default: the median 0.5).
+
+    Counts maximal blocks of consecutive draws on the same side of the
+    threshold and compares with the normal approximation of the run-count
+    distribution.  Detects positive or negative serial correlation.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1 or sample.size < 20:
+        raise ConfigurationError(
+            "runs test needs a 1-D sample of at least 20 values")
+    above = sample >= threshold
+    n_above = int(np.count_nonzero(above))
+    n_below = sample.size - n_above
+    if n_above == 0 or n_below == 0:
+        # Degenerate sample: every value on one side. Certain rejection.
+        return TestResult(
+            name="runs above/below", statistic=float("inf"), p_value=0.0,
+            alpha=alpha, sample_size=sample.size,
+            details={"runs": 1, "n_above": n_above, "n_below": n_below})
+    runs = 1 + int(np.count_nonzero(above[1:] != above[:-1]))
+    mean = 1.0 + 2.0 * n_above * n_below / sample.size
+    variance = (2.0 * n_above * n_below
+                * (2.0 * n_above * n_below - sample.size)
+                / (sample.size ** 2 * (sample.size - 1.0)))
+    z = (runs - mean) / math.sqrt(variance)
+    p_value = float(2.0 * stats.norm.sf(abs(z)))
+    return TestResult(
+        name="runs above/below", statistic=float(z), p_value=p_value,
+        alpha=alpha, sample_size=sample.size,
+        details={"runs": runs, "expected_runs": mean,
+                 "n_above": n_above, "n_below": n_below})
+
+
+def runs_up_down_test(values, alpha: float = 0.01) -> TestResult:
+    """Runs-up-and-down test on the sign pattern of successive differences.
+
+    For i.i.d. continuous draws the number of monotone runs is
+    asymptotically normal with mean ``(2n - 1)/3`` and variance
+    ``(16n - 29)/90``.  Sensitive to short-range monotone structure.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1 or sample.size < 20:
+        raise ConfigurationError(
+            "runs up/down test needs a 1-D sample of at least 20 values")
+    diffs = np.sign(np.diff(sample))
+    # Ties (zero differences) are vanishingly rare for genuine uniforms;
+    # fold them into "up" so the statistic remains defined.
+    diffs[diffs == 0] = 1
+    runs = 1 + int(np.count_nonzero(diffs[1:] != diffs[:-1]))
+    n = sample.size
+    mean = (2.0 * n - 1.0) / 3.0
+    variance = (16.0 * n - 29.0) / 90.0
+    z = (runs - mean) / math.sqrt(variance)
+    p_value = float(2.0 * stats.norm.sf(abs(z)))
+    return TestResult(
+        name="runs up/down", statistic=float(z), p_value=p_value,
+        alpha=alpha, sample_size=n,
+        details={"runs": runs, "expected_runs": mean})

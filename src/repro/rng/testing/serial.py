@@ -1,0 +1,46 @@
+"""Serial (pair) test of independence between consecutive draws."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing.result import TestResult, check_significance
+
+__all__ = ["serial_pairs_test"]
+
+
+def serial_pairs_test(values, grid: int = 8, alpha: float = 0.01) -> TestResult:
+    """Chi-square test on non-overlapping pairs in a ``grid x grid`` lattice.
+
+    Consecutive draws ``(alpha_{2k}, alpha_{2k+1})`` are binned into a 2-D
+    lattice; independence plus uniformity implies equal expected counts in
+    all ``grid**2`` cells.  Detects the lattice correlations that plague
+    short-period LCGs.
+    """
+    sample = np.asarray(values, dtype=np.float64)
+    check_significance(alpha)
+    if sample.ndim != 1 or sample.size < 2:
+        raise ConfigurationError(
+            f"need a 1-D sample with at least 2 values, "
+            f"got shape {sample.shape}")
+    if grid < 2:
+        raise ConfigurationError(f"grid must be >= 2, got {grid}")
+    n_pairs = sample.size // 2
+    cells = grid * grid
+    expected = n_pairs / cells
+    if expected < 5.0:
+        raise ConfigurationError(
+            f"sample too small: expected count per cell is {expected:.2f} "
+            f"(< 5); use a coarser grid or a larger sample")
+    x = np.minimum((sample[0:2 * n_pairs:2] * grid).astype(np.int64), grid - 1)
+    y = np.minimum((sample[1:2 * n_pairs:2] * grid).astype(np.int64), grid - 1)
+    counts = np.bincount(x * grid + y, minlength=cells)
+    statistic = float(np.sum((counts - expected) ** 2) / expected)
+    p_value = float(stats.chi2.sf(statistic, df=cells - 1))
+    return TestResult(
+        name=f"serial pairs ({grid}x{grid})",
+        statistic=statistic, p_value=p_value, alpha=alpha,
+        sample_size=2 * n_pairs,
+        details={"grid": grid, "dof": cells - 1, "pairs": n_pairs})

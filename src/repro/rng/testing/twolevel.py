@@ -1,0 +1,104 @@
+"""Two-level (second-order) testing across parallel substreams.
+
+The decisive test for a *parallel* generator (L'Ecuyer's methodology):
+run a first-level test independently on many substreams, then test the
+resulting p-values for uniformity.  Defects too small to reject any
+single stream show up as skewed p-value distributions; correlations
+*between* streams show up even when every stream is individually
+healthy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import ConfigurationError
+from repro.rng.streams import StreamTree
+from repro.rng.testing.frequency import chi_square_uniformity
+from repro.rng.testing.result import TestResult, check_significance
+from repro.rng.vectorized import VectorLcg128
+
+__all__ = ["two_level_test", "two_level_substream_test"]
+
+
+def two_level_test(samples, first_level: Callable[[np.ndarray], TestResult],
+                   alpha: float = 0.01) -> TestResult:
+    """Run a first-level test per sample; KS-test the p-values.
+
+    Args:
+        samples: Iterable of 1-D uniform samples (one per substream).
+        first_level: Callable mapping a sample to a
+            :class:`TestResult` (e.g. a battery test with fixed
+            parameters).
+        alpha: Significance level for the second-level KS test.
+
+    Returns:
+        A :class:`TestResult` whose statistic is the KS distance of the
+        first-level p-values from uniformity.
+    """
+    check_significance(alpha)
+    p_values = []
+    total_draws = 0
+    for sample in samples:
+        result = first_level(np.asarray(sample, dtype=np.float64))
+        p_values.append(result.p_value)
+        total_draws += result.sample_size
+    if len(p_values) < 10:
+        raise ConfigurationError(
+            f"two-level testing needs at least 10 substreams, got "
+            f"{len(p_values)}")
+    ordered = np.sort(np.asarray(p_values))
+    n = ordered.size
+    d_plus = float(np.max(np.arange(1, n + 1) / n - ordered))
+    d_minus = float(np.max(ordered - np.arange(n) / n))
+    statistic = max(d_plus, d_minus)
+    p_value = float(stats.kstwobign.sf(statistic * np.sqrt(n)))
+    return TestResult(
+        name=f"two-level KS over {n} substreams",
+        statistic=statistic, p_value=p_value, alpha=alpha,
+        sample_size=total_draws,
+        details={"substreams": n,
+                 "min_p": float(ordered[0]),
+                 "max_p": float(ordered[-1])})
+
+
+def two_level_substream_test(tree: StreamTree | None = None,
+                             experiment: int = 0,
+                             n_substreams: int = 64,
+                             draws_per_stream: int = 20_000,
+                             alpha: float = 0.01) -> TestResult:
+    """Two-level chi-square test over PARMONC processor substreams.
+
+    Draws ``draws_per_stream`` numbers from each of ``n_substreams``
+    processor substreams of one experiment and applies
+    :func:`two_level_test` with a 64-bin chi-square as the first level
+    — the parallel-quality certificate the paper's §2.2 requirements
+    call for.
+    """
+    if n_substreams < 10:
+        raise ConfigurationError(
+            f"need at least 10 substreams, got {n_substreams}")
+    if draws_per_stream < 1000:
+        raise ConfigurationError(
+            f"need at least 1000 draws per stream, got "
+            f"{draws_per_stream}")
+    resolved = tree if tree is not None else StreamTree()
+
+    def substream_samples():
+        for processor in range(n_substreams):
+            generator = VectorLcg128(
+                resolved.rng(experiment, processor, 0))
+            yield generator.uniforms(draws_per_stream)
+
+    result = two_level_test(
+        substream_samples(),
+        lambda sample: chi_square_uniformity(sample, bins=64,
+                                             alpha=alpha),
+        alpha=alpha)
+    return TestResult(
+        name=f"two-level chi-square, {n_substreams} processor substreams",
+        statistic=result.statistic, p_value=result.p_value, alpha=alpha,
+        sample_size=result.sample_size, details=result.details)

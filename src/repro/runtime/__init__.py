@@ -1,0 +1,41 @@
+"""The PARMONC runtime: configuration, backends, files and resumption."""
+
+from __future__ import annotations
+
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig, minutes
+from repro.runtime.files import DataDirectory
+from repro.runtime.messages import MomentMessage, message_bytes
+from repro.runtime.multiprocess import run_multiprocess
+from repro.runtime.result import RunResult
+from repro.runtime.resume import ResumeState, finalize_session, prepare_resume
+from repro.runtime.sequential import run_sequential
+from repro.runtime.worker import adapt_realization, run_worker
+
+__all__ = [
+    "RunConfig",
+    "minutes",
+    "RunResult",
+    "Collector",
+    "DataDirectory",
+    "MomentMessage",
+    "message_bytes",
+    "ResumeState",
+    "prepare_resume",
+    "finalize_session",
+    "adapt_realization",
+    "run_worker",
+    "run_sequential",
+    "run_multiprocess",
+    "run_simcluster",
+]
+
+
+def __getattr__(name: str):
+    # run_simcluster is imported lazily: it needs repro.cluster, which in
+    # turn uses this package's submodules — an eager import here would
+    # close an import cycle.
+    if name == "run_simcluster":
+        from repro.runtime.simcluster import run_simcluster
+        return run_simcluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

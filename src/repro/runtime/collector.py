@@ -1,0 +1,180 @@
+"""The 0-th processor's job: receive, average, save (§2.2).
+
+The collector keeps the *latest cumulative* snapshot per worker rank.
+Averaging merges the resume base with every latest snapshot — formula
+(5) with per-worker volumes ``l_m`` that may differ, exactly as the
+paper allows ("the sample volumes l_m ... may be different at the moment
+of passing data").
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.config import RunConfig
+from repro.runtime.files import DataDirectory
+from repro.runtime.messages import MomentMessage
+from repro.stats.accumulator import MomentSnapshot
+from repro.stats.estimators import Estimates
+from repro.stats.merging import merge_snapshots
+
+__all__ = ["Collector"]
+
+_logger = logging.getLogger(__name__)
+
+
+class Collector:
+    """Rank-0 state machine: receive moments, average periodically, save.
+
+    Args:
+        config: The run configuration (``peraver`` and shape matter).
+        base: Moments inherited from resumed sessions (zero snapshot for
+            a fresh run).
+        data: Data directory for result files and save-points; pass None
+            to keep the collector purely in memory (used by the
+            discrete-event cluster simulation's fast path).
+        sessions: Session index recorded in ``func_log.dat``.
+        persist_subtotals: Whether to mirror each worker's latest
+            snapshot into ``savepoints/processor_<m>.json`` (the
+            ``manaver`` recovery input).  Defaults to True whenever a
+            data directory is given.
+    """
+
+    def __init__(self, config: RunConfig, base: MomentSnapshot,
+                 data: DataDirectory | None = None, *, sessions: int = 1,
+                 persist_subtotals: bool | None = None) -> None:
+        if base.shape != config.shape:
+            raise ConfigurationError(
+                f"resume base shape {base.shape} does not match the "
+                f"configured {config.shape}")
+        self._config = config
+        self._base = base
+        self._data = data
+        self._sessions = sessions
+        self._persist = (persist_subtotals if persist_subtotals is not None
+                         else data is not None)
+        self._latest: dict[int, MomentSnapshot] = {}
+        self._finals: set[int] = set()
+        self._last_average_at: float | None = None
+        self._receive_count = 0
+        self._save_count = 0
+        self._history: list[tuple[float, int, float]] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def receive_count(self) -> int:
+        """Messages received so far."""
+        return self._receive_count
+
+    @property
+    def save_count(self) -> int:
+        """Averaging/saving sweeps performed so far."""
+        return self._save_count
+
+    @property
+    def history(self) -> tuple[tuple[float, int, float], ...]:
+        """Convergence trace: ``(time, volume, eps_max)`` per save.
+
+        Recorded only when the collector writes result files (each
+        entry corresponds to one PARMONC save-point), so in-memory
+        timing studies pay no estimator cost.
+        """
+        return tuple(self._history)
+
+    @property
+    def finals_received(self) -> int:
+        """Number of workers that have sent their final message."""
+        return len(self._finals)
+
+    @property
+    def complete(self) -> bool:
+        """True when every configured worker has sent a final message."""
+        return len(self._finals) >= self._config.processors
+
+    @property
+    def session_volume(self) -> int:
+        """Realizations received in this session (excludes resume base)."""
+        return sum(s.volume for s in self._latest.values())
+
+    @property
+    def total_volume(self) -> int:
+        """Total sample volume including resumed sessions."""
+        return self._base.volume + self.session_volume
+
+    def worker_volume(self, rank: int) -> int:
+        """Latest known sample volume of one worker (0 if unheard from)."""
+        snapshot = self._latest.get(rank)
+        return snapshot.volume if snapshot is not None else 0
+
+    # ------------------------------------------------------------------
+
+    def receive(self, message: MomentMessage, now: float) -> bool:
+        """Ingest one worker message; return True if a save was triggered.
+
+        A save (average + write files + refresh save-points) happens when
+        ``peraver`` seconds have passed since the previous one, when
+        ``peraver`` is zero (save on every message), or when the message
+        completes the run.
+        """
+        if not 0 <= message.rank < self._config.processors:
+            raise ConfigurationError(
+                f"message from unknown rank {message.rank} "
+                f"(processors={self._config.processors})")
+        if message.snapshot.shape != self._config.shape:
+            raise ConfigurationError(
+                f"message snapshot shape {message.snapshot.shape} does "
+                f"not match the configured {self._config.shape}")
+        previous = self._latest.get(message.rank)
+        if previous is not None and message.snapshot.volume < previous.volume:
+            # Stale out-of-order message: cumulative volume can only grow.
+            return False
+        self._latest[message.rank] = message.snapshot
+        self._receive_count += 1
+        if message.final:
+            self._finals.add(message.rank)
+        if self._persist and self._data is not None:
+            self._data.save_processor_snapshot(message.rank,
+                                               message.snapshot)
+        due = (self._config.peraver == 0.0
+               or self._last_average_at is None
+               or now - self._last_average_at >= self._config.peraver
+               or self.complete)
+        if due:
+            self.save(now)
+            return True
+        return False
+
+    def merged(self) -> MomentSnapshot:
+        """Formula (5): resume base plus every worker's latest snapshot."""
+        return merge_snapshots([self._base, *self._latest.values()])
+
+    def estimates(self) -> Estimates:
+        """Result matrices for the current merged sample."""
+        merged = self.merged()
+        if merged.volume == 0:
+            raise ConfigurationError(
+                "no realizations received yet; nothing to estimate")
+        return merged.estimates()
+
+    def save(self, now: float, elapsed: float | None = None) -> None:
+        """Average and write result files (a periodic PARMONC save-point)."""
+        self._last_average_at = now
+        self._save_count += 1
+        if self._data is None:
+            return
+        merged = self.merged()
+        if merged.volume == 0:
+            return
+        estimates = merged.estimates()
+        self._history.append((now, merged.volume,
+                              estimates.abs_error_max))
+        self._data.write_results(
+            estimates, seqnum=self._config.seqnum,
+            processors=self._config.processors, sessions=self._sessions,
+            elapsed=elapsed)
+        _logger.debug(
+            "save-point %d: L=%d, eps_max=%.6g, finals=%d/%d",
+            self._save_count, merged.volume, estimates.abs_error_max,
+            len(self._finals), self._config.processors)

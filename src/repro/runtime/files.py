@@ -1,0 +1,340 @@
+"""The ``parmonc_data`` directory: result files and save-points (§3.6).
+
+Layout under the user's working directory::
+
+    parmonc_data/
+      results/
+        func.dat         matrix of sample means
+        func_ci.dat      means + absolute/relative errors + variances
+        func_log.dat     run log: volume, mean time, error upper bounds
+      savepoints/
+        processor_<m>.json   latest subtotal snapshot of processor m
+      savepoint.json     merged snapshot + session metadata (resume source)
+      parmonc_exp.dat    registry of stochastic experiments
+
+The per-processor save-points exist so that ``manaver`` can recover the
+full sample after an abrupt job termination, exactly as in §3.4.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ResumeError
+from repro.stats.accumulator import MomentSnapshot
+from repro.stats.estimators import Estimates
+
+__all__ = [
+    "DataDirectory",
+    "render_mean_matrix",
+    "render_ci_table",
+    "render_log",
+    "GENPARAM_FILENAME",
+    "read_genparam_file",
+    "write_genparam_file",
+]
+
+GENPARAM_FILENAME = "parmonc_genparam.dat"
+
+_SAVEPOINT_VERSION = 1
+
+
+def _timestamp() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def render_mean_matrix(estimates: Estimates) -> str:
+    """Render ``func.dat``: the matrix of sample means, one row per line."""
+    lines = []
+    for row in estimates.mean:
+        lines.append(" ".join(f"{value: .15e}" for value in row))
+    return "\n".join(lines) + "\n"
+
+
+def render_ci_table(estimates: Estimates) -> str:
+    """Render ``func_ci.dat``: per-entry mean, errors and variance.
+
+    Columns: row index, column index, sample mean, absolute error,
+    relative error (percent), sample variance.
+    """
+    lines = ["# i j mean abs_error rel_error_percent variance"]
+    nrow, ncol = estimates.shape
+    for i in range(nrow):
+        for j in range(ncol):
+            lines.append(
+                f"{i + 1} {j + 1} "
+                f"{estimates.mean[i, j]: .15e} "
+                f"{estimates.abs_error[i, j]: .15e} "
+                f"{estimates.rel_error[i, j]: .6e} "
+                f"{estimates.variance[i, j]: .15e}")
+    return "\n".join(lines) + "\n"
+
+
+def render_log(estimates: Estimates, *, seqnum: int, processors: int,
+               sessions: int, elapsed: float | None = None) -> str:
+    """Render ``func_log.dat``: summary information about the simulation."""
+    lines = [
+        f"total_sample_volume: {estimates.volume}",
+        f"mean_time_per_realization_sec: {estimates.mean_time:.6e}",
+        f"abs_error_upper_bound: {estimates.abs_error_max:.6e}",
+        f"rel_error_upper_bound_percent: {estimates.rel_error_max:.6e}",
+        f"variance_upper_bound: {estimates.variance_max:.6e}",
+        f"matrix_shape: {estimates.shape[0]} {estimates.shape[1]}",
+        f"seqnum: {seqnum}",
+        f"processors: {processors}",
+        f"sessions: {sessions}",
+        f"written_at: {_timestamp()}",
+    ]
+    if elapsed is not None:
+        lines.append(f"elapsed_sec: {elapsed:.6e}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class _SavepointMeta:
+    """Metadata stored beside the merged snapshot."""
+
+    shape: tuple[int, int]
+    used_seqnums: tuple[int, ...]
+    sessions: int
+
+
+class DataDirectory:
+    """Handle on a ``parmonc_data`` directory.
+
+    Args:
+        workdir: The user's working directory; ``parmonc_data`` is
+            created beneath it lazily.
+    """
+
+    def __init__(self, workdir: Path | str) -> None:
+        self._root = Path(workdir) / "parmonc_data"
+
+    @property
+    def root(self) -> Path:
+        """The ``parmonc_data`` directory path."""
+        return self._root
+
+    @property
+    def results_dir(self) -> Path:
+        """``parmonc_data/results``."""
+        return self._root / "results"
+
+    @property
+    def savepoints_dir(self) -> Path:
+        """``parmonc_data/savepoints`` (per-processor subtotals)."""
+        return self._root / "savepoints"
+
+    @property
+    def savepoint_path(self) -> Path:
+        """``parmonc_data/savepoint.json`` (merged snapshot)."""
+        return self._root / "savepoint.json"
+
+    @property
+    def registry_path(self) -> Path:
+        """``parmonc_data/parmonc_exp.dat`` (experiment registry)."""
+        return self._root / "parmonc_exp.dat"
+
+    def ensure(self) -> "DataDirectory":
+        """Create the directory tree if missing; return self."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.savepoints_dir.mkdir(parents=True, exist_ok=True)
+        return self
+
+    # ------------------------------------------------------------------
+    # Results
+
+    def write_results(self, estimates: Estimates, *, seqnum: int,
+                      processors: int, sessions: int,
+                      elapsed: float | None = None) -> None:
+        """Write ``func.dat``, ``func_ci.dat`` and ``func_log.dat``."""
+        self.ensure()
+        (self.results_dir / "func.dat").write_text(
+            render_mean_matrix(estimates))
+        (self.results_dir / "func_ci.dat").write_text(
+            render_ci_table(estimates))
+        (self.results_dir / "func_log.dat").write_text(
+            render_log(estimates, seqnum=seqnum, processors=processors,
+                       sessions=sessions, elapsed=elapsed))
+
+    def read_mean_matrix(self) -> np.ndarray:
+        """Read back the matrix of sample means from ``func.dat``."""
+        path = self.results_dir / "func.dat"
+        if not path.exists():
+            raise ResumeError(f"no results file at {path}")
+        return np.loadtxt(path, ndmin=2)
+
+    def read_log(self) -> dict[str, str]:
+        """Read ``func_log.dat`` into a key-value dictionary."""
+        path = self.results_dir / "func_log.dat"
+        if not path.exists():
+            raise ResumeError(f"no log file at {path}")
+        entries = {}
+        for line in path.read_text().splitlines():
+            if ":" in line:
+                key, _, value = line.partition(":")
+                entries[key.strip()] = value.strip()
+        return entries
+
+    # ------------------------------------------------------------------
+    # Merged save-point (resume source)
+
+    def save_savepoint(self, snapshot: MomentSnapshot, *,
+                       used_seqnums: tuple[int, ...],
+                       sessions: int) -> None:
+        """Persist the merged snapshot and session metadata atomically."""
+        self.ensure()
+        payload = {
+            "version": _SAVEPOINT_VERSION,
+            "snapshot": snapshot.to_dict(),
+            "shape": list(snapshot.shape),
+            "used_seqnums": sorted(set(int(s) for s in used_seqnums)),
+            "sessions": int(sessions),
+            "written_at": _timestamp(),
+        }
+        temp = self.savepoint_path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps(payload))
+        temp.replace(self.savepoint_path)
+
+    def load_savepoint(self) -> tuple[MomentSnapshot, _SavepointMeta]:
+        """Load the merged snapshot saved by a previous session.
+
+        Raises:
+            ResumeError: If no save-point exists or it is malformed.
+        """
+        if not self.savepoint_path.exists():
+            raise ResumeError(
+                f"no previous simulation found at {self.savepoint_path}; "
+                f"start with res=0")
+        try:
+            payload = json.loads(self.savepoint_path.read_text())
+            snapshot = MomentSnapshot.from_dict(payload["snapshot"])
+            meta = _SavepointMeta(
+                shape=tuple(payload["shape"]),
+                used_seqnums=tuple(payload["used_seqnums"]),
+                sessions=int(payload["sessions"]))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                ConfigurationError) as exc:
+            raise ResumeError(
+                f"corrupted save-point at {self.savepoint_path}: "
+                f"{exc}") from exc
+        return snapshot, meta
+
+    def has_savepoint(self) -> bool:
+        """Whether a previous simulation left a merged save-point."""
+        return self.savepoint_path.exists()
+
+    # ------------------------------------------------------------------
+    # Per-processor subtotals (manaver input)
+
+    def processor_savepoint_path(self, rank: int) -> Path:
+        """Path of processor ``rank``'s subtotal file."""
+        return self.savepoints_dir / f"processor_{rank:05d}.json"
+
+    def save_processor_snapshot(self, rank: int,
+                                snapshot: MomentSnapshot) -> None:
+        """Persist one processor's latest subtotal snapshot atomically."""
+        self.ensure()
+        path = self.processor_savepoint_path(rank)
+        temp = path.with_suffix(".json.tmp")
+        temp.write_text(json.dumps({
+            "rank": rank,
+            "snapshot": snapshot.to_dict(),
+            "written_at": _timestamp(),
+        }))
+        temp.replace(path)
+
+    def load_processor_snapshots(self) -> dict[int, MomentSnapshot]:
+        """Load every per-processor subtotal present on disk."""
+        snapshots: dict[int, MomentSnapshot] = {}
+        if not self.savepoints_dir.exists():
+            return snapshots
+        for path in sorted(self.savepoints_dir.glob("processor_*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                snapshots[int(payload["rank"])] = MomentSnapshot.from_dict(
+                    payload["snapshot"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    ConfigurationError) as exc:
+                raise ResumeError(
+                    f"corrupted processor save-point {path}: {exc}") from exc
+        return snapshots
+
+    def clear_processor_snapshots(self) -> None:
+        """Remove per-processor subtotals (on a clean run completion)."""
+        if self.savepoints_dir.exists():
+            for path in self.savepoints_dir.glob("processor_*.json"):
+                path.unlink()
+
+    # ------------------------------------------------------------------
+    # Experiment registry
+
+    def register_experiment(self, *, seqnum: int, processors: int,
+                            maxsv: int, res: int) -> None:
+        """Append one line per started experiment to ``parmonc_exp.dat``."""
+        self.ensure()
+        line = (f"{_timestamp()} seqnum={seqnum} processors={processors} "
+                f"maxsv={maxsv} res={res}\n")
+        with self.registry_path.open("a") as handle:
+            handle.write(line)
+
+    def read_registry(self) -> list[str]:
+        """Return the experiment registry lines (empty if none)."""
+        if not self.registry_path.exists():
+            return []
+        return self.registry_path.read_text().splitlines()
+
+
+def write_genparam_file(workdir: Path | str, experiment_exponent: int,
+                        processor_exponent: int,
+                        realization_exponent: int,
+                        multipliers: tuple[int, int, int]) -> Path:
+    """Write ``parmonc_genparam.dat`` in the user's working directory.
+
+    The file records both the leap exponents and the computed multipliers
+    ``A(n_e), A(n_p), A(n_r)``; PARMONC routines pick it up in preference
+    to the defaults (§3.5).
+    """
+    path = Path(workdir) / GENPARAM_FILENAME
+    content = (
+        f"ne_exponent: {experiment_exponent}\n"
+        f"np_exponent: {processor_exponent}\n"
+        f"nr_exponent: {realization_exponent}\n"
+        f"A_ne: {multipliers[0]}\n"
+        f"A_np: {multipliers[1]}\n"
+        f"A_nr: {multipliers[2]}\n")
+    path.write_text(content)
+    return path
+
+
+def read_genparam_file(workdir: Path | str) -> dict[str, int] | None:
+    """Read ``parmonc_genparam.dat`` if present; None when absent.
+
+    Returns a dict with keys ``ne_exponent``, ``np_exponent``,
+    ``nr_exponent``, ``A_ne``, ``A_np``, ``A_nr``.
+    """
+    path = Path(workdir) / GENPARAM_FILENAME
+    if not path.exists():
+        return None
+    values: dict[str, int] = {}
+    for line in path.read_text().splitlines():
+        if ":" not in line:
+            continue
+        key, _, raw = line.partition(":")
+        try:
+            values[key.strip()] = int(raw.strip())
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"malformed {GENPARAM_FILENAME} line: {line!r}") from exc
+    required = {"ne_exponent", "np_exponent", "nr_exponent",
+                "A_ne", "A_np", "A_nr"}
+    missing = required - values.keys()
+    if missing:
+        raise ConfigurationError(
+            f"{GENPARAM_FILENAME} is missing keys: {sorted(missing)}")
+    return values

@@ -1,0 +1,112 @@
+"""Multiprocess backend: real OS processes and asynchronous messaging.
+
+The moral equivalent of the paper's MPI deployment on one machine: every
+worker is a separate process, messages travel through an OS queue, and
+the collector (this process) receives them asynchronously — slower
+workers simply deliver fewer realizations by the time any given
+averaging happens, exercising the unequal-``l_m`` branch of formula (5).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+
+from repro.exceptions import BackendError
+from repro.runtime.bootstrap import start_session
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.resume import finalize_session
+from repro.runtime.result import RunResult
+from repro.runtime.worker import RealizationRoutine, run_worker
+
+__all__ = ["run_multiprocess"]
+
+_POLL_SECONDS = 0.05
+_JOIN_SECONDS = 10.0
+
+
+def _worker_entry(routine: RealizationRoutine, config: RunConfig,
+                  rank: int, quota: int, outbox, deadline: float | None
+                  ) -> None:
+    """Worker process body: run the loop, shipping messages via the queue."""
+    run_worker(routine, config, rank, quota, send=outbox.put,
+               deadline=deadline)
+
+
+def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
+                     use_files: bool = True,
+                     start_method: str | None = None) -> RunResult:
+    """Run one session with one OS process per simulated processor.
+
+    Args:
+        routine: User realization routine; must survive the chosen
+            multiprocessing start method ("fork" keeps closures, "spawn"
+            requires a picklable module-level function).
+        config: The run configuration.
+        use_files: Write result files and save-points.
+        start_method: Optional multiprocessing start method override.
+
+    Raises:
+        BackendError: If a worker dies without delivering its final
+            message.
+    """
+    started = time.monotonic()
+    data, state = start_session(config, use_files)
+    collector = Collector(config, state.base, data,
+                          sessions=state.session_index)
+    context = (multiprocessing.get_context(start_method)
+               if start_method else multiprocessing.get_context())
+    outbox = context.Queue()
+    deadline = (started + config.time_limit
+                if config.time_limit is not None else None)
+    workers = []
+    for rank in range(config.processors):
+        process = context.Process(
+            target=_worker_entry,
+            args=(routine, config, rank, config.worker_quota(rank),
+                  outbox, deadline),
+            daemon=True)
+        process.start()
+        workers.append(process)
+    try:
+        while not collector.complete:
+            try:
+                message = outbox.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [p for p in workers
+                        if not p.is_alive() and p.exitcode not in (0, None)]
+                if dead:
+                    codes = {p.pid: p.exitcode for p in dead}
+                    raise BackendError(
+                        f"worker process(es) died before finishing: "
+                        f"{codes}")
+                continue
+            collector.receive(message, time.monotonic())
+    finally:
+        for process in workers:
+            process.join(timeout=_JOIN_SECONDS)
+            if process.is_alive():
+                process.terminate()
+        outbox.close()
+    elapsed = time.monotonic() - started
+    collector.save(time.monotonic(), elapsed=elapsed)
+    merged = collector.merged()
+    if data is not None:
+        finalize_session(data, state, merged)
+        data.clear_processor_snapshots()
+    per_rank = {rank: collector.worker_volume(rank)
+                for rank in range(config.processors)}
+    return RunResult(
+        estimates=merged.estimates(),
+        config=config,
+        per_rank_volumes=per_rank,
+        session_volume=collector.session_volume,
+        total_volume=collector.total_volume,
+        elapsed=elapsed,
+        sessions=state.session_index,
+        data_dir=data.root if data is not None else None,
+        messages_received=collector.receive_count,
+        saves_performed=collector.save_count,
+        history=collector.history)

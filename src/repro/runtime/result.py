@@ -1,0 +1,80 @@
+"""The value returned by a completed run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runtime.config import RunConfig
+from repro.stats.estimators import Estimates
+
+__all__ = ["RunResult"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one ``parmonc`` session.
+
+    Attributes:
+        estimates: Result matrices for the *merged* sample (including
+            resumed sessions); None only for accounting-only simulated
+            runs that executed no realizations.
+        config: The configuration the session ran with.
+        per_rank_volumes: Final sample volume contributed by each worker
+            in this session.
+        session_volume: Realizations simulated in this session.
+        total_volume: Merged sample volume, ``base + session``.
+        elapsed: Wall-clock seconds the session took.
+        virtual_time: Simulated cluster seconds (``T_comp``) when the
+            run used the discrete-event backend, else None.
+        sessions: 1 for a fresh simulation, higher when resumed.
+        data_dir: Where result files were written (None for in-memory
+            runs).
+        messages_received: Collector message count (exchange intensity).
+        saves_performed: Collector averaging/saving sweeps.
+        history: Convergence trace ``(time, volume, eps_max)`` per
+            save-point (empty for in-memory runs).
+    """
+
+    estimates: Estimates | None
+    config: RunConfig
+    per_rank_volumes: dict[int, int] = field(default_factory=dict)
+    session_volume: int = 0
+    total_volume: int = 0
+    elapsed: float = 0.0
+    virtual_time: float | None = None
+    sessions: int = 1
+    data_dir: Path | None = None
+    messages_received: int = 0
+    saves_performed: int = 0
+    history: tuple[tuple[float, int, float], ...] = ()
+
+    def __str__(self) -> str:
+        timing = (f"T_comp={self.virtual_time:.3f}s (virtual)"
+                  if self.virtual_time is not None
+                  else f"elapsed={self.elapsed:.3f}s")
+        error = (f"eps_max={self.estimates.abs_error_max:.4g}"
+                 if self.estimates is not None else "accounting-only")
+        return (f"RunResult(L={self.total_volume}, "
+                f"M={self.config.processors}, {timing}, {error})")
+
+    def summary(self) -> str:
+        """A multi-line human summary of the session."""
+        lines = [str(self)]
+        if self.sessions > 1:
+            lines.append(f"session {self.sessions} (resumed); this "
+                         f"session added {self.session_volume} "
+                         f"realizations")
+        if self.estimates is not None:
+            lines.append(
+                f"errors: eps_max={self.estimates.abs_error_max:.6g}, "
+                f"rho_max={self.estimates.rel_error_max:.4g}%, "
+                f"sigma2_max={self.estimates.variance_max:.6g}")
+            if self.estimates.mean_time > 0:
+                lines.append(f"mean time per realization: "
+                             f"{self.estimates.mean_time:.3e} s")
+        lines.append(f"collector: {self.messages_received} messages, "
+                     f"{self.saves_performed} save sweeps")
+        if self.data_dir is not None:
+            lines.append(f"results under {self.data_dir}")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Resumption semantics (§3.2): ``res=1`` with automatic averaging.
+
+A resumed session loads the merged save-point of the previous one and
+treats it as an extra "processor" in formula (5).  Two rules from the
+paper are enforced here:
+
+* resuming requires a previous simulation to exist, and
+* the new session's ``seqnum`` must differ from every earlier session's,
+  otherwise the new realizations would re-consume the same "experiments"
+  subsequence and correlate with the old sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ResumeError
+from repro.runtime.config import RunConfig
+from repro.runtime.files import DataDirectory
+from repro.stats.accumulator import MomentSnapshot
+
+__all__ = ["ResumeState", "prepare_resume", "finalize_session"]
+
+
+@dataclass(frozen=True)
+class ResumeState:
+    """What a session starts from.
+
+    Attributes:
+        base: Moments inherited from previous sessions (zero for a new
+            simulation).
+        used_seqnums: Every ``seqnum`` consumed so far, including the
+            current session's.
+        session_index: 1 for a fresh simulation, previous count + 1 when
+            resuming.
+    """
+
+    base: MomentSnapshot
+    used_seqnums: tuple[int, ...]
+    session_index: int
+
+
+def prepare_resume(config: RunConfig, data: DataDirectory) -> ResumeState:
+    """Validate the resumption flag and load the inherited moments.
+
+    Args:
+        config: The run configuration (``res`` and ``seqnum`` matter).
+        data: The run's data directory.
+
+    Raises:
+        ResumeError: When ``res=1`` without a previous simulation, when
+            the stored shape differs from the configured one, or when
+            ``seqnum`` repeats an earlier session's.
+    """
+    if config.res == 0:
+        return ResumeState(
+            base=MomentSnapshot.zero(config.nrow, config.ncol),
+            used_seqnums=(config.seqnum,),
+            session_index=1)
+    snapshot, meta = data.load_savepoint()
+    if tuple(meta.shape) != config.shape:
+        raise ResumeError(
+            f"previous simulation used matrix shape {tuple(meta.shape)}, "
+            f"cannot resume with shape {config.shape}")
+    if config.seqnum in meta.used_seqnums:
+        raise ResumeError(
+            f"seqnum {config.seqnum} was already used by a previous "
+            f"session (used: {sorted(meta.used_seqnums)}); choose a fresh "
+            f"experiments subsequence")
+    return ResumeState(
+        base=snapshot,
+        used_seqnums=tuple(meta.used_seqnums) + (config.seqnum,),
+        session_index=meta.sessions + 1)
+
+
+def finalize_session(data: DataDirectory, state: ResumeState,
+                     merged: MomentSnapshot) -> None:
+    """Persist the merged result as the save-point for future sessions."""
+    if merged.shape != state.base.shape:
+        raise ResumeError(
+            f"merged snapshot shape {merged.shape} does not match the "
+            f"session base shape {state.base.shape}")
+    data.save_savepoint(merged, used_seqnums=state.used_seqnums,
+                        sessions=state.session_index)

@@ -1,0 +1,70 @@
+"""Sequential backend: M logical processors multiplexed on one thread.
+
+The reference backend — bit-for-bit deterministic, no IPC, useful for
+tests and for single-machine production runs.  Workers run one after
+another; because every worker draws from its own RNG subsequence, the
+merged estimate is *identical* to what the parallel backends produce for
+the same configuration.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime.bootstrap import start_session
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.resume import finalize_session
+from repro.runtime.result import RunResult
+from repro.runtime.worker import RealizationRoutine, run_worker
+
+__all__ = ["run_sequential"]
+
+
+def run_sequential(routine: RealizationRoutine, config: RunConfig,
+                   use_files: bool = True) -> RunResult:
+    """Run one session on the sequential backend.
+
+    Args:
+        routine: User realization routine (``fn(rng)`` or ``fn()``).
+        config: The run configuration.
+        use_files: Write ``parmonc_data`` result files and save-points;
+            disable for throwaway in-memory estimation.
+
+    Returns:
+        The session's :class:`~repro.runtime.result.RunResult`.
+    """
+    started = time.monotonic()
+    data, state = start_session(config, use_files)
+    collector = Collector(config, state.base, data,
+                          sessions=state.session_index)
+    deadline = (started + config.time_limit
+                if config.time_limit is not None else None)
+    per_rank: dict[int, int] = {}
+    for rank in range(config.processors):
+        accumulator = run_worker(
+            routine, config, rank, config.worker_quota(rank),
+            send=lambda message: collector.receive(message,
+                                                   time.monotonic()),
+            deadline=deadline)
+        per_rank[rank] = accumulator.volume
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+    elapsed = time.monotonic() - started
+    collector.save(time.monotonic(), elapsed=elapsed)
+    merged = collector.merged()
+    if data is not None:
+        finalize_session(data, state, merged)
+        data.clear_processor_snapshots()
+    return RunResult(
+        estimates=merged.estimates(),
+        config=config,
+        per_rank_volumes=per_rank,
+        session_volume=collector.session_volume,
+        total_volume=collector.total_volume,
+        elapsed=elapsed,
+        sessions=state.session_index,
+        data_dir=data.root if data is not None else None,
+        messages_received=collector.receive_count,
+        saves_performed=collector.save_count,
+        history=collector.history)

@@ -1,0 +1,118 @@
+"""The per-processor simulation loop.
+
+A worker owns one "processors" subsequence of the RNG hierarchy.  For
+its ``r``-th realization it positions a fresh generator at realization
+substream ``r``, runs the user routine, accumulates the returned matrix,
+and every ``perpass`` seconds ships its cumulative moments to the
+collector.  ``perpass = 0`` reproduces the paper's strictest performance
+test: a data pass after *every* realization.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from typing import Callable
+
+from repro.exceptions import ConfigurationError, RealizationError
+from repro.rng import install_rnd128
+from repro.rng.lcg128 import Lcg128
+from repro.rng.streams import StreamTree
+from repro.runtime.config import RunConfig
+from repro.runtime.messages import MomentMessage
+from repro.stats.accumulator import MomentAccumulator
+
+__all__ = ["RealizationRoutine", "adapt_realization", "run_worker"]
+
+#: A realization routine: either ``fn(rng) -> matrix`` or, PARMONC-style,
+#: ``fn() -> matrix`` drawing from the global :func:`repro.rng.rnd128`.
+RealizationRoutine = Callable
+
+
+def adapt_realization(routine: RealizationRoutine
+                      ) -> Callable[[Lcg128], object]:
+    """Normalize a user routine to the ``fn(rng) -> matrix`` convention.
+
+    Zero-argument routines are wrapped so that the supplied generator is
+    installed behind the global :func:`repro.rng.rnd128` before each
+    call — the direct analogue of the C API, where the user routine
+    calls ``rnd128()`` with no arguments.
+    """
+    if not callable(routine):
+        raise ConfigurationError(
+            f"realization routine must be callable, got "
+            f"{type(routine).__name__}")
+    try:
+        parameters = [
+            p for p in inspect.signature(routine).parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+            and p.default is p.empty]
+        n_required = len(parameters)
+    except (TypeError, ValueError):
+        # Builtins and some callables hide their signature; assume the
+        # modern one-argument convention.
+        n_required = 1
+    if n_required == 0:
+        def zero_arg_adapter(rng: Lcg128):
+            install_rnd128(rng)
+            return routine()
+        return zero_arg_adapter
+    if n_required == 1:
+        return routine
+    raise ConfigurationError(
+        f"realization routine must take 0 arguments (global rnd128 "
+        f"style) or 1 argument (the generator); "
+        f"{getattr(routine, '__name__', routine)!r} requires {n_required}")
+
+
+def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
+               quota: int, send: Callable[[MomentMessage], None],
+               clock: Callable[[], float] = time.monotonic,
+               deadline: float | None = None) -> MomentAccumulator:
+    """Simulate ``quota`` realizations on processor ``rank``.
+
+    Args:
+        routine: The user realization routine.
+        config: Run configuration (seqnum, perpass, shape, leaps).
+        rank: This worker's processor index.
+        quota: Number of realizations to simulate.
+        send: Callback delivering a :class:`MomentMessage` to the
+            collector (a queue put, an in-process call, ...).
+        clock: Monotonic time source in seconds; swapped for a virtual
+            clock under simulation.
+        deadline: Optional absolute clock value after which the worker
+            stops early (the job time limit).
+
+    Returns:
+        The worker's final accumulator (also shipped via ``send`` with
+        ``final=True``).
+    """
+    if quota < 0:
+        raise ConfigurationError(f"quota must be >= 0, got {quota}")
+    adapted = adapt_realization(routine)
+    stream = StreamTree(config.leaps).experiment(config.seqnum) \
+                                     .processor(rank)
+    accumulator = MomentAccumulator(config.nrow, config.ncol)
+    last_send = clock()
+    for index in range(quota):
+        rng = stream.realization(index)
+        started = clock()
+        try:
+            result = adapted(rng)
+        except Exception as exc:
+            raise RealizationError(
+                f"realization routine failed at experiment="
+                f"{config.seqnum} processor={rank} realization={index}: "
+                f"{exc}", experiment=config.seqnum, processor=rank,
+                realization=index) from exc
+        finished = clock()
+        accumulator.add(result, compute_time=finished - started)
+        if config.perpass == 0.0 or finished - last_send >= config.perpass:
+            send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
+                               sent_at=finished))
+            last_send = finished
+        if deadline is not None and finished >= deadline:
+            break
+    send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
+                       sent_at=clock(), final=True))
+    return accumulator

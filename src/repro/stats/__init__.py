@@ -1,0 +1,41 @@
+"""Estimators, moment accumulation and formula-(5) merging."""
+
+from __future__ import annotations
+
+from repro.stats.accumulator import MomentAccumulator, MomentSnapshot
+from repro.stats.compare import (
+    ComparisonResult,
+    compare_means,
+    compare_variances,
+    efficiency_gain,
+)
+from repro.stats.covariance import CovarianceAccumulator
+from repro.stats.estimators import (
+    CONFIDENCE_FACTOR,
+    CONFIDENCE_LEVEL,
+    Estimates,
+    computational_cost,
+    confidence_factor,
+    estimates_from_moments,
+    required_sample_volume,
+)
+from repro.stats.merging import combine_estimates, merge_snapshots
+
+__all__ = [
+    "MomentAccumulator",
+    "MomentSnapshot",
+    "Estimates",
+    "estimates_from_moments",
+    "merge_snapshots",
+    "combine_estimates",
+    "computational_cost",
+    "confidence_factor",
+    "required_sample_volume",
+    "CONFIDENCE_FACTOR",
+    "CONFIDENCE_LEVEL",
+    "ComparisonResult",
+    "compare_means",
+    "compare_variances",
+    "efficiency_gain",
+    "CovarianceAccumulator",
+]

@@ -1,0 +1,199 @@
+"""Accumulation of sample moments over realizations.
+
+Each worker keeps one :class:`MomentAccumulator` per run; after every
+realization it adds the realization matrix, and on each ``perpass`` tick
+it ships a :class:`MomentSnapshot` to the collector.  Snapshots are plain
+data (sums, not means) precisely so that formula (5) averaging on the
+collector is an exact sum — no precision is lost by averaging averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.stats.estimators import Estimates, estimates_from_moments
+
+__all__ = ["MomentSnapshot", "MomentAccumulator"]
+
+
+@dataclass(frozen=True)
+class MomentSnapshot:
+    """Immutable copy of an accumulator's state at one instant.
+
+    This is the payload of a worker-to-collector message and the unit of
+    persistence in save-point files.
+
+    Attributes:
+        sum1: Elementwise realization sums (``nrow x ncol``).
+        sum2: Elementwise squared-realization sums.
+        volume: Number of realizations accumulated (``l_m``).
+        compute_time: Seconds of simulation time behind this snapshot.
+    """
+
+    sum1: np.ndarray
+    sum2: np.ndarray
+    volume: int
+    compute_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.sum1.shape != self.sum2.shape:
+            raise ConfigurationError(
+                f"snapshot moment shapes differ: {self.sum1.shape} vs "
+                f"{self.sum2.shape}")
+        if self.volume < 0:
+            raise ConfigurationError(
+                f"snapshot volume must be >= 0, got {self.volume}")
+        if self.compute_time < 0.0:
+            raise ConfigurationError(
+                f"snapshot compute_time must be >= 0, got "
+                f"{self.compute_time}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrow, ncol)`` of the realization matrix."""
+        return self.sum1.shape
+
+    def estimates(self) -> Estimates:
+        """Turn the snapshot into result matrices (requires volume > 0)."""
+        return estimates_from_moments(self.sum1, self.sum2, self.volume,
+                                      self.compute_time)
+
+    def to_dict(self) -> dict:
+        """Serialize to plain Python types (for JSON save-points)."""
+        return {
+            "sum1": self.sum1.tolist(),
+            "sum2": self.sum2.tolist(),
+            "volume": int(self.volume),
+            "compute_time": float(self.compute_time),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MomentSnapshot":
+        """Deserialize a snapshot produced by :meth:`to_dict`."""
+        try:
+            return cls(
+                sum1=np.asarray(data["sum1"], dtype=np.float64),
+                sum2=np.asarray(data["sum2"], dtype=np.float64),
+                volume=int(data["volume"]),
+                compute_time=float(data.get("compute_time", 0.0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed snapshot payload: {exc}") from exc
+
+    @classmethod
+    def zero(cls, nrow: int, ncol: int) -> "MomentSnapshot":
+        """An empty snapshot of the given shape."""
+        if nrow < 1 or ncol < 1:
+            raise ConfigurationError(
+                f"matrix dimensions must be >= 1, got {nrow}x{ncol}")
+        return cls(sum1=np.zeros((nrow, ncol)),
+                   sum2=np.zeros((nrow, ncol)), volume=0)
+
+
+class MomentAccumulator:
+    """Mutable accumulator of first and second moments.
+
+    Args:
+        nrow: Rows of the realization matrix.
+        ncol: Columns of the realization matrix.
+
+    Scalar problems use a 1x1 matrix; :meth:`add` then also accepts a
+    bare float.
+
+    Example:
+        >>> acc = MomentAccumulator(1, 1)
+        >>> acc.add(2.0)
+        >>> acc.add(4.0)
+        >>> float(acc.estimates().mean[0, 0])
+        3.0
+    """
+
+    def __init__(self, nrow: int, ncol: int) -> None:
+        if nrow < 1 or ncol < 1:
+            raise ConfigurationError(
+                f"matrix dimensions must be >= 1, got {nrow}x{ncol}")
+        self._shape = (nrow, ncol)
+        self._sum1 = np.zeros(self._shape, dtype=np.float64)
+        self._sum2 = np.zeros(self._shape, dtype=np.float64)
+        self._volume = 0
+        self._compute_time = 0.0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrow, ncol)`` of the realization matrix."""
+        return self._shape
+
+    @property
+    def volume(self) -> int:
+        """Number of realizations accumulated so far."""
+        return self._volume
+
+    @property
+    def compute_time(self) -> float:
+        """Total simulation seconds recorded via :meth:`add`."""
+        return self._compute_time
+
+    def add(self, realization, compute_time: float = 0.0) -> None:
+        """Accumulate one realization of the random matrix.
+
+        Args:
+            realization: ``nrow x ncol`` array-like (a scalar is accepted
+                for 1x1 problems).  Non-finite entries are rejected: a
+                single NaN would silently poison every later estimate.
+            compute_time: Seconds spent simulating this realization.
+        """
+        matrix = np.asarray(realization, dtype=np.float64)
+        if matrix.shape == () and self._shape == (1, 1):
+            matrix = matrix.reshape(1, 1)
+        if matrix.shape != self._shape:
+            raise ConfigurationError(
+                f"realization shape {matrix.shape} does not match the "
+                f"declared {self._shape}")
+        if not np.all(np.isfinite(matrix)):
+            raise ConfigurationError(
+                "realization contains non-finite values")
+        if compute_time < 0.0:
+            raise ConfigurationError(
+                f"compute_time must be >= 0, got {compute_time}")
+        self._sum1 += matrix
+        self._sum2 += matrix * matrix
+        self._volume += 1
+        self._compute_time += compute_time
+
+    def merge_snapshot(self, snapshot: MomentSnapshot) -> None:
+        """Fold another accumulator's snapshot into this one (formula (5))."""
+        if snapshot.shape != self._shape:
+            raise ConfigurationError(
+                f"snapshot shape {snapshot.shape} does not match "
+                f"accumulator shape {self._shape}")
+        self._sum1 += snapshot.sum1
+        self._sum2 += snapshot.sum2
+        self._volume += snapshot.volume
+        self._compute_time += snapshot.compute_time
+
+    def snapshot(self) -> MomentSnapshot:
+        """Return an immutable copy of the current moments."""
+        return MomentSnapshot(
+            sum1=self._sum1.copy(), sum2=self._sum2.copy(),
+            volume=self._volume, compute_time=self._compute_time)
+
+    def reset(self) -> None:
+        """Zero the accumulator (used after shipping a delta snapshot)."""
+        self._sum1.fill(0.0)
+        self._sum2.fill(0.0)
+        self._volume = 0
+        self._compute_time = 0.0
+
+    def estimates(self) -> Estimates:
+        """Return result matrices for the accumulated sample."""
+        return self.snapshot().estimates()
+
+    def __len__(self) -> int:
+        return self._volume
+
+    def __repr__(self) -> str:
+        return (f"MomentAccumulator(shape={self._shape}, "
+                f"volume={self._volume})")

@@ -1,0 +1,141 @@
+"""Covariance accumulation between realization-matrix entries.
+
+PARMONC's result matrices are entry-wise; errors of *derived*
+quantities (a difference of two entries, a ratio's delta-method error,
+a contrast across output times) additionally need the covariances
+between entries, because entries of one realization are usually far
+from independent — the two components of an SDE trajectory, or call
+and put payoffs from the same terminal price.
+
+:class:`CovarianceAccumulator` tracks the full second-moment matrix of
+the flattened realization vector.  It composes with the rest of the
+library the same way :class:`~repro.stats.accumulator.MomentAccumulator`
+does (add / snapshot-free merging via sums), and is intended for small
+matrices (the cross-moment storage is ``(n*m)**2``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CovarianceAccumulator"]
+
+
+class CovarianceAccumulator:
+    """Accumulates mean vector and covariance matrix of realizations.
+
+    Args:
+        nrow: Rows of the realization matrix.
+        ncol: Columns of the realization matrix; the flattened entry
+            order is row-major.
+
+    Example:
+        >>> acc = CovarianceAccumulator(1, 2)
+        >>> for pair in ([1.0, 2.0], [3.0, 6.0], [2.0, 4.0]):
+        ...     acc.add([pair])
+        >>> bool(acc.covariance()[0, 1] > 0)   # perfectly correlated
+        True
+    """
+
+    def __init__(self, nrow: int, ncol: int) -> None:
+        if nrow < 1 or ncol < 1:
+            raise ConfigurationError(
+                f"matrix dimensions must be >= 1, got {nrow}x{ncol}")
+        self._shape = (nrow, ncol)
+        size = nrow * ncol
+        if size > 4096:
+            raise ConfigurationError(
+                f"covariance tracking stores (n*m)**2 = {size ** 2} "
+                f"cross-moments; limit is 4096 entries")
+        self._sum = np.zeros(size, dtype=np.float64)
+        self._outer = np.zeros((size, size), dtype=np.float64)
+        self._volume = 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(nrow, ncol)`` of the realization matrix."""
+        return self._shape
+
+    @property
+    def volume(self) -> int:
+        """Realizations accumulated so far."""
+        return self._volume
+
+    def add(self, realization) -> None:
+        """Accumulate one realization matrix."""
+        matrix = np.asarray(realization, dtype=np.float64)
+        if matrix.shape != self._shape:
+            raise ConfigurationError(
+                f"realization shape {matrix.shape} does not match "
+                f"{self._shape}")
+        if not np.all(np.isfinite(matrix)):
+            raise ConfigurationError(
+                "realization contains non-finite values")
+        flat = matrix.ravel()
+        self._sum += flat
+        self._outer += np.outer(flat, flat)
+        self._volume += 1
+
+    def merge(self, other: "CovarianceAccumulator") -> None:
+        """Fold another accumulator in (exact, formula-(5) style)."""
+        if other.shape != self._shape:
+            raise ConfigurationError(
+                f"cannot merge shapes {self._shape} and {other.shape}")
+        self._sum += other._sum
+        self._outer += other._outer
+        self._volume += other._volume
+
+    def mean(self) -> np.ndarray:
+        """Mean matrix, shape ``(nrow, ncol)``."""
+        self._require_volume(1)
+        return (self._sum / self._volume).reshape(self._shape)
+
+    def covariance(self) -> np.ndarray:
+        """Sample covariance of the flattened entries (biased, /L)."""
+        self._require_volume(2)
+        mean = self._sum / self._volume
+        return self._outer / self._volume - np.outer(mean, mean)
+
+    def correlation(self) -> np.ndarray:
+        """Correlation matrix; entries with zero variance yield 0."""
+        covariance = self.covariance()
+        stddev = np.sqrt(np.clip(np.diag(covariance), 0.0, None))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            matrix = covariance / np.outer(stddev, stddev)
+        matrix[~np.isfinite(matrix)] = 0.0
+        np.fill_diagonal(matrix, 1.0)
+        return matrix
+
+    def contrast_error(self, weights, factor: float = 3.0) -> float:
+        """Error bound of a linear combination of matrix entries.
+
+        For ``theta = sum_k w_k zeta_k`` the estimator's error is
+        ``factor * sqrt(w' Sigma w / L)`` — the §2.1 formula with the
+        full covariance in place of the marginal variance.
+
+        Args:
+            weights: ``(nrow, ncol)`` (or flat) weight array.
+            factor: Confidence multiplier (3 = the paper's 0.997).
+        """
+        self._require_volume(2)
+        vector = np.asarray(weights, dtype=np.float64).ravel()
+        if vector.size != self._sum.size:
+            raise ConfigurationError(
+                f"weights must have {self._sum.size} entries, got "
+                f"{vector.size}")
+        variance = float(vector @ self.covariance() @ vector)
+        return factor * math.sqrt(max(variance, 0.0) / self._volume)
+
+    def _require_volume(self, minimum: int) -> None:
+        if self._volume < minimum:
+            raise ConfigurationError(
+                f"need at least {minimum} realizations, have "
+                f"{self._volume}")
+
+    def __repr__(self) -> str:
+        return (f"CovarianceAccumulator(shape={self._shape}, "
+                f"volume={self._volume})")

@@ -1,0 +1,46 @@
+"""Variance reduction methods built on the PARMONC stream hierarchy.
+
+The paper's cost model (§2.2) makes the case directly: the cost of an
+estimator is ``C(zeta) = tau_zeta * Var(zeta)``, and the sample volume
+needed for a target error is proportional to ``Var(zeta)`` — so beyond
+adding processors, reducing the variance *is* the other lever.  This
+package provides the classic constructions as realization-routine
+wrappers that preserve the library's core invariant: every wrapped
+realization is still a deterministic function of its RNG substream.
+
+* :func:`antithetic_realization` — mirror the substream, average.
+* :func:`control_variate_realization` — subtract a fitted, known-mean
+  control (fit on a dedicated pilot experiment).
+* :class:`StratifiedRealization` — cycle the first uniform through
+  equal strata.
+* :func:`importance_realization` — sample from a proposal density and
+  weight.
+"""
+
+from __future__ import annotations
+
+from repro.vr.antithetic import AntitheticStream, antithetic_realization
+from repro.vr.control import (
+    control_variate_realization,
+    fit_control_coefficient,
+)
+from repro.vr.importance import (
+    Proposal,
+    exponential_proposal,
+    importance_realization,
+    polynomial_proposal,
+)
+from repro.vr.stratified import StratifiedRealization, StratifiedStream
+
+__all__ = [
+    "antithetic_realization",
+    "AntitheticStream",
+    "fit_control_coefficient",
+    "control_variate_realization",
+    "StratifiedRealization",
+    "StratifiedStream",
+    "Proposal",
+    "polynomial_proposal",
+    "exponential_proposal",
+    "importance_realization",
+]

@@ -1,0 +1,72 @@
+"""Antithetic variates.
+
+For a realization ``f`` monotone in its base random numbers, averaging
+``f(U)`` with its mirror ``f(1-U)`` gives an unbiased estimator with
+variance reduced by the (negative) covariance of the pair.  The
+antithetic twin replays the *same* substream with every uniform
+reflected, so the pair consumes exactly one realization substream and
+stays deterministic per stream — the property the PARMONC hierarchy
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+
+__all__ = ["AntitheticStream", "antithetic_realization"]
+
+
+class AntitheticStream:
+    """A uniform source mirroring another: returns ``1 - u`` per draw."""
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def random(self) -> float:
+        """The reflection of the inner stream's next draw."""
+        return 1.0 - self._inner.random()
+
+    @property
+    def count(self) -> int:
+        """Draws taken (delegates to the mirrored stream)."""
+        return self._inner.count
+
+
+def antithetic_realization(routine: Callable[[Lcg128], object]
+                           ) -> Callable[[Lcg128], np.ndarray]:
+    """Wrap a realization routine with antithetic averaging.
+
+    The returned routine runs ``routine`` on the given stream, replays
+    the same stream reflected, and returns the elementwise average.
+    Its expectation equals the original's; for monotone routines its
+    variance is strictly smaller, so the PARMONC error estimates
+    shrink for the same sample volume.
+
+    Args:
+        routine: A one-argument realization routine.  (The zero-argument
+            global-``rnd128`` style cannot be mirrored transparently and
+            is rejected.)
+    """
+    if not callable(routine):
+        raise ConfigurationError("routine must be callable")
+
+    def antithetic(rng: Lcg128) -> np.ndarray:
+        state = rng.getstate()
+        primary = np.asarray(routine(rng), dtype=np.float64)
+        mirror_source = Lcg128(state[0], state[1])
+        mirrored = np.asarray(routine(AntitheticStream(mirror_source)),
+                              dtype=np.float64)
+        if primary.shape != mirrored.shape:
+            raise ConfigurationError(
+                f"antithetic halves disagree in shape: {primary.shape} "
+                f"vs {mirrored.shape}")
+        return 0.5 * (primary + mirrored)
+
+    return antithetic

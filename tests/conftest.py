@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng.lcg128 import Lcg128
+from repro.rng.multiplier import LeapSet
+from repro.rng.streams import StreamTree
+
+
+@pytest.fixture
+def rng() -> Lcg128:
+    """A fresh generator at the head of the general sequence."""
+    return Lcg128()
+
+
+@pytest.fixture
+def tree() -> StreamTree:
+    """A stream tree with the PARMONC default hierarchy."""
+    return StreamTree()
+
+
+@pytest.fixture
+def small_leaps() -> LeapSet:
+    """A tiny hierarchy useful for overlap/capacity experiments.
+
+    n_e = 2**20, n_p = 2**12, n_r = 2**6: capacities 2**105
+    experiments, 2**8 processors, 2**6 realizations, with realization
+    subsequences only 64 draws long — small enough to actually walk.
+    """
+    return LeapSet(experiment_exponent=20, processor_exponent=12,
+                   realization_exponent=6)
+
+
+@pytest.fixture
+def uniform_sample() -> np.ndarray:
+    """100k uniforms from the reference generator (module-scope cache)."""
+    return _UNIFORM_SAMPLE
+
+
+def _make_sample() -> np.ndarray:
+    from repro.rng.vectorized import VectorLcg128
+    return VectorLcg128(1).uniforms(100_000)
+
+
+_UNIFORM_SAMPLE = _make_sample()

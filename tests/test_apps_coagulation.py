@@ -1,0 +1,112 @@
+"""Tests for repro.apps.coagulation: the Smoluchowski workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.apps.coagulation import (
+    CoagulationProblem,
+    make_realization,
+    simulate_coagulation,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def problem():
+    return CoagulationProblem(n0=200, output_times=(0.5, 1.0, 2.0),
+                              max_size=5)
+
+
+class TestExactSolution:
+    def test_total_decays_hyperbolically(self, problem):
+        assert problem.exact_total(0.0) == 1.0
+        assert problem.exact_total(2.0) == pytest.approx(0.5)
+        assert problem.exact_total(6.0) == pytest.approx(0.25)
+
+    def test_concentrations_sum_to_total(self, problem):
+        # sum_k c_k(t) = N(t); the geometric series sums exactly.
+        t = 1.7
+        total = sum(problem.exact_concentration(k, t)
+                    for k in range(1, 400))
+        assert total == pytest.approx(problem.exact_total(t), rel=1e-6)
+
+    def test_mass_conserved(self, problem):
+        # sum_k k c_k(t) = 1 for all t (mass density stays 1).
+        t = 2.3
+        mass = sum(k * problem.exact_concentration(k, t)
+                   for k in range(1, 2000))
+        assert mass == pytest.approx(1.0, rel=1e-6)
+
+    def test_exact_matrix_shape(self, problem):
+        assert problem.exact_matrix().shape == problem.shape
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoagulationProblem(n0=1)
+        with pytest.raises(ConfigurationError):
+            CoagulationProblem(kernel=0.0)
+        with pytest.raises(ConfigurationError):
+            CoagulationProblem(output_times=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            CoagulationProblem(output_times=())
+        with pytest.raises(ConfigurationError):
+            CoagulationProblem(max_size=0)
+        with pytest.raises(ConfigurationError):
+            CoagulationProblem().exact_concentration(0, 1.0)
+
+
+class TestTrajectory:
+    def test_deterministic_per_stream(self, problem, tree):
+        a = simulate_coagulation(problem, tree.rng(0, 0, 4))
+        b = simulate_coagulation(problem, tree.rng(0, 0, 4))
+        assert np.array_equal(a, b)
+
+    def test_cluster_count_monotone_decreasing(self, problem, tree):
+        trajectory = simulate_coagulation(problem, tree.rng(0, 0, 0))
+        totals = trajectory[:, 0]
+        assert np.all(np.diff(totals) <= 1e-12)
+
+    def test_mass_conserved_in_realization(self, tree):
+        # Track all sizes: with max_size >= n0 the recorded spectrum
+        # carries the full mass at every output time.
+        problem = CoagulationProblem(n0=30, output_times=(0.2, 1.0),
+                                     max_size=30)
+        trajectory = simulate_coagulation(problem, tree.rng(0, 0, 1))
+        for row in trajectory:
+            mass = sum(k * row[k] for k in range(1, 31))
+            assert mass == pytest.approx(1.0)
+
+    def test_full_merge_freezes_spectrum(self, tree):
+        problem = CoagulationProblem(n0=5, kernel=50.0,
+                                     output_times=(10.0, 20.0),
+                                     max_size=5)
+        trajectory = simulate_coagulation(problem, tree.rng(0, 0, 0))
+        # By t=10 with that kernel everything merged to one cluster of
+        # size 5, which is of tracked size 5: concentration 1/n0.
+        assert trajectory[0, 0] == pytest.approx(1.0 / 5.0)
+        assert np.array_equal(trajectory[0], trajectory[1])
+
+
+class TestAgainstMeanField:
+    def test_parmonc_estimates_match_exact(self, problem):
+        result = parmonc(make_realization(problem),
+                         nrow=3, ncol=6, maxsv=120, processors=2,
+                         use_files=False)
+        exact = problem.exact_matrix()
+        deviation = np.abs(result.estimates.mean - exact)
+        # Finite-size bias O(1/n0) + MC error; generous but meaningful.
+        assert deviation.max() < 0.02
+
+    def test_spectrum_shape_geometric(self, problem, tree):
+        # At Kt/2 = 1 (t=2): c_k ∝ (1/2)**(k+1); successive tracked
+        # sizes should roughly halve in the sample average.
+        total = np.zeros(problem.shape)
+        n = 60
+        for index in range(n):
+            total += simulate_coagulation(problem, tree.rng(0, 0, index))
+        mean = total / n
+        ratios = mean[2, 2:5] / mean[2, 1:4]
+        assert np.all(np.abs(ratios - 0.5) < 0.15)

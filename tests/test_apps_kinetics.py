@@ -1,0 +1,141 @@
+"""Tests for repro.apps.kinetics: Gillespie SSA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.apps.kinetics import (
+    Reaction,
+    ReactionNetwork,
+    dimerization,
+    isomerization,
+    make_realization,
+    predator_prey,
+    simulate_ssa,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestReaction:
+    def test_first_order_propensity(self):
+        reaction = Reaction({0: 1}, {1: 1}, rate=2.0)
+        assert reaction.propensity(np.array([5, 0])) == 10.0
+
+    def test_second_order_same_species(self):
+        # A + A: c * x (x-1) / 2 combinatorial pairs.
+        reaction = Reaction({0: 2}, {1: 1}, rate=1.0)
+        assert reaction.propensity(np.array([4, 0])) == 6.0
+
+    def test_bimolecular_distinct_species(self):
+        reaction = Reaction({0: 1, 1: 1}, {1: 2}, rate=0.5)
+        assert reaction.propensity(np.array([4, 3])) == 6.0
+
+    def test_zero_copies_zero_propensity(self):
+        reaction = Reaction({0: 1}, {1: 1}, rate=2.0)
+        assert reaction.propensity(np.array([0, 9])) == 0.0
+
+    def test_apply_updates_state(self):
+        reaction = Reaction({0: 2}, {1: 1}, rate=1.0)
+        state = np.array([5, 1])
+        reaction.apply(state)
+        assert state.tolist() == [3, 2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Reaction({0: 1}, {}, rate=0.0)
+        with pytest.raises(ConfigurationError):
+            Reaction({0: 3}, {}, rate=1.0)  # third order unsupported
+        with pytest.raises(ConfigurationError):
+            Reaction({-1: 1}, {}, rate=1.0)
+
+
+class TestNetworkValidation:
+    def test_species_initial_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ReactionNetwork(("A",), (1, 2),
+                            (Reaction({0: 1}, {}, 1.0),), (1.0,))
+
+    def test_reaction_referencing_unknown_species(self):
+        with pytest.raises(ConfigurationError):
+            ReactionNetwork(("A",), (1,),
+                            (Reaction({3: 1}, {}, 1.0),), (1.0,))
+
+    def test_output_times_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            isomerization(output_times=(2.0, 1.0))
+
+    def test_empty_reactions(self):
+        with pytest.raises(ConfigurationError):
+            ReactionNetwork(("A",), (1,), (), (1.0,))
+
+
+class TestTrajectories:
+    def test_deterministic_per_stream(self, tree):
+        network = isomerization()
+        a = simulate_ssa(network, tree.rng(0, 0, 2))
+        b = simulate_ssa(network, tree.rng(0, 0, 2))
+        assert np.array_equal(a, b)
+
+    def test_isomerization_monotone(self, tree):
+        trajectory = simulate_ssa(isomerization(), tree.rng(0, 0, 0))
+        assert np.all(np.diff(trajectory[:, 0]) <= 0)  # A decays
+        assert np.all(np.diff(trajectory[:, 1]) >= 0)  # B grows
+
+    def test_isomerization_conservation(self, tree):
+        trajectory = simulate_ssa(isomerization(a0=150),
+                                  tree.rng(0, 0, 1))
+        assert np.all(trajectory.sum(axis=1) == 150)
+
+    def test_dimerization_mass_conservation(self, tree):
+        trajectory = simulate_ssa(dimerization(a0=100),
+                                  tree.rng(0, 0, 0))
+        assert np.all(trajectory[:, 0] + 2 * trajectory[:, 1] == 100)
+
+    def test_exhausted_system_freezes(self, tree):
+        # With a huge rate everything converts before the first output.
+        network = isomerization(a0=10, rate=1e6,
+                                output_times=(1.0, 2.0))
+        trajectory = simulate_ssa(network, tree.rng(0, 0, 0))
+        assert trajectory[0].tolist() == [0, 10]
+        assert np.array_equal(trajectory[0], trajectory[1])
+
+    def test_event_cap_freezes_gracefully(self, tree):
+        network = predator_prey(output_times=(1000.0,))
+        trajectory = simulate_ssa(network, tree.rng(0, 0, 0),
+                                  max_events=50)
+        assert trajectory.shape == (1, 2)
+        assert np.all(trajectory >= 0)
+
+
+class TestAgainstMasterEquation:
+    def test_isomerization_mean_decay(self):
+        network = isomerization(a0=100, rate=1.0,
+                                output_times=(0.25, 0.75, 1.5))
+        result = parmonc(make_realization(network), nrow=3, ncol=2,
+                         maxsv=600, processors=2, use_files=False)
+        exact = 100.0 * np.exp(-np.array([0.25, 0.75, 1.5]))
+        deviation = np.abs(result.estimates.mean[:, 0] - exact)
+        assert np.all(deviation <= 3 * result.estimates.abs_error[:, 0]
+                      + 1e-9)
+
+    def test_isomerization_variance_is_binomial(self):
+        # A(t) ~ Binomial(a0, exp(-kt)): Var = a0 p (1-p).
+        t = 0.7
+        probability = np.exp(-t)
+        network = isomerization(a0=100, rate=1.0, output_times=(t,))
+        result = parmonc(make_realization(network), nrow=1, ncol=2,
+                         maxsv=2_000, processors=2, use_files=False)
+        expected_variance = 100 * probability * (1 - probability)
+        assert result.estimates.variance[0, 0] == pytest.approx(
+            expected_variance, rel=0.2)
+
+    def test_dimerization_mean_monotone_and_conserved(self):
+        network = dimerization(a0=100)
+        result = parmonc(make_realization(network), nrow=3, ncol=2,
+                         maxsv=300, processors=2, use_files=False)
+        means = result.estimates.mean
+        assert np.all(np.diff(means[:, 0]) <= 0)
+        conserved = means[:, 0] + 2 * means[:, 1]
+        assert np.allclose(conserved, 100.0)

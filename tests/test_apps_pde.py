@@ -1,0 +1,118 @@
+"""Tests for repro.apps.pde: walk-on-spheres for the Laplace equation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.apps.pde import (
+    DirichletDisk,
+    harmonic_polynomial,
+    make_realization,
+    walk_on_spheres,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestHarmonicPolynomial:
+    def test_degree_zero_is_constant(self):
+        g = harmonic_polynomial(0)
+        assert g(1.0, 0.0) == 1.0
+        assert g(0.0, 1.0) == 1.0
+
+    def test_degree_one_is_x(self):
+        g = harmonic_polynomial(1)
+        assert g(0.3, 0.8) == pytest.approx(0.3)
+
+    def test_degree_two_is_x2_minus_y2(self):
+        g = harmonic_polynomial(2)
+        assert g(0.6, 0.3) == pytest.approx(0.36 - 0.09)
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_polynomial(-1)
+
+
+class TestProblemValidation:
+    def test_points_must_be_interior(self):
+        with pytest.raises(ConfigurationError):
+            DirichletDisk(harmonic_polynomial(1), ((1.0, 0.0),))
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DirichletDisk(harmonic_polynomial(1), ())
+
+    def test_epsilon_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DirichletDisk(harmonic_polynomial(1), ((0.0, 0.0),),
+                          epsilon=0.0)
+
+    def test_shape(self):
+        problem = DirichletDisk(harmonic_polynomial(1),
+                                ((0.0, 0.0), (0.5, 0.0)))
+        assert problem.shape == (2, 1)
+
+
+class TestWalks:
+    def test_deterministic_per_stream(self, tree):
+        problem = DirichletDisk(harmonic_polynomial(2), ((0.2, 0.1),))
+        a = walk_on_spheres(problem, 0.2, 0.1, tree.rng(0, 0, 4))
+        b = walk_on_spheres(problem, 0.2, 0.1, tree.rng(0, 0, 4))
+        assert a == b
+
+    def test_exit_values_lie_on_boundary_range(self, tree):
+        # For g = x on the unit circle, every exit value is in [-1, 1].
+        problem = DirichletDisk(harmonic_polynomial(1), ((0.3, 0.3),))
+        values = [walk_on_spheres(problem, 0.3, 0.3, tree.rng(0, 0, r))
+                  for r in range(200)]
+        assert all(-1.0 <= v <= 1.0 for v in values)
+
+    def test_constant_boundary_is_exact_pathwise(self, tree):
+        problem = DirichletDisk(harmonic_polynomial(0), ((0.4, -0.2),))
+        value = walk_on_spheres(problem, 0.4, -0.2, tree.rng(0, 0, 0))
+        assert value == 1.0
+
+    def test_walk_from_near_boundary_returns_quickly(self, tree):
+        problem = DirichletDisk(harmonic_polynomial(1), ((0.0, 0.0),),
+                                epsilon=1e-3)
+        generator = tree.rng(0, 0, 0)
+        walk_on_spheres(problem, 0.9995, 0.0, generator)
+        assert generator.count == 0  # already in the absorption layer
+
+
+class TestSolutionAccuracy:
+    @pytest.mark.parametrize("degree", [1, 2, 3])
+    def test_matches_exact_harmonic_solution(self, degree):
+        points = ((0.0, 0.0), (0.5, 0.0), (0.3, 0.4), (-0.6, 0.2))
+        problem = DirichletDisk(harmonic_polynomial(degree), points,
+                                epsilon=1e-3)
+        result = parmonc(make_realization(problem),
+                         nrow=len(points), ncol=1, maxsv=3000,
+                         processors=2, use_files=False)
+        exact = problem.exact_for(harmonic_polynomial(degree))
+        deviation = np.abs(result.estimates.mean - exact)
+        # 3-sigma MC tolerance plus the O(epsilon) WoS bias.
+        allowance = 3 * result.estimates.abs_error + 5e-3
+        assert np.all(deviation <= allowance), (degree, deviation)
+
+    def test_center_value_is_boundary_mean(self):
+        # Mean value property: u(0) = average of g over the circle;
+        # for g = x**2 restricted to the circle that is 1/2.
+        problem = DirichletDisk(lambda x, y: x * x, ((0.0, 0.0),),
+                                epsilon=1e-3)
+        result = parmonc(make_realization(problem), nrow=1, ncol=1,
+                         maxsv=4000, processors=2, use_files=False)
+        assert result.estimates.mean[0, 0] == pytest.approx(0.5,
+                                                            abs=0.03)
+
+    def test_maximum_principle_respected(self):
+        # Estimates at interior points stay within the boundary range.
+        problem = DirichletDisk(harmonic_polynomial(3),
+                                ((0.7, 0.0), (0.0, 0.7)),
+                                epsilon=1e-3)
+        result = parmonc(make_realization(problem), nrow=2, ncol=1,
+                         maxsv=1000, use_files=False)
+        assert np.all(np.abs(result.estimates.mean) <= 1.0 + 1e-9)

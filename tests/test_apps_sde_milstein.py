@@ -1,0 +1,104 @@
+"""Tests for the scalar Euler/Milstein integrators and GBM oracle."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.sde import (
+    ScalarSDE,
+    geometric_brownian_motion,
+    simulate_scalar_euler,
+    simulate_scalar_milstein,
+)
+from repro.exceptions import ConfigurationError
+
+
+def strong_errors(scheme, system, steps, n_paths, tree):
+    errors = []
+    for index in range(n_paths):
+        terminal, brownian = scheme(system, 1.0, steps,
+                                    tree.rng(0, 0, index))
+        exact = system.exact_terminal(1.0, brownian)
+        errors.append(abs(terminal - exact))
+    return float(np.mean(errors))
+
+
+class TestGbmOracle:
+    def test_exact_solution_formula(self):
+        gbm = geometric_brownian_motion(mu=0.1, sigma=0.3, initial=2.0)
+        value = gbm.exact_terminal(1.0, 0.5)
+        expected = 2.0 * math.exp((0.1 - 0.045) * 1.0 + 0.3 * 0.5)
+        assert value == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            geometric_brownian_motion(initial=0.0)
+        with pytest.raises(ConfigurationError):
+            geometric_brownian_motion(sigma=-0.1)
+
+
+class TestSchemes:
+    def test_same_brownian_path_for_both_schemes(self, tree):
+        gbm = geometric_brownian_motion()
+        _, w_euler = simulate_scalar_euler(gbm, 1.0, 16,
+                                           tree.rng(0, 0, 3))
+        _, w_milstein = simulate_scalar_milstein(gbm, 1.0, 16,
+                                                 tree.rng(0, 0, 3))
+        assert w_euler == w_milstein
+
+    def test_zero_noise_reduces_to_ode(self, tree):
+        system = ScalarSDE(initial=1.0, drift=lambda y: -y,
+                           diffusion=lambda y: 0.0,
+                           diffusion_derivative=lambda y: 0.0)
+        terminal, _ = simulate_scalar_euler(system, 1.0, 2000,
+                                            tree.rng(0, 0, 0))
+        assert terminal == pytest.approx(math.exp(-1.0), rel=1e-3)
+
+    def test_milstein_equals_euler_for_additive_noise(self, tree):
+        # b' = 0 makes the correction vanish identically.
+        system = ScalarSDE(initial=0.0, drift=lambda y: 0.5,
+                           diffusion=lambda y: 0.3,
+                           diffusion_derivative=lambda y: 0.0)
+        euler, _ = simulate_scalar_euler(system, 1.0, 64,
+                                         tree.rng(0, 0, 1))
+        milstein, _ = simulate_scalar_milstein(system, 1.0, 64,
+                                               tree.rng(0, 0, 1))
+        assert euler == milstein
+
+    def test_validation(self, tree):
+        gbm = geometric_brownian_motion()
+        with pytest.raises(ConfigurationError):
+            simulate_scalar_euler(gbm, 0.0, 10, tree.rng(0, 0, 0))
+        with pytest.raises(ConfigurationError):
+            simulate_scalar_milstein(gbm, 1.0, 0, tree.rng(0, 0, 0))
+
+
+class TestStrongConvergence:
+    def test_milstein_beats_euler_pathwise(self, tree):
+        gbm = geometric_brownian_motion(mu=0.05, sigma=0.5)
+        euler_error = strong_errors(simulate_scalar_euler, gbm, 32,
+                                    200, tree)
+        milstein_error = strong_errors(simulate_scalar_milstein, gbm,
+                                       32, 200, tree)
+        assert milstein_error < 0.25 * euler_error
+
+    def test_convergence_orders(self, tree):
+        # Strong order: Euler ~ h^0.5, Milstein ~ h^1.0.  Measured over
+        # a 16x step refinement, the error ratios should be ~4 and ~16.
+        gbm = geometric_brownian_motion(mu=0.05, sigma=0.5)
+        euler_coarse = strong_errors(simulate_scalar_euler, gbm, 8,
+                                     300, tree)
+        euler_fine = strong_errors(simulate_scalar_euler, gbm, 128,
+                                   300, tree)
+        milstein_coarse = strong_errors(simulate_scalar_milstein, gbm,
+                                        8, 300, tree)
+        milstein_fine = strong_errors(simulate_scalar_milstein, gbm,
+                                      128, 300, tree)
+        euler_order = math.log(euler_coarse / euler_fine) / math.log(16)
+        milstein_order = math.log(milstein_coarse
+                                  / milstein_fine) / math.log(16)
+        assert 0.35 < euler_order < 0.75
+        assert 0.8 < milstein_order < 1.25

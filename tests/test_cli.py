@@ -1,0 +1,166 @@
+"""Tests for the genparam, manaver and parmonc-run command-line tools."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.cli.genparam import main as genparam_main
+from repro.cli.manaver import main as manaver_main, manual_average
+from repro.cli.run import load_routine, main as run_main
+from repro.exceptions import ConfigurationError, ReproError
+from repro.rng.multiplier import LeapSet
+from repro.runtime.bootstrap import start_session
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.files import DataDirectory, read_genparam_file
+from repro.runtime.worker import run_worker
+
+
+class TestGenparamCli:
+    def test_writes_file_with_correct_multipliers(self, tmp_path, capsys):
+        code = genparam_main(["30", "20", "10",
+                              "--workdir", str(tmp_path)])
+        assert code == 0
+        values = read_genparam_file(tmp_path)
+        expected = LeapSet(30, 20, 10).multipliers()
+        assert (values["A_ne"], values["A_np"], values["A_nr"]) == expected
+        output = capsys.readouterr().out
+        assert "parmonc_genparam.dat" in output
+
+    def test_invalid_exponents_fail_cleanly(self, tmp_path, capsys):
+        code = genparam_main(["10", "20", "30",
+                              "--workdir", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_prints_capacities(self, tmp_path, capsys):
+        genparam_main(["30", "20", "10", "--workdir", str(tmp_path)])
+        output = capsys.readouterr().out
+        assert "experiments" in output
+
+
+class TestManaverCli:
+    def _leave_unfinalized_job(self, tmp_path, volume=30, processors=3):
+        config = RunConfig(maxsv=volume, processors=processors,
+                           workdir=tmp_path)
+        data, state = start_session(config)
+        collector = Collector(config, state.base, data,
+                              sessions=state.session_index)
+        for rank in range(processors):
+            run_worker(lambda rng: rng.random(), config, rank,
+                       config.worker_quota(rank),
+                       send=lambda m: collector.receive(m, 0.0))
+        return collector
+
+    def test_recovers_killed_job(self, tmp_path, capsys):
+        self._leave_unfinalized_job(tmp_path)
+        code = manaver_main(["--workdir", str(tmp_path)])
+        assert code == 0
+        assert "recovered 30 realizations" in capsys.readouterr().out
+        data = DataDirectory(tmp_path)
+        assert data.read_log()["total_sample_volume"] == "30"
+        # The recovered sample becomes resumable.
+        snapshot, _ = data.load_savepoint()
+        assert snapshot.volume == 30
+
+    def test_nothing_to_average(self, tmp_path, capsys):
+        code = manaver_main(["--workdir", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_includes_previous_session_base(self, tmp_path):
+        parmonc(lambda rng: rng.random(), maxsv=20, workdir=tmp_path)
+        # A later job that dies mid-flight.
+        config = RunConfig(maxsv=10, processors=1, res=1, seqnum=1,
+                           workdir=tmp_path)
+        data, state = start_session(config)
+        collector = Collector(config, state.base, data,
+                              sessions=state.session_index)
+        run_worker(lambda rng: rng.random(), config, 0, 10,
+                   send=lambda m: collector.receive(m, 0.0))
+        summary = manual_average(tmp_path)
+        assert summary["volume"] == 30
+        assert summary["base_included"]
+
+    def test_resume_after_manaver_counts_everything(self, tmp_path):
+        self._leave_unfinalized_job(tmp_path, volume=30)
+        manual_average(tmp_path)
+        resumed = parmonc(lambda rng: rng.random(), maxsv=10, res=1,
+                          seqnum=1, workdir=tmp_path)
+        assert resumed.total_volume == 40
+
+    def test_crashed_sessions_seqnum_stays_burnt(self, tmp_path):
+        # Regression: a session that crashed before finalizing must not
+        # leave its seqnum reusable — the recovered realizations came
+        # from that experiments subsequence.
+        from repro.exceptions import ResumeError
+        parmonc(lambda rng: rng.random(), maxsv=10, workdir=tmp_path)
+        config = RunConfig(maxsv=10, processors=1, res=1, seqnum=7,
+                           workdir=tmp_path)
+        data, state = start_session(config)
+        collector = Collector(config, state.base, data,
+                              sessions=state.session_index)
+        run_worker(lambda rng: rng.random(), config, 0, 10,
+                   send=lambda m: collector.receive(m, 0.0))
+        manual_average(tmp_path)
+        with pytest.raises(ResumeError):
+            parmonc(lambda rng: rng.random(), maxsv=10, res=1,
+                    seqnum=7, workdir=tmp_path)
+        # A fresh seqnum still works and counts everything.
+        final = parmonc(lambda rng: rng.random(), maxsv=10, res=1,
+                        seqnum=8, workdir=tmp_path)
+        assert final.total_volume == 30
+
+    def test_empty_savepoints_rejected(self, tmp_path):
+        data = DataDirectory(tmp_path)
+        from repro.stats.accumulator import MomentSnapshot
+        data.save_processor_snapshot(0, MomentSnapshot.zero(1, 1))
+        with pytest.raises(ReproError):
+            manual_average(tmp_path)
+
+
+class TestRunCli:
+    def test_load_routine_from_module(self):
+        routine = load_routine("math:sqrt")
+        assert routine(4.0) == 2.0
+
+    def test_load_routine_bad_spec(self):
+        with pytest.raises(ConfigurationError):
+            load_routine("no_colon")
+        with pytest.raises(ConfigurationError):
+            load_routine("definitely_missing_module_xyz:fn")
+        with pytest.raises(ConfigurationError):
+            load_routine("math:missing_attr")
+        with pytest.raises(ConfigurationError):
+            load_routine("math:pi")  # not callable
+
+    def test_end_to_end_run(self, tmp_path, capsys):
+        (tmp_path / "mymodel.py").write_text(
+            "def realization(rng):\n    return rng.random()\n")
+        code = run_main(["mymodel:realization", "--maxsv", "100",
+                         "--processors", "2",
+                         "--workdir", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "total sample volume: 100" in output
+        mean = DataDirectory(tmp_path).read_mean_matrix()
+        assert 0.3 < mean[0, 0] < 0.7
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        code = run_main(["missing_module_abc:fn", "--maxsv", "10",
+                         "--workdir", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_via_cli(self, tmp_path, capsys):
+        (tmp_path / "mymodel2.py").write_text(
+            "def realization(rng):\n    return rng.random()\n")
+        assert run_main(["mymodel2:realization", "--maxsv", "50",
+                         "--workdir", str(tmp_path)]) == 0
+        assert run_main(["mymodel2:realization", "--maxsv", "50",
+                         "--res", "1", "--seqnum", "1",
+                         "--workdir", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "total sample volume: 100" in output

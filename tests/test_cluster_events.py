@@ -1,0 +1,73 @@
+"""Tests for repro.cluster.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import EventQueue
+from repro.exceptions import ConfigurationError
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda t: fired.append(("c", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        queue.schedule(2.0, lambda t: fired.append(("b", t)))
+        queue.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_fifo_on_ties(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abcde":
+            queue.schedule(1.0, lambda t, l=label: fired.append(l))
+        queue.run()
+        assert fired == list("abcde")
+
+    def test_now_tracks_dispatch(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        assert queue.now == 0.0
+        queue.step()
+        assert queue.now == 5.0
+
+    def test_step_on_empty(self):
+        assert EventQueue().step() is False
+
+    def test_scheduling_from_callback(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(t):
+            fired.append(t)
+            if t < 3.0:
+                queue.schedule(t + 1.0, chain)
+
+        queue.schedule(1.0, chain)
+        queue.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_past_scheduling_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        queue.step()
+        with pytest.raises(ConfigurationError):
+            queue.schedule(4.0, lambda t: None)
+
+    def test_run_until_leaves_future_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append(t))
+        queue.schedule(10.0, lambda t: fired.append(t))
+        final = queue.run(until=5.0)
+        assert fired == [1.0]
+        assert final == 5.0
+        assert len(queue) == 1
+
+    def test_len(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        assert len(queue) == 2

@@ -1,0 +1,112 @@
+"""Tests for repro.cluster.machine and repro.cluster.network."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import DurationModel, Processor
+from repro.cluster.network import CollectorService, NetworkModel
+from repro.exceptions import ConfigurationError
+
+
+class TestDurationModel:
+    def test_fixed_is_deterministic(self):
+        model = DurationModel(mean=7.7, distribution="fixed")
+        rng = np.random.default_rng(0)
+        assert [model.sample(rng) for _ in range(5)] == [7.7] * 5
+
+    @pytest.mark.parametrize("distribution", ["exponential", "lognormal",
+                                              "uniform"])
+    def test_stochastic_means(self, distribution):
+        model = DurationModel(mean=7.7, distribution=distribution,
+                              spread=0.25)
+        rng = np.random.default_rng(42)
+        samples = np.array([model.sample(rng) for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(7.7, rel=0.05)
+        assert np.all(samples > 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DurationModel(mean=0.0)
+        with pytest.raises(ConfigurationError):
+            DurationModel(distribution="weird")
+        with pytest.raises(ConfigurationError):
+            DurationModel(spread=-1.0)
+        with pytest.raises(ConfigurationError):
+            DurationModel(distribution="uniform", spread=1.5)
+
+
+class TestProcessor:
+    def test_speed_factor_scales_duration(self):
+        model = DurationModel(mean=10.0)
+        rng = np.random.default_rng(0)
+        fast = Processor(0, speed_factor=2.0)
+        slow = Processor(1, speed_factor=0.5)
+        assert fast.duration(model, rng) == pytest.approx(5.0)
+        assert slow.duration(model, rng) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Processor(-1)
+        with pytest.raises(ConfigurationError):
+            Processor(0, speed_factor=0.0)
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        network = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert network.transfer_time(500_000) == pytest.approx(0.501)
+
+    def test_local_messages_free(self):
+        network = NetworkModel(latency=1e-3, bandwidth=1e6)
+        assert network.transfer_time(10 ** 9, local=True) == 0.0
+
+    def test_paper_message_over_gigabit(self):
+        # 120 KB over ~1 GB/s is ~0.12 ms plus latency: negligible next
+        # to tau = 7.7 s, which is why Fig. 2 stays linear.
+        network = NetworkModel()
+        assert network.transfer_time(120_000) < 0.001
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency=-1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel().transfer_time(-5)
+
+
+class TestCollectorService:
+    def test_fifo_queueing(self):
+        service = CollectorService(service_time=1.0)
+        # Two messages arriving together: second waits for the first.
+        assert service.admit(0.0) == pytest.approx(1.0)
+        assert service.admit(0.0) == pytest.approx(2.0)
+
+    def test_idle_server_starts_immediately(self):
+        service = CollectorService(service_time=0.5)
+        service.admit(0.0)
+        assert service.admit(10.0) == pytest.approx(10.5)
+
+    def test_busy_accounting(self):
+        service = CollectorService(service_time=2.0)
+        service.admit(0.0)
+        service.admit(1.0)
+        assert service.served == 2
+        assert service.busy_total == pytest.approx(4.0)
+        assert service.utilization(8.0) == pytest.approx(0.5)
+
+    def test_utilization_capped_at_one(self):
+        service = CollectorService(service_time=5.0)
+        service.admit(0.0)
+        assert service.utilization(1.0) == 1.0
+
+    def test_zero_horizon(self):
+        assert CollectorService().utilization(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollectorService(service_time=-1.0)
+        with pytest.raises(ConfigurationError):
+            CollectorService().admit(-1.0)

@@ -1,0 +1,59 @@
+"""Tests for batched_realization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.core import batched_realization
+from repro.exceptions import ConfigurationError
+from repro.rng.streams import StreamTree
+
+
+class TestBatchedRealization:
+    def test_unbiased(self):
+        wrapped = batched_realization(lambda rng: rng.random(), 50)
+        estimates = parmonc(wrapped, maxsv=200, processors=2,
+                            use_files=False).estimates
+        assert abs(estimates.mean[0, 0] - 0.5) \
+            <= 3 * estimates.abs_error[0, 0] + 1e-9
+
+    def test_variance_drops_by_batch(self):
+        plain = parmonc(lambda rng: rng.random(), maxsv=2000,
+                        use_files=False).estimates
+        batched = parmonc(batched_realization(lambda rng: rng.random(),
+                                              20),
+                          maxsv=2000, use_files=False).estimates
+        ratio = plain.variance[0, 0] / batched.variance[0, 0]
+        assert ratio == pytest.approx(20.0, rel=0.3)
+
+    def test_batch_of_one_is_identity(self, tree):
+        routine = lambda rng: rng.random()
+        wrapped = batched_realization(routine, 1)
+        assert wrapped(tree.rng(0, 0, 3)) \
+            == routine(tree.rng(0, 0, 3))
+
+    def test_matrix_valued_routines(self, tree):
+        wrapped = batched_realization(
+            lambda rng: np.array([[rng.random(), 1.0]]), 10)
+        value = wrapped(tree.rng(0, 0, 0))
+        assert value.shape == (1, 2)
+        assert value[0, 1] == 1.0
+
+    def test_deterministic_per_stream(self, tree):
+        wrapped = batched_realization(lambda rng: rng.random(), 7)
+        assert np.array_equal(wrapped(tree.rng(0, 0, 2)),
+                              wrapped(tree.rng(0, 0, 2)))
+
+    def test_consumes_sequentially_from_one_stream(self, tree):
+        wrapped = batched_realization(lambda rng: rng.random(), 5)
+        generator = tree.rng(0, 0, 0)
+        wrapped(generator)
+        assert generator.count == 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            batched_realization(lambda rng: 0.0, 0)
+        with pytest.raises(ConfigurationError):
+            batched_realization("nope", 3)

@@ -1,0 +1,95 @@
+"""Tests for MonteCarloRun, the session lifecycle wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MonteCarloRun
+from repro.exceptions import ConfigurationError, ResumeError
+
+
+def cube(rng):
+    return rng.random() ** 3
+
+
+class TestLifecycle:
+    def test_run_then_resume(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path, processors=2)
+        first = run.run(maxsv=300)
+        second = run.resume(maxsv=300)
+        assert first.total_volume == 300
+        assert second.total_volume == 600
+        assert run.last_result is second
+
+    def test_resume_picks_fresh_seqnum(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        run.run(maxsv=50)
+        second = run.resume(maxsv=50)
+        third = run.resume(maxsv=50)
+        assert second.config.seqnum == 1
+        assert third.config.seqnum == 2
+
+    def test_resume_respects_explicit_seqnum(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        run.run(maxsv=50)
+        resumed = run.resume(maxsv=50, seqnum=7)
+        assert resumed.config.seqnum == 7
+
+    def test_resume_without_run_rejected(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        with pytest.raises(ResumeError):
+            run.resume(maxsv=10)
+
+    def test_run_discards_previous_state(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        run.run(maxsv=100)
+        fresh = run.run(maxsv=40)
+        assert fresh.total_volume == 40
+
+    def test_defaults_forwarded(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path, processors=3,
+                            perpass=2.0)
+        result = run.run(maxsv=30)
+        assert result.config.processors == 3
+        assert result.config.perpass == 2.0
+
+    def test_overrides_beat_defaults(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path, processors=3)
+        result = run.run(maxsv=30, processors=1)
+        assert result.config.processors == 1
+
+    def test_matrix_problem(self, tmp_path):
+        import numpy as np
+        run = MonteCarloRun(
+            lambda rng: np.array([[rng.random()], [rng.random()]]),
+            nrow=2, ncol=1, workdir=tmp_path)
+        result = run.run(maxsv=100)
+        assert result.estimates.shape == (2, 1)
+
+
+class TestRunUntil:
+    def test_reaches_target_error(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path, processors=2)
+        result = run.run_until(target_abs_error=0.02,
+                               session_volume=500, max_sessions=50)
+        assert result.estimates.abs_error_max <= 0.02
+
+    def test_continues_from_existing_state(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        run.run(maxsv=200)
+        result = run.run_until(target_abs_error=0.05,
+                               session_volume=200, max_sessions=20)
+        assert result.total_volume >= 400  # at least one resume happened
+
+    def test_session_cap_respected(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        result = run.run_until(target_abs_error=1e-9,
+                               session_volume=50, max_sessions=3)
+        assert result.total_volume == 150
+
+    def test_validation(self, tmp_path):
+        run = MonteCarloRun(cube, workdir=tmp_path)
+        with pytest.raises(ConfigurationError):
+            run.run_until(target_abs_error=0.0)
+        with pytest.raises(ConfigurationError):
+            run.run_until(target_abs_error=0.1, max_sessions=0)

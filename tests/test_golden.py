@@ -1,0 +1,116 @@
+"""Golden regression tests: pinned values of the public contracts.
+
+These values were computed from the formulas of the paper (formula (6)
+with A = 5^101 mod 2^128, u_0 = 1; leap algebra of formula (8)) and are
+frozen here so that any future change to the generator arithmetic, the
+float conversion, the stream placement or the file formats is caught as
+an explicit diff rather than a silent statistical drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.rng.lcg128 import Lcg128
+from repro.rng.multiplier import BASE_MULTIPLIER
+from repro.rng.streams import StreamTree
+from repro.runtime.files import DataDirectory
+
+#: The exact multiplier 5**101 mod 2**128.
+GOLDEN_MULTIPLIER = 250037011538279330113129619742442556597
+
+#: First six outputs of the general sequence (u_0 = 1).
+GOLDEN_FIRST_OUTPUTS = [
+    0.7347927363993362,
+    0.7322174134961129,
+    0.8444657343613531,
+    0.6842864013325684,
+    0.21467347941241133,
+    0.86588481650548,
+]
+
+#: State after jumping the general sequence by 10**6 draws.
+GOLDEN_STATE_1E6 = 0x419d56c72922e1daa14e082d1eed1301
+
+#: Head state of hierarchy stream (experiment=1, processor=2,
+#: realization=3) under default leaps.
+GOLDEN_STREAM_1_2_3 = 0x7ba5296259ffa038dc66200000000001
+
+
+class TestGeneratorGolden:
+    def test_multiplier_value(self):
+        assert BASE_MULTIPLIER == GOLDEN_MULTIPLIER
+
+    def test_first_outputs(self):
+        generator = Lcg128()
+        for expected in GOLDEN_FIRST_OUTPUTS:
+            assert generator.random() == expected
+
+    def test_jump_state(self):
+        assert Lcg128().jumped(10 ** 6).state == GOLDEN_STATE_1E6
+
+    def test_stream_head(self):
+        assert StreamTree().rng(1, 2, 3).state == GOLDEN_STREAM_1_2_3
+
+    def test_vectorized_agrees_with_golden(self):
+        from repro.rng.vectorized import generate_block
+        values, _ = generate_block(1, len(GOLDEN_FIRST_OUTPUTS))
+        assert values.tolist() == GOLDEN_FIRST_OUTPUTS
+
+
+class TestEstimatorGolden:
+    def test_known_run_is_frozen(self, tmp_path):
+        # A fully pinned end-to-end run: 1 processor, 4 realizations of
+        # the identity on the general-sequence substream of stream
+        # (0, 0, r).
+        result = parmonc(lambda rng: rng.random(), maxsv=4,
+                         workdir=tmp_path)
+        tree = StreamTree()
+        values = [tree.rng(0, 0, r).random() for r in range(4)]
+        assert result.estimates.mean[0, 0] == np.mean(values)
+        assert result.estimates.variance[0, 0] == pytest.approx(
+            np.var(values))
+
+    def test_error_formula_constants(self):
+        # eps = 3 sigma / sqrt(L) with gamma fixed at exactly 3.0.
+        from repro.stats.estimators import CONFIDENCE_FACTOR
+        assert CONFIDENCE_FACTOR == 3.0
+
+
+class TestFileFormatGolden:
+    def test_func_dat_layout(self, tmp_path):
+        parmonc(lambda rng: np.array([[1.0, 2.0], [3.0, 4.0]]),
+                nrow=2, ncol=2, maxsv=3, workdir=tmp_path)
+        content = (DataDirectory(tmp_path).results_dir
+                   / "func.dat").read_text()
+        lines = content.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].split() == ["1.000000000000000e+00",
+                                    "2.000000000000000e+00"]
+
+    def test_func_ci_dat_header(self, tmp_path):
+        parmonc(lambda rng: 1.0, maxsv=2, workdir=tmp_path)
+        content = (DataDirectory(tmp_path).results_dir
+                   / "func_ci.dat").read_text()
+        assert content.splitlines()[0] \
+            == "# i j mean abs_error rel_error_percent variance"
+
+    def test_func_log_keys(self, tmp_path):
+        parmonc(lambda rng: 1.0, maxsv=2, workdir=tmp_path)
+        log = DataDirectory(tmp_path).read_log()
+        assert set(log) >= {
+            "total_sample_volume", "mean_time_per_realization_sec",
+            "abs_error_upper_bound", "rel_error_upper_bound_percent",
+            "variance_upper_bound", "matrix_shape", "seqnum",
+            "processors", "sessions", "written_at"}
+
+    def test_genparam_file_format(self, tmp_path):
+        from repro.cli.genparam import main as genparam_main
+        genparam_main(["30", "20", "10", "--workdir", str(tmp_path)])
+        content = (tmp_path / "parmonc_genparam.dat").read_text()
+        keys = [line.split(":")[0] for line in
+                content.strip().splitlines()]
+        assert keys == ["ne_exponent", "np_exponent", "nr_exponent",
+                        "A_ne", "A_np", "A_nr"]

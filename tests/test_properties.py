@@ -1,0 +1,165 @@
+"""Cross-cutting property-based tests on the core invariants.
+
+These encode the theorems the library's correctness rests on:
+
+* leap algebra — jumping commutes, composes additively, and the stream
+  hierarchy is a homomorphic image of it;
+* estimator algebra — formula (5) merging equals monolithic
+  accumulation for *any* partition of the sample;
+* protocol — the collector's merged state is invariant under message
+  order and duplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.lcg128 import Lcg128
+from repro.rng.multiplier import MODULUS, STATE_MASK
+from repro.rng.streams import StreamTree
+from repro.rng.vectorized import generate_block
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.messages import MomentMessage
+from repro.stats.accumulator import MomentAccumulator, MomentSnapshot
+from repro.stats.merging import merge_snapshots
+
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+class TestLeapAlgebra:
+    @given(jumps=st.lists(st.integers(0, 10 ** 12), min_size=1,
+                          max_size=6))
+    @settings(max_examples=40)
+    def test_jump_sequence_equals_total(self, jumps):
+        stepwise = Lcg128()
+        for jump in jumps:
+            stepwise.jump(jump)
+        direct = Lcg128()
+        direct.jump(sum(jumps))
+        assert stepwise.state == direct.state
+
+    @given(e=st.integers(0, 100), p=st.integers(0, 100),
+           r=st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_hierarchy_equals_flat_offset(self, e, p, r):
+        tree = StreamTree()
+        leaps = tree.leaps
+        offset = (e * leaps.experiment_leap + p * leaps.processor_leap
+                  + r * leaps.realization_leap)
+        assert tree.rng(e, p, r).state == Lcg128().jumped(offset).state
+
+    @given(size1=st.integers(0, 200), size2=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_block_concatenation(self, size1, size2):
+        # Drawing size1 then size2 numbers equals drawing size1+size2.
+        first, state = generate_block(1, size1)
+        second, _ = generate_block(state, size2)
+        combined, _ = generate_block(1, size1 + size2)
+        assert np.array_equal(np.concatenate([first, second]), combined)
+
+    @given(state=st.integers(0, STATE_MASK).map(lambda v: v | 1),
+           steps=st.integers(0, 10 ** 6))
+    @settings(max_examples=40)
+    def test_state_stays_odd(self, state, steps):
+        # Odd states form the maximal-period orbit; the recurrence must
+        # never leave it.
+        generator = Lcg128(state)
+        generator.jump(steps)
+        assert generator.state % 2 == 1
+        generator.next_raw()
+        assert generator.state % 2 == 1
+
+
+class TestEstimatorAlgebra:
+    @given(values=st.lists(finite, min_size=1, max_size=40),
+           cut_points=st.lists(st.integers(0, 40), max_size=4))
+    @settings(max_examples=50)
+    def test_any_partition_merges_to_monolithic(self, values, cut_points):
+        cuts = sorted({min(c, len(values)) for c in cut_points})
+        boundaries = [0, *cuts, len(values)]
+        snapshots = []
+        for lo, hi in zip(boundaries, boundaries[1:]):
+            accumulator = MomentAccumulator(1, 1)
+            for value in values[lo:hi]:
+                accumulator.add(value)
+            snapshots.append(accumulator.snapshot())
+        merged = merge_snapshots(snapshots)
+        monolithic = MomentAccumulator(1, 1)
+        for value in values:
+            monolithic.add(value)
+        reference = monolithic.snapshot()
+        assert merged.volume == reference.volume
+        assert merged.sum1[0, 0] == pytest.approx(reference.sum1[0, 0])
+        assert merged.sum2[0, 0] == pytest.approx(reference.sum2[0, 0])
+
+    @given(values=st.lists(finite, min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_variance_nonnegative_and_errors_consistent(self, values):
+        accumulator = MomentAccumulator(1, 1)
+        for value in values:
+            accumulator.add(value)
+        estimates = accumulator.estimates()
+        assert estimates.variance[0, 0] >= 0.0
+        assert estimates.abs_error[0, 0] == pytest.approx(
+            3.0 * np.sqrt(estimates.variance[0, 0] / len(values)))
+
+    @given(values=st.lists(finite, min_size=1, max_size=30),
+           scale=st.floats(0.1, 10.0))
+    @settings(max_examples=40)
+    def test_mean_is_linear_variance_quadratic(self, values, scale):
+        plain = MomentAccumulator(1, 1)
+        scaled = MomentAccumulator(1, 1)
+        for value in values:
+            plain.add(value)
+            scaled.add(scale * value)
+        assert scaled.estimates().mean[0, 0] == pytest.approx(
+            scale * plain.estimates().mean[0, 0], rel=1e-9, abs=1e-9)
+        assert scaled.estimates().variance[0, 0] == pytest.approx(
+            scale ** 2 * plain.estimates().variance[0, 0],
+            rel=1e-6, abs=1e-7)
+
+
+class TestProtocolInvariance:
+    def _snapshots(self, rng_seed):
+        generator = np.random.default_rng(rng_seed)
+        snapshots = []
+        for _ in range(4):
+            accumulator = MomentAccumulator(1, 1)
+            for value in generator.uniform(size=generator.integers(1, 6)):
+                accumulator.add(float(value))
+            snapshots.append(accumulator.snapshot())
+        return snapshots
+
+    @given(seed=st.integers(0, 100), order=st.permutations(range(4)))
+    @settings(max_examples=40)
+    def test_message_order_does_not_change_result(self, seed, order):
+        snapshots = self._snapshots(seed)
+        config = RunConfig(maxsv=100, processors=4, peraver=1e9)
+        collector = Collector(config, MomentSnapshot.zero(1, 1), None)
+        for position, rank in enumerate(order):
+            collector.receive(
+                MomentMessage(rank=rank, snapshot=snapshots[rank],
+                              sent_at=float(position)),
+                now=float(position))
+        merged = collector.merged()
+        reference = merge_snapshots(snapshots)
+        assert merged.volume == reference.volume
+        assert merged.sum1[0, 0] == pytest.approx(reference.sum1[0, 0])
+
+    @given(seed=st.integers(0, 100), repeats=st.integers(1, 4))
+    @settings(max_examples=30)
+    def test_duplicate_cumulative_messages_are_idempotent(self, seed,
+                                                          repeats):
+        snapshots = self._snapshots(seed)
+        config = RunConfig(maxsv=100, processors=4, peraver=1e9)
+        collector = Collector(config, MomentSnapshot.zero(1, 1), None)
+        for rank, snapshot in enumerate(snapshots):
+            for _ in range(repeats):  # resend the same cumulative state
+                collector.receive(
+                    MomentMessage(rank=rank, snapshot=snapshot,
+                                  sent_at=0.0), now=0.0)
+        assert collector.total_volume == sum(s.volume for s in snapshots)

@@ -1,0 +1,178 @@
+"""Tests for repro.qmc: Halton, lattices and RQMC realizations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.exceptions import ConfigurationError
+from repro.qmc import (
+    HaltonSequence,
+    fibonacci_lattice,
+    halton_points,
+    korobov_generator,
+    lattice_points,
+    mc_batch_realization,
+    p2_criterion,
+    radical_inverse,
+    rqmc_halton_realization,
+    rqmc_lattice_realization,
+    shifted_batch_mean,
+)
+from repro.rng.streams import StreamTree
+
+
+class TestRadicalInverse:
+    def test_base_two_values(self):
+        # 1 -> 0.1b, 2 -> 0.01b, 3 -> 0.11b, 6 = 110b -> 0.011b.
+        assert radical_inverse(1, 2) == 0.5
+        assert radical_inverse(2, 2) == 0.25
+        assert radical_inverse(3, 2) == 0.75
+        assert radical_inverse(6, 2) == 0.375
+
+    def test_base_three_values(self):
+        assert radical_inverse(1, 3) == pytest.approx(1 / 3)
+        assert radical_inverse(5, 3) == pytest.approx(2 / 3 + 1 / 9)
+
+    def test_zero_index(self):
+        assert radical_inverse(0, 7) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            radical_inverse(-1, 2)
+        with pytest.raises(ConfigurationError):
+            radical_inverse(1, 1)
+
+
+class TestHalton:
+    def test_first_points(self):
+        points = halton_points(3, 2)
+        assert points[:, 0].tolist() == [0.5, 0.25, 0.75]
+        assert points[0, 1] == pytest.approx(1 / 3)
+
+    def test_range(self):
+        points = halton_points(500, 5)
+        assert np.all(points >= 0.0) and np.all(points < 1.0)
+
+    def test_low_discrepancy_beats_random_binning(self):
+        # Halton fills a 16-bin histogram far more evenly than iid
+        # points of the same count.
+        points = halton_points(1024, 1)[:, 0]
+        counts = np.bincount((points * 16).astype(int), minlength=16)
+        assert counts.max() - counts.min() <= 2
+
+    def test_sequence_statefulness(self):
+        sequence = HaltonSequence(2)
+        first = sequence.next_points(10)
+        second = sequence.next_points(10)
+        combined = halton_points(20, 2)
+        assert np.array_equal(np.vstack([first, second]), combined)
+        assert sequence.next_index == 21
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            halton_points(10, 0)
+        with pytest.raises(ConfigurationError):
+            halton_points(10, 99)
+        with pytest.raises(ConfigurationError):
+            HaltonSequence(2, start=-1)
+
+
+class TestLattice:
+    def test_points_formula(self):
+        points = lattice_points(4, (1, 3))
+        assert points.tolist() == [
+            [0.0, 0.0], [0.25, 0.75], [0.5, 0.5], [0.75, 0.25]]
+
+    def test_fibonacci_values(self):
+        assert fibonacci_lattice(3) == (2, (1, 1))
+        assert fibonacci_lattice(7) == (13, (1, 8))
+        assert fibonacci_lattice(12) == (144, (1, 89))
+
+    def test_fibonacci_integrates_trig_polynomials_exactly(self, tree):
+        # Lattice rules are exact on trigonometric polynomials whose
+        # frequencies avoid the dual lattice.
+        def g(x):
+            return (1 + math.sin(2 * math.pi * x[0])) \
+                * (1 + math.sin(2 * math.pi * x[1]))
+
+        n, z = fibonacci_lattice(10)
+        realization = rqmc_lattice_realization(g, n, z)
+        values = [realization(tree.rng(0, 0, r)) for r in range(5)]
+        assert np.allclose(values, 1.0, atol=1e-12)
+
+    def test_p2_criterion_prefers_good_generators(self):
+        n, good = fibonacci_lattice(10)  # n = 55, z = (1, 34)
+        bad = (1, 1)  # diagonal lattice: terrible
+        assert p2_criterion(n, good) < p2_criterion(n, bad) / 10
+
+    def test_korobov_search_beats_naive(self):
+        z = korobov_generator(127, 2)
+        assert p2_criterion(127, z) < p2_criterion(127, (1, 1)) / 10
+        assert z[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lattice_points(0, (1,))
+        with pytest.raises(ConfigurationError):
+            lattice_points(4, ())
+        with pytest.raises(ConfigurationError):
+            fibonacci_lattice(2)
+        with pytest.raises(ConfigurationError):
+            korobov_generator(2, 2)
+
+
+class TestRqmcRealizations:
+    EXACT = (math.e - 1.0) * math.sin(1.0)
+
+    @staticmethod
+    def integrand(x):
+        return math.exp(x[0]) * math.cos(x[1])
+
+    def test_halton_realization_unbiased(self):
+        realization = rqmc_halton_realization(self.integrand, 2, 128)
+        result = parmonc(realization, maxsv=50, use_files=False)
+        estimates = result.estimates
+        assert abs(estimates.mean[0, 0] - self.EXACT) \
+            <= 4 * estimates.abs_error[0, 0] + 1e-9
+
+    def test_halton_variance_beats_mc_batch(self):
+        batch = 256
+        rqmc = parmonc(rqmc_halton_realization(self.integrand, 2, batch),
+                       maxsv=40, use_files=False).estimates
+        plain = parmonc(mc_batch_realization(self.integrand, 2, batch),
+                        maxsv=40, use_files=False).estimates
+        assert rqmc.variance[0, 0] < 0.05 * plain.variance[0, 0]
+
+    def test_shift_consumes_exactly_dim_uniforms(self, tree):
+        realization = rqmc_halton_realization(self.integrand, 2, 16)
+        generator = tree.rng(0, 0, 0)
+        realization(generator)
+        assert generator.count == 2
+
+    def test_deterministic_per_stream(self, tree):
+        realization = rqmc_halton_realization(self.integrand, 2, 32)
+        assert realization(tree.rng(0, 0, 5)) \
+            == realization(tree.rng(0, 0, 5))
+
+    def test_mc_batch_variance_scales_inversely(self):
+        small = parmonc(mc_batch_realization(self.integrand, 2, 16),
+                        maxsv=200, use_files=False).estimates
+        large = parmonc(mc_batch_realization(self.integrand, 2, 64),
+                        maxsv=200, use_files=False).estimates
+        ratio = small.variance[0, 0] / large.variance[0, 0]
+        assert ratio == pytest.approx(4.0, rel=0.5)
+
+    def test_shifted_batch_mean_validation(self):
+        with pytest.raises(ConfigurationError):
+            shifted_batch_mean(lambda x: 0.0, np.zeros((4, 2)),
+                               np.zeros(3))
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            rqmc_halton_realization(self.integrand, 2, 0)
+        with pytest.raises(ConfigurationError):
+            mc_batch_realization(self.integrand, 2, 0)

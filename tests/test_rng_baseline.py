@@ -1,0 +1,125 @@
+"""Tests for repro.rng.baseline: the comparator generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng.baseline import MiddleSquare, MinStd, SmallLcg, legacy40, lcg64
+
+
+class TestSmallLcg:
+    def test_recurrence(self):
+        gen = SmallLcg(16, 5, state=1)
+        assert gen.next_raw() == 5
+        assert gen.next_raw() == 25
+
+    def test_period_formula(self):
+        assert SmallLcg(40, 5).period == 2 ** 38
+        assert SmallLcg(16, 5).period == 2 ** 14
+
+    def test_actual_orbit_length_small_case(self):
+        # For r=10, A=5**17 the orbit of 1 must have length 2**8.
+        gen = SmallLcg(10, pow(5, 17, 1 << 10))
+        start = gen.state
+        steps = 0
+        while True:
+            gen.next_raw()
+            steps += 1
+            if gen.state == start:
+                break
+            assert steps <= 1 << 9, "orbit longer than the group allows"
+        assert steps == 1 << 8
+
+    def test_wrap_detection(self):
+        gen = SmallLcg(6, 5)  # period 16
+        assert not gen.wrapped
+        gen.block(16)
+        assert gen.wrapped
+
+    def test_output_interval(self):
+        gen = SmallLcg(16, pow(5, 17, 1 << 16))
+        for value in gen.block(500):
+            assert 0.0 < value < 1.0
+
+    def test_jumped_matches_stepping(self):
+        gen = SmallLcg(40, pow(5, 17, 1 << 40))
+        stepped = SmallLcg(40, pow(5, 17, 1 << 40))
+        for _ in range(57):
+            stepped.next_raw()
+        assert gen.jumped(57).state == stepped.state
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SmallLcg(2, 5)
+        with pytest.raises(ConfigurationError):
+            SmallLcg(16, 4)
+        with pytest.raises(ConfigurationError):
+            SmallLcg(16, 5, state=2)
+        with pytest.raises(ConfigurationError):
+            SmallLcg(16, 5).jumped(-1)
+
+
+class TestPaperBaselines:
+    def test_legacy40_parameters(self):
+        # §2.2: "a well known RNG with special parameters r = 40 and
+        # A = 5**17 ... period ... 2**38 ~ 2.75 * 10**11".
+        gen = legacy40()
+        assert gen.modulus_bits == 40
+        assert gen.multiplier == pow(5, 17, 1 << 40)
+        assert gen.period == 2 ** 38
+        assert abs(gen.period - 2.75e11) / 2.75e11 < 0.001
+
+    def test_lcg64_parameters(self):
+        gen = lcg64()
+        assert gen.modulus_bits == 64
+        assert gen.period == 2 ** 62
+
+    def test_baselines_deterministic(self):
+        assert np.array_equal(legacy40().block(64), legacy40().block(64))
+
+
+class TestMinStd:
+    def test_known_sequence(self):
+        gen = MinStd(1)
+        assert gen.next_raw() == 16807
+        assert gen.next_raw() == 282475249
+
+    def test_period_value(self):
+        assert MinStd().period == 2 ** 31 - 2
+
+    def test_zero_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MinStd(0)
+
+    def test_output_interval(self):
+        for value in MinStd(42).block(500):
+            assert 0.0 < value < 1.0
+
+
+class TestMiddleSquare:
+    def test_recurrence(self):
+        gen = MiddleSquare(state=1234, digits=4)
+        # 1234**2 = 1522756 -> middle four digits of 01522756 -> 5227.
+        assert gen.next_raw() == 5227
+
+    def test_degenerates_to_cycle(self):
+        # The classic failure: the sequence collapses (often to 0 or a
+        # short cycle) well within a few thousand steps.
+        gen = MiddleSquare()
+        seen = set()
+        collapsed = False
+        for _ in range(10_000):
+            state = gen.next_raw()
+            if state in seen:
+                collapsed = True
+                break
+            seen.add(state)
+        assert collapsed
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MiddleSquare(digits=5)
+        with pytest.raises(ConfigurationError):
+            MiddleSquare(state=10 ** 7, digits=6)

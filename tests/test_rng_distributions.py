@@ -1,0 +1,169 @@
+"""Tests for repro.rng.distributions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng.distributions import (
+    bernoulli,
+    discrete,
+    exponential,
+    exponentials_from_uniforms,
+    normal,
+    normal_pair,
+    normals_from_uniforms,
+    poisson,
+    uniform,
+)
+from repro.rng.lcg128 import Lcg128
+from repro.rng.vectorized import VectorLcg128
+
+
+def sample(fn, n=20_000, seed_stream=0):
+    gen = Lcg128().jumped(seed_stream * (1 << 43))
+    return np.array([fn(gen) for _ in range(n)])
+
+
+class TestUniform:
+    def test_range(self, rng):
+        for _ in range(100):
+            assert 2.0 <= uniform(rng, 2.0, 5.0) < 5.0
+
+    def test_mean(self):
+        values = sample(lambda g: uniform(g, -1.0, 3.0))
+        assert abs(values.mean() - 1.0) < 0.05
+
+    def test_bad_bounds(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform(rng, 1.0, 1.0)
+
+
+class TestNormal:
+    def test_pair_moments(self):
+        values = sample(lambda g: normal_pair(g)[0], n=10_000)
+        assert abs(values.mean()) < 0.05
+        assert abs(values.std() - 1.0) < 0.05
+
+    def test_pair_components_uncorrelated(self):
+        gen = Lcg128()
+        pairs = np.array([normal_pair(gen) for _ in range(10_000)])
+        correlation = np.corrcoef(pairs[:, 0], pairs[:, 1])[0, 1]
+        assert abs(correlation) < 0.05
+
+    def test_location_scale(self):
+        values = sample(lambda g: normal(g, mean=3.0, stddev=2.0),
+                        n=10_000)
+        assert abs(values.mean() - 3.0) < 0.1
+        assert abs(values.std() - 2.0) < 0.1
+
+    def test_consumes_exactly_two_uniforms(self, rng):
+        before = rng.count
+        normal(rng)
+        assert rng.count - before == 2
+
+    def test_negative_stddev_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            normal(rng, stddev=-1.0)
+
+
+class TestExponential:
+    def test_mean(self):
+        values = sample(lambda g: exponential(g, rate=2.0))
+        assert abs(values.mean() - 0.5) < 0.02
+
+    def test_positive(self, rng):
+        for _ in range(100):
+            assert exponential(rng, 3.0) > 0.0
+
+    def test_bad_rate(self, rng):
+        with pytest.raises(ConfigurationError):
+            exponential(rng, 0.0)
+
+
+class TestBernoulliPoissonDiscrete:
+    def test_bernoulli_frequency(self):
+        values = sample(lambda g: float(bernoulli(g, 0.3)))
+        assert abs(values.mean() - 0.3) < 0.02
+
+    def test_bernoulli_extremes(self, rng):
+        assert bernoulli(rng, 1.0) is True
+        assert bernoulli(rng, 0.0) is False
+
+    def test_bernoulli_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            bernoulli(rng, 1.5)
+
+    def test_poisson_moments(self):
+        values = sample(lambda g: float(poisson(g, 4.0)), n=10_000)
+        assert abs(values.mean() - 4.0) < 0.15
+        assert abs(values.var() - 4.0) < 0.4
+
+    def test_poisson_zero_mean(self, rng):
+        assert poisson(rng, 0.0) == 0
+
+    def test_poisson_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            poisson(rng, -1.0)
+
+    def test_discrete_frequencies(self):
+        weights = [1.0, 2.0, 7.0]
+        values = sample(lambda g: float(discrete(g, weights)))
+        for index, weight in enumerate(weights):
+            frequency = float(np.mean(values == index))
+            assert abs(frequency - weight / 10.0) < 0.02
+
+    def test_discrete_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            discrete(rng, [])
+        with pytest.raises(ConfigurationError):
+            discrete(rng, [-1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            discrete(rng, [0.0, 0.0])
+
+    def test_discrete_single_class(self, rng):
+        assert discrete(rng, [5.0]) == 0
+
+
+class TestVectorizedTransforms:
+    def test_normals_match_scalar_convention(self):
+        # Scalar normal() consumes (u1, u2) and returns the cosine
+        # branch; the vectorized transform must agree draw for draw.
+        scalar_gen = Lcg128()
+        scalar_values = [normal(scalar_gen) for _ in range(100)]
+        vector_gen = VectorLcg128(1)
+        uniforms = vector_gen.uniforms(200)
+        vector_values = normals_from_uniforms(uniforms[0::2], uniforms[1::2])
+        assert np.allclose(scalar_values, vector_values, rtol=1e-12)
+
+    def test_normals_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normals_from_uniforms(np.ones(3) * 0.5, np.ones(4) * 0.5)
+
+    def test_exponentials_match_scalar(self):
+        scalar_gen = Lcg128()
+        scalar_values = [exponential(scalar_gen, 2.0) for _ in range(50)]
+        uniforms = VectorLcg128(1).uniforms(50)
+        vector_values = exponentials_from_uniforms(uniforms, 2.0)
+        assert np.allclose(scalar_values, vector_values, rtol=1e-12)
+
+    def test_exponentials_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            exponentials_from_uniforms(np.array([0.5]), rate=-1.0)
+
+
+class TestDeterminism:
+    def test_same_stream_same_draws(self):
+        a = [normal(Lcg128()) for _ in range(1)]
+        b = [normal(Lcg128()) for _ in range(1)]
+        assert a == b
+
+    def test_transformations_are_pure(self):
+        gen1 = Lcg128().jumped(12345)
+        gen2 = Lcg128().jumped(12345)
+        seq1 = [exponential(gen1), normal(gen1), float(poisson(gen1, 2.0))]
+        seq2 = [exponential(gen2), normal(gen2), float(poisson(gen2, 2.0))]
+        assert seq1 == seq2

@@ -1,0 +1,221 @@
+"""Tests for repro.rng.lcg128: the scalar reference generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, PeriodWarning
+from repro.rng.lcg128 import Lcg128, TOP_SHIFT, state_to_unit
+from repro.rng.multiplier import (
+    BASE_MULTIPLIER,
+    MODULUS,
+    RECOMMENDED_LIMIT,
+    STATE_MASK,
+)
+
+odd_states = st.integers(min_value=0, max_value=STATE_MASK).map(
+    lambda v: v | 1)
+
+
+class TestRecurrence:
+    def test_formula_6_first_steps(self):
+        gen = Lcg128()
+        state = 1
+        for _ in range(10):
+            state = state * BASE_MULTIPLIER % MODULUS
+            assert gen.next_raw() == state
+
+    def test_initial_state_is_one(self):
+        assert Lcg128().state == 1
+
+    def test_output_in_open_unit_interval(self):
+        gen = Lcg128()
+        for _ in range(1000):
+            value = gen.random()
+            assert 0.0 < value < 1.0
+
+    def test_output_matches_top_53_bits(self):
+        gen = Lcg128()
+        raw = gen.jumped(0).next_raw()
+        assert gen.random() == (raw >> TOP_SHIFT) * 2.0 ** -53
+
+    def test_block_matches_scalar_draws(self):
+        a = Lcg128()
+        b = Lcg128()
+        block = a.block(100)
+        singles = [b.random() for _ in range(100)]
+        assert np.array_equal(block, np.array(singles))
+
+    def test_iteration_protocol(self):
+        gen = Lcg128()
+        reference = Lcg128()
+        from itertools import islice
+        values = list(islice(iter(gen), 5))
+        assert values == [reference.random() for _ in range(5)]
+
+    def test_deterministic_across_instances(self):
+        assert Lcg128().block(50).tolist() == Lcg128().block(50).tolist()
+
+
+class TestValidation:
+    def test_even_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lcg128(state=2)
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lcg128(multiplier=4)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lcg128(state=1.5)
+
+    def test_state_wrapped_into_modulus(self):
+        gen = Lcg128(state=MODULUS + 3)
+        assert gen.state == 3
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lcg128().block(-1)
+
+
+class TestJumping:
+    def test_jump_equals_stepping(self):
+        stepped = Lcg128()
+        for _ in range(137):
+            stepped.next_raw()
+        jumped = Lcg128()
+        jumped.jump(137)
+        assert jumped.state == stepped.state
+        assert jumped.count == 137
+
+    def test_jumped_does_not_mutate(self):
+        gen = Lcg128()
+        clone = gen.jumped(1000)
+        assert gen.state == 1
+        assert clone.state != 1
+        assert clone.count == 0
+
+    def test_jump_zero_is_identity(self):
+        gen = Lcg128()
+        gen.jump(0)
+        assert gen.state == 1
+
+    def test_negative_jump_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lcg128().jump(-5)
+
+    @given(a=st.integers(min_value=0, max_value=10 ** 9),
+           b=st.integers(min_value=0, max_value=10 ** 9))
+    @settings(max_examples=40)
+    def test_jump_composition(self, a, b):
+        # jump(a) then jump(b) lands exactly where jump(a+b) does.
+        split = Lcg128()
+        split.jump(a)
+        split.jump(b)
+        direct = Lcg128()
+        direct.jump(a + b)
+        assert split.state == direct.state
+
+    def test_spawn_matches_repeated_jump(self):
+        leap = pow(BASE_MULTIPLIER, 1 << 10, MODULUS)
+        gen = Lcg128()
+        third = gen.spawn(3, leap)
+        manual = gen.jumped(3 * (1 << 10))
+        assert third.state == manual.state
+
+    def test_spawn_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Lcg128().spawn(-1, BASE_MULTIPLIER)
+
+    @given(state=odd_states)
+    @settings(max_examples=30)
+    def test_huge_jump_matches_modpow(self, state):
+        gen = Lcg128(state)
+        gen.jump(1 << 98)
+        expected = state * pow(BASE_MULTIPLIER, 1 << 98, MODULUS) % MODULUS
+        assert gen.state == expected
+
+
+class TestStatePersistence:
+    def test_getstate_setstate_roundtrip(self):
+        gen = Lcg128()
+        gen.block(77)
+        saved = gen.getstate()
+        continuation = [gen.random() for _ in range(10)]
+        restored = Lcg128()
+        restored.setstate(saved)
+        assert [restored.random() for _ in range(10)] == continuation
+        assert restored.count == 87
+
+    def test_setstate_rejects_even_state(self):
+        gen = Lcg128()
+        with pytest.raises(ConfigurationError):
+            gen.setstate((2, BASE_MULTIPLIER, 0))
+
+    def test_setstate_rejects_negative_count(self):
+        gen = Lcg128()
+        with pytest.raises(ConfigurationError):
+            gen.setstate((1, BASE_MULTIPLIER, -1))
+
+    def test_equality_is_positional(self):
+        a = Lcg128()
+        b = Lcg128()
+        assert a == b
+        a.next_raw()
+        assert a != b
+        b.next_raw()
+        assert a == b
+
+    def test_hashable(self):
+        assert len({Lcg128(), Lcg128()}) == 1
+
+    def test_repr_mentions_state(self):
+        assert "state=" in repr(Lcg128())
+
+
+class TestPeriodWarning:
+    def test_warning_at_recommended_limit(self):
+        gen = Lcg128()
+        # Teleport the counter just below the half-period boundary.
+        gen.setstate((gen.state, gen.multiplier, RECOMMENDED_LIMIT - 1))
+        with pytest.warns(PeriodWarning):
+            gen.random()
+
+    def test_warning_emitted_once(self):
+        gen = Lcg128()
+        gen.setstate((gen.state, gen.multiplier, RECOMMENDED_LIMIT - 1))
+        with pytest.warns(PeriodWarning):
+            gen.random()
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            gen.random()  # must not warn again
+
+    def test_restored_past_limit_does_not_rewarn(self):
+        gen = Lcg128()
+        gen.setstate((1, BASE_MULTIPLIER, RECOMMENDED_LIMIT + 5))
+        import warnings as warnings_module
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            gen.random()
+
+
+class TestStateToUnit:
+    def test_maps_top_bits(self):
+        state = 0b101 << TOP_SHIFT
+        assert state_to_unit(state) == 5 * 2.0 ** -53
+
+    def test_zero_top_bits_clamped(self):
+        assert state_to_unit(1) == 2.0 ** -53
+
+    def test_maximal_state_below_one(self):
+        assert state_to_unit(STATE_MASK) < 1.0
+
+    @given(state=st.integers(min_value=0, max_value=STATE_MASK))
+    @settings(max_examples=200)
+    def test_always_in_open_interval(self, state):
+        assert 0.0 < state_to_unit(state) < 1.0

@@ -1,0 +1,154 @@
+"""Tests for repro.rng.spectral: the exact lattice test."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.rng.multiplier import BASE_MULTIPLIER, MODULUS
+from repro.rng.spectral import (
+    HERMITE_CONSTANTS,
+    dual_lattice_basis,
+    gauss_reduce,
+    lll_reduce,
+    shortest_vector_sq,
+    spectral_merit,
+    spectral_nu,
+    spectral_report,
+)
+
+
+def _dot(u, v):
+    return sum(a * b for a, b in zip(u, v))
+
+
+class TestDualLattice:
+    def test_basis_rows_are_dual_vectors(self):
+        # Every basis row u satisfies sum u_i A**i = 0 (mod m).
+        multiplier, modulus = 137, 2 ** 16
+        basis = dual_lattice_basis(multiplier, modulus, 4)
+        for row in basis:
+            value = sum(coefficient * pow(multiplier, i, modulus)
+                        for i, coefficient in enumerate(row))
+            assert value % modulus == 0
+
+    def test_determinant_is_modulus(self):
+        # The dual lattice has covolume m (triangular basis).
+        basis = dual_lattice_basis(7, 64, 3)
+        determinant = basis[0][0] * basis[1][1] * basis[2][2]
+        assert determinant == 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            dual_lattice_basis(5, 64, 1)
+        with pytest.raises(ConfigurationError):
+            dual_lattice_basis(64, 64, 2)
+
+
+class TestGaussReduction:
+    def test_finds_shortest_in_known_lattice(self):
+        # Lattice Z(5,0) + Z(3,1): shortest vector is (-1, 2)
+        # (= (3,1)*2 - (5,0)*... enumerate to confirm).
+        u, v = gauss_reduce([5, 0], [3, 1])
+        best = _dot(u, u)
+        brute = min(
+            _dot([a * 5 + b * 3, b], [a * 5 + b * 3, b])
+            for a in range(-6, 7) for b in range(-6, 7)
+            if (a, b) != (0, 0))
+        assert best == brute
+
+    @given(multiplier=st.integers(1, 2 ** 20 - 1).filter(lambda m: m % 2),
+           log_modulus=st.integers(8, 20))
+    @settings(max_examples=40)
+    def test_matches_brute_force_for_small_moduli(self, multiplier,
+                                                  log_modulus):
+        modulus = 1 << log_modulus
+        multiplier %= modulus
+        if multiplier == 0:
+            multiplier = 1
+        basis = dual_lattice_basis(multiplier, modulus, 2)
+        u, _ = gauss_reduce(basis[0], basis[1])
+        nu_sq = _dot(u, u)
+        # Brute force over dual vectors: u0 + u1*A = 0 mod m with
+        # |u1| <= ceil(sqrt(m)) covers the shortest by Minkowski.
+        bound = int(math.isqrt(modulus)) + 2
+        brute = nu_sq
+        for u1 in range(-bound, bound + 1):
+            residue = (-u1 * multiplier) % modulus
+            for u0 in (residue, residue - modulus):
+                if u0 == 0 and u1 == 0:
+                    continue
+                brute = min(brute, u0 * u0 + u1 * u1)
+        assert nu_sq == brute
+
+
+class TestLll:
+    def test_reduces_to_short_basis(self):
+        basis = dual_lattice_basis(65539, 2 ** 31, 3)
+        reduced = lll_reduce(basis)
+        # RANDU's infamous 3-D relation: 9x_k - 6x_{k+1} + x_{k+2} = 0,
+        # i.e. the dual vector (9, -6, 1) of squared length 118.
+        assert shortest_vector_sq(reduced) == 118
+
+    def test_preserves_lattice_membership(self):
+        multiplier, modulus = 137, 2 ** 16
+        basis = dual_lattice_basis(multiplier, modulus, 4)
+        for row in lll_reduce(basis):
+            value = sum(coefficient * pow(multiplier, i, modulus)
+                        for i, coefficient in enumerate(row))
+            assert value % modulus == 0
+
+    def test_shortest_vector_dimension_guard(self):
+        with pytest.raises(ConfigurationError):
+            shortest_vector_sq([[1] * 9] * 9)
+
+
+class TestSpectralValues:
+    def test_randu_is_catastrophic_in_3d(self):
+        # The canonical negative control: RANDU (A=65539, m=2**31).
+        merit = spectral_merit(65539, 2 ** 31, 3)
+        assert merit < 0.02
+
+    def test_randu_fine_in_2d(self):
+        # RANDU's failure is specifically 3-dimensional.
+        assert spectral_merit(65539, 2 ** 31, 2) > 0.5
+
+    def test_minstd_is_acceptable(self):
+        for dimension in (2, 3):
+            assert spectral_merit(16807, 2 ** 31 - 1, dimension) > 0.3
+
+    def test_parmonc_multiplier_passes_all_dimensions(self):
+        report = spectral_report(BASE_MULTIPLIER, MODULUS,
+                                 dimensions=(2, 3, 4, 5, 6))
+        assert report.worst > 0.3
+        assert set(report.merits) == {2, 3, 4, 5, 6}
+
+    def test_even_5_exponent_would_be_worse_or_period_broken(self):
+        # Not strictly spectral: sanity that the chosen multiplier is
+        # the odd-exponent member (period argument lives in
+        # test_rng_multiplier).
+        assert BASE_MULTIPLIER % 8 == 5
+
+    def test_nu_dimension_2_brute_consistency(self):
+        assert spectral_nu(5, 32, 2) == pytest.approx(
+            math.sqrt(min((a + 5 * b) ** 2 + b ** 2
+                          for b in range(-6, 7)
+                          for a in (-32, 0, 32)
+                          if (a + 5 * b, b) != (0, 0))))
+
+    def test_merit_bounds(self):
+        merit = spectral_merit(BASE_MULTIPLIER, MODULUS, 2)
+        assert 0.0 < merit <= 1.0001
+
+    def test_unsupported_dimension(self):
+        with pytest.raises(ConfigurationError):
+            spectral_merit(5, 64, 9)
+
+    def test_report_render(self):
+        report = spectral_report(dimensions=(2, 3))
+        text = report.render()
+        assert "S_2" in text and "S_3" in text

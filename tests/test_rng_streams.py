@@ -1,0 +1,170 @@
+"""Tests for repro.rng.streams: the subsequence hierarchy of §2.4."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.rng.lcg128 import Lcg128
+from repro.rng.multiplier import LeapSet
+from repro.rng.streams import StreamCoordinates, StreamTree
+
+
+class TestStreamCoordinates:
+    def test_fields(self):
+        coords = StreamCoordinates(1, 2, 3)
+        assert (coords.experiment, coords.processor,
+                coords.realization) == (1, 2, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamCoordinates(-1, 0, 0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamCoordinates(0, 1.5, 0)
+
+    def test_ordering(self):
+        assert StreamCoordinates(0, 0, 1) < StreamCoordinates(0, 1, 0)
+
+
+class TestHeadStateArithmetic:
+    """The hierarchy is pure leap algebra: verify it against jumps."""
+
+    def test_origin_is_u0(self, tree):
+        assert tree.rng(0, 0, 0).state == 1
+
+    def test_realization_leap(self, tree):
+        # Jumping stream (e,p,r) by n_r lands on stream (e,p,r+1).
+        n_r = tree.leaps.realization_leap
+        assert tree.rng(0, 0, 0).jumped(n_r).state == tree.rng(0, 0, 1).state
+
+    def test_processor_leap(self, tree):
+        n_p = tree.leaps.processor_leap
+        assert tree.rng(0, 0, 0).jumped(n_p).state == tree.rng(0, 1, 0).state
+
+    def test_experiment_leap(self, tree):
+        n_e = tree.leaps.experiment_leap
+        assert tree.rng(0, 0, 0).jumped(n_e).state == tree.rng(1, 0, 0).state
+
+    def test_nesting_composition(self, tree):
+        # (e,p,r) == origin jumped by e*n_e + p*n_p + r*n_r.
+        leaps = tree.leaps
+        offset = (3 * leaps.experiment_leap + 5 * leaps.processor_leap
+                  + 7 * leaps.realization_leap)
+        assert tree.rng(3, 5, 7).state == Lcg128().jumped(offset).state
+
+    @given(e=st.integers(0, 2 ** 10 - 1), p=st.integers(0, 2 ** 17 - 1),
+           r=st.integers(0, 2 ** 20))
+    @settings(max_examples=25)
+    def test_head_state_closed_form(self, e, p, r):
+        tree = StreamTree()
+        jump_e, jump_p, jump_r = tree.jump_multipliers
+        expected = (pow(jump_e, e, 2 ** 128) * pow(jump_p, p, 2 ** 128)
+                    * pow(jump_r, r, 2 ** 128)) % 2 ** 128
+        assert tree.rng(e, p, r).state == expected
+
+    def test_distinct_streams_distinct_heads(self, small_leaps):
+        tree = StreamTree(small_leaps)
+        heads = {tree.rng(e, p, r).state
+                 for e in range(2) for p in range(4) for r in range(8)}
+        assert len(heads) == 2 * 4 * 8
+
+    def test_small_hierarchy_substreams_abut_exactly(self, small_leaps):
+        # Walk one full realization substream (n_r = 64 draws): the
+        # stream must land exactly on the next substream's head, i.e.
+        # adjacent substreams tile the general sequence with no gap and
+        # no overlap.
+        tree = StreamTree(small_leaps)
+        first = tree.rng(0, 0, 0)
+        second = tree.rng(0, 0, 1)
+        visited = set()
+        for _ in range(64):
+            visited.add(first.next_raw())
+        assert first.state == second.state
+        # No state of the first substream reappears in the second one.
+        for _ in range(64):
+            assert second.next_raw() not in visited
+
+
+class TestCapacityEnforcement:
+    def test_experiment_capacity(self, tree):
+        with pytest.raises(CapacityError):
+            tree.rng(2 ** 10, 0, 0)
+
+    def test_processor_capacity(self, tree):
+        with pytest.raises(CapacityError):
+            tree.rng(0, 2 ** 17, 0)
+
+    def test_realization_capacity(self, small_leaps):
+        tree = StreamTree(small_leaps)
+        with pytest.raises(CapacityError):
+            tree.rng(0, 0, 2 ** 6)
+
+    def test_last_valid_indices_accepted(self, tree):
+        generator = tree.rng(2 ** 10 - 1, 2 ** 17 - 1, 0)
+        assert generator.state % 2 == 1
+
+    def test_non_strict_mode_allows_aliasing(self):
+        tree = StreamTree(strict=False)
+        aliased = tree.rng(2 ** 10, 0, 0)  # would raise in strict mode
+        assert aliased.state % 2 == 1
+
+    def test_negative_index_rejected_even_when_lenient(self):
+        tree = StreamTree(strict=False)
+        with pytest.raises(ConfigurationError):
+            tree.rng(-1, 0, 0)
+
+
+class TestHandles:
+    def test_experiment_processor_realization_chain(self, tree):
+        direct = tree.rng(2, 3, 4)
+        chained = tree.experiment(2).processor(3).realization(4)
+        assert chained.state == direct.state
+
+    def test_processor_stream_properties(self, tree):
+        processor = tree.experiment(1).processor(5)
+        assert processor.experiment == 1
+        assert processor.processor == 5
+        assert processor.realization_capacity == 2 ** 55
+
+    def test_realizations_iterator(self, tree):
+        processor = tree.experiment(0).processor(0)
+        pairs = []
+        for index, generator in processor.realizations(start=3):
+            pairs.append((index, generator.state))
+            if len(pairs) == 3:
+                break
+        assert [i for i, _ in pairs] == [3, 4, 5]
+        assert pairs[0][1] == tree.rng(0, 0, 3).state
+
+    def test_experiment_handle_bounds(self, tree):
+        with pytest.raises(CapacityError):
+            tree.experiment(2 ** 10)
+        with pytest.raises(CapacityError):
+            tree.experiment(0).processor(2 ** 17)
+
+    def test_reprs(self, tree):
+        assert "StreamTree" in repr(tree)
+        assert "index=4" in repr(tree.experiment(4))
+        assert "processor=2" in repr(tree.experiment(1).processor(2))
+
+
+class TestCustomHierarchy:
+    def test_custom_leaps_change_geometry(self):
+        leaps = LeapSet(experiment_exponent=30, processor_exponent=20,
+                        realization_exponent=10)
+        tree = StreamTree(leaps)
+        assert tree.rng(0, 0, 0).jumped(2 ** 10).state \
+            == tree.rng(0, 0, 1).state
+
+    def test_even_base_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StreamTree(base_multiplier=2 ** 64)
+
+    def test_streams_independent_of_strictness(self, small_leaps):
+        strict = StreamTree(small_leaps, strict=True)
+        loose = StreamTree(small_leaps, strict=False)
+        assert strict.rng(1, 2, 3).state == loose.rng(1, 2, 3).state

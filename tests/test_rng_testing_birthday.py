@@ -1,0 +1,105 @@
+"""Tests for the birthday-spacings, collision and maximum-of-t tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng.testing import (
+    birthday_spacings_test,
+    collision_test,
+    maximum_of_t_test,
+    run_battery,
+)
+from repro.rng.vectorized import VectorLcg128
+
+
+class TestBirthdaySpacings:
+    def test_passes_good_sample(self, uniform_sample):
+        result = birthday_spacings_test(uniform_sample, n_days=2 ** 41)
+        assert result.passed
+
+    def test_rejects_coarse_granularity(self):
+        # Values quantized to 10 bits: far too many duplicate spacings.
+        quantized = np.floor(
+            VectorLcg128(1).uniforms(100_000) * 1024) / 1024
+        result = birthday_spacings_test(quantized, n_days=2 ** 41)
+        assert not result.passed
+
+    def test_lambda_regime_guard(self, uniform_sample):
+        with pytest.raises(ConfigurationError):
+            birthday_spacings_test(uniform_sample, n_days=2 ** 60)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            birthday_spacings_test(np.full(50, 0.5))
+
+    def test_n_days_smaller_than_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            birthday_spacings_test(np.linspace(0.01, 0.99, 1000),
+                                   n_days=100)
+
+
+class TestCollision:
+    def test_passes_good_sample(self, uniform_sample):
+        result = collision_test(uniform_sample, n_urns=2 ** 21)
+        assert result.passed
+
+    def test_rejects_clustered_sample(self, uniform_sample):
+        clustered = uniform_sample * 0.01  # everything in 1% of space
+        result = collision_test(clustered, n_urns=2 ** 21)
+        assert not result.passed
+        assert result.details["collisions"] \
+            > result.details["expected_collisions"] * 10
+
+    def test_rejects_too_spread_sample(self):
+        # Perfectly equidistributed values produce *zero* collisions,
+        # which is just as suspicious.
+        perfect = (np.arange(100_000) + 0.5) / 100_000
+        result = collision_test(perfect, n_urns=2 ** 21)
+        assert not result.passed
+
+    def test_dense_regime_rejected(self, uniform_sample):
+        with pytest.raises(ConfigurationError):
+            collision_test(uniform_sample, n_urns=2 ** 10)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collision_test(np.full(100, 0.5))
+
+
+class TestMaximumOfT:
+    def test_passes_good_sample(self, uniform_sample):
+        assert maximum_of_t_test(uniform_sample, t=8).passed
+
+    def test_rejects_truncated_upper_tail(self, uniform_sample):
+        # A generator that never emits values above 0.95 fails the
+        # maximum test long before the marginal chi-square notices.
+        truncated = uniform_sample * 0.95
+        assert not maximum_of_t_test(truncated, t=8).passed
+
+    def test_t_validation(self, uniform_sample):
+        with pytest.raises(ConfigurationError):
+            maximum_of_t_test(uniform_sample, t=1)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            maximum_of_t_test(np.full(100, 0.5), t=8, bins=32)
+
+
+class TestExtendedBattery:
+    def test_battery_includes_new_tests(self, uniform_sample):
+        report = run_battery(uniform_sample, "rnd128")
+        names = {result.name.split(" (")[0] for result in report.results}
+        assert "birthday spacings" in names
+        assert "collision test" in names
+        assert "maximum-of-t" in names
+        assert report.all_passed, report.render()
+
+    def test_battery_adapts_spaces_to_sample_size(self):
+        # A 20k sample must not trip the regime guards.
+        small = VectorLcg128(1).uniforms(20_000)
+        report = run_battery(small, "small",
+                             tests=["birthday", "collision"])
+        assert len(report.results) == 2

@@ -1,0 +1,79 @@
+"""Tests for two-level (second-order) substream testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng.streams import StreamTree
+from repro.rng.testing import (
+    chi_square_uniformity,
+    two_level_substream_test,
+    two_level_test,
+)
+from repro.rng.vectorized import VectorLcg128
+
+
+def chi64(sample):
+    return chi_square_uniformity(sample, bins=64)
+
+
+class TestTwoLevel:
+    def test_passes_healthy_substreams(self):
+        tree = StreamTree()
+        samples = [VectorLcg128(tree.rng(0, p, 0)).uniforms(10_000)
+                   for p in range(32)]
+        result = two_level_test(samples, chi64)
+        assert result.passed, result
+
+    def test_rejects_globally_biased_streams(self):
+        # Each stream carries a bias too small for any single
+        # first-level test, but the p-values skew low collectively.
+        tree = StreamTree()
+        samples = [
+            np.clip(VectorLcg128(tree.rng(0, p, 0)).uniforms(10_000)
+                    ** 1.05, 0.0, 1.0)
+            for p in range(64)]
+        result = two_level_test(samples, chi64)
+        assert not result.passed
+
+    def test_rejects_duplicated_streams(self):
+        # The same sample presented 32 times: identical p-values are a
+        # blatant non-uniformity.
+        sample = VectorLcg128(1).uniforms(10_000)
+        result = two_level_test([sample] * 32, chi64)
+        assert not result.passed
+
+    def test_needs_enough_substreams(self):
+        sample = VectorLcg128(1).uniforms(10_000)
+        with pytest.raises(ConfigurationError):
+            two_level_test([sample] * 5, chi64)
+
+    def test_reports_p_value_range(self):
+        tree = StreamTree()
+        samples = [VectorLcg128(tree.rng(0, p, 0)).uniforms(5_000)
+                   for p in range(16)]
+        result = two_level_test(samples, chi64)
+        assert 0.0 <= result.details["min_p"] \
+            <= result.details["max_p"] <= 1.0
+        assert result.details["substreams"] == 16
+
+
+class TestSubstreamCertificate:
+    def test_default_hierarchy_certified(self):
+        result = two_level_substream_test(n_substreams=24,
+                                          draws_per_stream=8_000)
+        assert result.passed, result
+        assert "processor substreams" in result.name
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            two_level_substream_test(n_substreams=4)
+        with pytest.raises(ConfigurationError):
+            two_level_substream_test(draws_per_stream=100)
+
+    def test_custom_experiment(self):
+        result = two_level_substream_test(experiment=3, n_substreams=16,
+                                          draws_per_stream=5_000)
+        assert result.passed

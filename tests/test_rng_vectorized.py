@@ -1,0 +1,170 @@
+"""Tests for repro.rng.vectorized: limb arithmetic and block generation.
+
+The central property is bit-identity: the vectorized generator must
+produce *exactly* the scalar generator's doubles, for any block size and
+lane count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128, state_to_unit
+from repro.rng.multiplier import BASE_MULTIPLIER, STATE_MASK
+from repro.rng.vectorized import (
+    VectorLcg128,
+    generate_block,
+    int_to_limbs,
+    limbs_to_int,
+    limbs_to_unit,
+    mul_mod_2_128,
+)
+
+uint128 = st.integers(min_value=0, max_value=STATE_MASK)
+
+
+class TestLimbConversion:
+    @given(value=uint128)
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        assert limbs_to_int(int_to_limbs(value)) == value
+
+    def test_zero(self):
+        assert int_to_limbs(0).tolist() == [0, 0, 0, 0]
+
+    def test_max(self):
+        assert int_to_limbs(STATE_MASK).tolist() == [0xFFFFFFFF] * 4
+
+    def test_limbs_are_little_endian(self):
+        limbs = int_to_limbs(1 << 96)
+        assert limbs.tolist() == [0, 0, 0, 1]
+
+    def test_values_above_modulus_wrap(self):
+        assert limbs_to_int(int_to_limbs((1 << 128) + 7)) == 7
+
+
+class TestMulMod:
+    @given(a=uint128, b=uint128)
+    @settings(max_examples=200)
+    def test_matches_python_ints(self, a, b):
+        states = int_to_limbs(a).reshape(1, 4)
+        product = mul_mod_2_128(states, int_to_limbs(b))
+        assert limbs_to_int(product[0]) == (a * b) % (1 << 128)
+
+    def test_vectorized_rows_independent(self):
+        values = [3, 5, STATE_MASK, 12345678901234567890]
+        states = np.stack([int_to_limbs(v) for v in values])
+        product = mul_mod_2_128(states, int_to_limbs(BASE_MULTIPLIER))
+        for row, value in zip(product, values):
+            assert limbs_to_int(row) \
+                == value * BASE_MULTIPLIER % (1 << 128)
+
+    def test_multiply_by_one(self):
+        states = int_to_limbs(98765).reshape(1, 4)
+        assert limbs_to_int(mul_mod_2_128(states, int_to_limbs(1))[0]) \
+            == 98765
+
+    def test_multiply_by_zero(self):
+        states = int_to_limbs(98765).reshape(1, 4)
+        assert limbs_to_int(mul_mod_2_128(states, int_to_limbs(0))[0]) == 0
+
+
+class TestLimbsToUnit:
+    @given(value=uint128)
+    @settings(max_examples=200)
+    def test_matches_scalar_conversion(self, value):
+        limbs = int_to_limbs(value).reshape(1, 4)
+        assert limbs_to_unit(limbs)[0] == state_to_unit(value)
+
+    def test_clamps_zero_mantissa(self):
+        limbs = int_to_limbs(1).reshape(1, 4)
+        assert limbs_to_unit(limbs)[0] == 2.0 ** -53
+
+
+class TestGenerateBlock:
+    @given(size=st.integers(0, 400), lanes=st.integers(1, 70))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identity_with_scalar(self, size, lanes):
+        scalar = Lcg128()
+        expected = scalar.block(size)
+        values, new_state = generate_block(1, size, lanes=lanes)
+        assert np.array_equal(values, expected)
+        assert new_state == scalar.state
+
+    def test_new_state_continues_sequence(self):
+        values1, state = generate_block(1, 100)
+        values2, _ = generate_block(state, 100)
+        reference = Lcg128()
+        expected = reference.block(200)
+        assert np.array_equal(np.concatenate([values1, values2]), expected)
+
+    def test_empty_block(self):
+        values, state = generate_block(1, 0)
+        assert values.size == 0
+        assert state == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_block(1, -1)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_block(1, 10, lanes=0)
+
+    def test_custom_multiplier(self):
+        multiplier = pow(5, 17, 1 << 128)
+        scalar = Lcg128(1, multiplier)
+        values, _ = generate_block(1, 64, multiplier=multiplier)
+        assert np.array_equal(values, scalar.block(64))
+
+    def test_arbitrary_start_state(self):
+        start = Lcg128().jumped(999).state
+        scalar = Lcg128(start)
+        values, _ = generate_block(start, 50)
+        assert np.array_equal(values, scalar.block(50))
+
+
+class TestVectorLcg128:
+    def test_matches_scalar_across_calls(self):
+        vector = VectorLcg128(1, lanes=16)
+        scalar = Lcg128()
+        for size in (1, 7, 64, 129, 3):
+            assert np.array_equal(vector.uniforms(size), scalar.block(size))
+        assert vector.state == scalar.state
+        assert vector.count == scalar.count
+
+    def test_construct_from_scalar_generator(self):
+        scalar = Lcg128()
+        scalar.block(37)
+        vector = VectorLcg128(scalar)
+        assert np.array_equal(vector.uniforms(10), scalar.block(10))
+
+    def test_scalar_random_method(self):
+        vector = VectorLcg128(1)
+        reference = Lcg128()
+        assert vector.random() == reference.random()
+        # And block generation continues seamlessly after scalar draws.
+        assert np.array_equal(vector.uniforms(5), reference.block(5))
+
+    def test_to_scalar_handoff(self):
+        vector = VectorLcg128(1)
+        vector.uniforms(42)
+        scalar = vector.to_scalar()
+        reference = Lcg128()
+        reference.block(42)
+        assert scalar.state == reference.state
+
+    def test_even_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorLcg128(2)
+
+    def test_bad_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorLcg128(1, lanes=0)
+
+    def test_repr(self):
+        assert "lanes=8" in repr(VectorLcg128(1, lanes=8))

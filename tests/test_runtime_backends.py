@@ -1,0 +1,172 @@
+"""Tests for the sequential, multiprocess and simcluster backends.
+
+The headline property: all three backends produce *bit-identical*
+estimates for the same configuration, because estimates depend only on
+the stream hierarchy, never on scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSpec
+from repro.cluster.machine import DurationModel
+from repro.exceptions import BackendError
+from repro.runtime.config import RunConfig
+from repro.runtime.files import DataDirectory
+from repro.runtime.multiprocess import run_multiprocess
+from repro.runtime.sequential import run_sequential
+from repro.runtime.simcluster import run_simcluster
+from repro.stats.accumulator import MomentAccumulator
+
+
+def square(rng):
+    return rng.random() ** 2
+
+
+def _crash(rng):
+    raise SystemExit(3)
+
+
+class TestSequential:
+    def test_estimates_match_direct_accumulation(self, tmp_path):
+        config = RunConfig(maxsv=100, processors=4, workdir=tmp_path)
+        result = run_sequential(square, config)
+        # Recompute by hand from the stream hierarchy.
+        from repro.rng.streams import StreamTree
+        tree = StreamTree()
+        accumulator = MomentAccumulator(1, 1)
+        for rank in range(4):
+            for index in range(config.worker_quota(rank)):
+                accumulator.add(square(tree.rng(0, rank, index)))
+        assert result.estimates.mean[0, 0] == pytest.approx(
+            accumulator.estimates().mean[0, 0], rel=1e-15)
+        assert result.total_volume == 100
+
+    def test_result_files_written(self, tmp_path):
+        config = RunConfig(maxsv=50, processors=2, workdir=tmp_path)
+        result = run_sequential(square, config)
+        data = DataDirectory(tmp_path)
+        assert data.read_mean_matrix().shape == (1, 1)
+        log = data.read_log()
+        assert log["total_sample_volume"] == "50"
+        assert result.data_dir == data.root
+
+    def test_in_memory_run(self, tmp_path):
+        config = RunConfig(maxsv=50, processors=2, workdir=tmp_path)
+        result = run_sequential(square, config, use_files=False)
+        assert result.data_dir is None
+        assert not (tmp_path / "parmonc_data").exists()
+
+    def test_processor_count_does_not_change_total(self, tmp_path):
+        results = [
+            run_sequential(square,
+                           RunConfig(maxsv=60, processors=m,
+                                     workdir=tmp_path / str(m)))
+            for m in (1, 2, 3, 5)]
+        volumes = {r.total_volume for r in results}
+        assert volumes == {60}
+
+    def test_resume_matches_monolithic_run(self, tmp_path):
+        # Two 50-realization sessions with seqnums 0 and 1 must merge to
+        # exactly the union of the two experiment samples.
+        config1 = RunConfig(maxsv=50, processors=2,
+                            workdir=tmp_path / "split")
+        run_sequential(square, config1)
+        config2 = config1.with_updates(res=1, seqnum=1)
+        resumed = run_sequential(square, config2)
+        assert resumed.total_volume == 100
+        assert resumed.sessions == 2
+        # Monolithic reference: same realizations, summed by hand.
+        from repro.rng.streams import StreamTree
+        tree = StreamTree()
+        accumulator = MomentAccumulator(1, 1)
+        for seqnum in (0, 1):
+            for rank in range(2):
+                for index in range(25):
+                    accumulator.add(square(tree.rng(seqnum, rank, index)))
+        assert resumed.estimates.mean[0, 0] == pytest.approx(
+            accumulator.estimates().mean[0, 0], rel=1e-12)
+
+    def test_per_rank_volumes(self, tmp_path):
+        config = RunConfig(maxsv=10, processors=4, workdir=tmp_path)
+        result = run_sequential(square, config)
+        assert result.per_rank_volumes == {0: 3, 1: 3, 2: 2, 3: 2}
+
+    def test_time_limit_caps_run(self, tmp_path):
+        import time
+
+        def slow(rng):
+            time.sleep(0.02)
+            return 1.0
+
+        config = RunConfig(maxsv=10_000, processors=2, workdir=tmp_path,
+                           time_limit=0.3)
+        result = run_sequential(slow, config)
+        assert 0 < result.total_volume < 10_000
+
+
+class TestMultiprocess:
+    def test_matches_sequential_bit_for_bit(self, tmp_path):
+        config = RunConfig(maxsv=60, processors=3, workdir=tmp_path / "a")
+        sequential = run_sequential(square, config)
+        parallel = run_multiprocess(
+            square, config.with_updates(workdir=tmp_path / "b"))
+        assert np.array_equal(sequential.estimates.mean,
+                              parallel.estimates.mean)
+        assert np.array_equal(sequential.estimates.variance,
+                              parallel.estimates.variance)
+        assert parallel.total_volume == 60
+
+    def test_worker_crash_raises_backend_error(self, tmp_path):
+        config = RunConfig(maxsv=4, processors=2, workdir=tmp_path)
+        with pytest.raises(BackendError):
+            run_multiprocess(_crash, config)
+
+    def test_result_files(self, tmp_path):
+        config = RunConfig(maxsv=20, processors=2, workdir=tmp_path)
+        run_multiprocess(square, config)
+        assert DataDirectory(tmp_path).read_log()[
+            "total_sample_volume"] == "20"
+
+
+class TestSimclusterBackend:
+    def test_matches_sequential_estimates(self, tmp_path):
+        config = RunConfig(maxsv=40, processors=4, workdir=tmp_path / "a")
+        sequential = run_sequential(square, config)
+        simulated = run_simcluster(
+            square, config.with_updates(workdir=tmp_path / "b"),
+            spec=ClusterSpec(duration_model=DurationModel(mean=1.0)))
+        assert np.array_equal(sequential.estimates.mean,
+                              simulated.estimates.mean)
+        assert simulated.virtual_time is not None
+
+    def test_virtual_time_scales_with_processors(self, tmp_path):
+        spec = ClusterSpec(duration_model=DurationModel(mean=2.0))
+        times = {}
+        for m in (1, 4):
+            result = run_simcluster(
+                square,
+                RunConfig(maxsv=40, processors=m,
+                          workdir=tmp_path / str(m)),
+                spec=spec)
+            times[m] = result.virtual_time
+        assert times[1] == pytest.approx(4 * times[4], rel=0.05)
+
+    def test_accounting_only_mode(self, tmp_path):
+        result = run_simcluster(
+            None, RunConfig(maxsv=100, processors=8, workdir=tmp_path),
+            execute_realizations=False)
+        assert result.estimates is None or result.estimates.volume == 100
+        assert result.session_volume == 100
+        assert result.virtual_time > 0
+
+    def test_resume_on_simcluster(self, tmp_path):
+        config = RunConfig(maxsv=30, processors=3, workdir=tmp_path)
+        spec = ClusterSpec(duration_model=DurationModel(mean=1.0))
+        run_simcluster(square, config, spec=spec)
+        resumed = run_simcluster(
+            square, config.with_updates(res=1, seqnum=1), spec=spec)
+        assert resumed.total_volume == 60
+        assert resumed.sessions == 2

@@ -1,0 +1,167 @@
+"""Tests for repro.runtime.collector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.files import DataDirectory
+from repro.runtime.messages import MomentMessage
+from repro.stats.accumulator import MomentAccumulator, MomentSnapshot
+
+
+def message(rank, values, sent_at=0.0, final=False, shape=(1, 1)):
+    accumulator = MomentAccumulator(*shape)
+    for value in values:
+        accumulator.add(np.full(shape, float(value)))
+    return MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
+                         sent_at=sent_at, final=final)
+
+
+def make_collector(tmp_path=None, **config_kwargs):
+    config_kwargs.setdefault("maxsv", 100)
+    config_kwargs.setdefault("processors", 2)
+    config = RunConfig(**config_kwargs)
+    data = DataDirectory(tmp_path) if tmp_path is not None else None
+    base = MomentSnapshot.zero(config.nrow, config.ncol)
+    return Collector(config, base, data), config
+
+
+class TestReceive:
+    def test_latest_snapshot_wins(self):
+        collector, _ = make_collector()
+        collector.receive(message(0, [1.0]), now=1.0)
+        collector.receive(message(0, [1.0, 2.0]), now=2.0)
+        assert collector.worker_volume(0) == 2
+        assert collector.total_volume == 2
+
+    def test_stale_message_ignored(self):
+        collector, _ = make_collector()
+        collector.receive(message(0, [1.0, 2.0]), now=1.0)
+        collector.receive(message(0, [9.0]), now=2.0)  # lower volume
+        assert collector.worker_volume(0) == 2
+        assert collector.merged().sum1[0, 0] == 3.0
+
+    def test_unknown_rank_rejected(self):
+        collector, _ = make_collector()
+        with pytest.raises(ConfigurationError):
+            collector.receive(message(7, [1.0]), now=0.0)
+
+    def test_shape_mismatch_rejected(self):
+        collector, _ = make_collector()
+        with pytest.raises(ConfigurationError):
+            collector.receive(message(0, [1.0], shape=(2, 2)), now=0.0)
+
+    def test_receive_count(self):
+        collector, _ = make_collector()
+        collector.receive(message(0, [1.0]), now=0.0)
+        collector.receive(message(1, [1.0]), now=0.0)
+        assert collector.receive_count == 2
+
+
+class TestCompletion:
+    def test_complete_requires_all_finals(self):
+        collector, _ = make_collector()
+        collector.receive(message(0, [1.0], final=True), now=0.0)
+        assert not collector.complete
+        assert collector.finals_received == 1
+        collector.receive(message(1, [2.0], final=True), now=0.0)
+        assert collector.complete
+
+    def test_non_final_messages_do_not_complete(self):
+        collector, _ = make_collector()
+        for _ in range(5):
+            collector.receive(message(0, [1.0]), now=0.0)
+        assert not collector.complete
+
+
+class TestMergingFormula5:
+    def test_unequal_worker_volumes(self):
+        # §2.2: "the sample volumes l_m ... may be different at the
+        # moment of passing data".
+        collector, _ = make_collector()
+        collector.receive(message(0, [1.0, 2.0, 3.0]), now=0.0)
+        collector.receive(message(1, [10.0]), now=0.0)
+        estimates = collector.estimates()
+        assert estimates.volume == 4
+        assert estimates.mean[0, 0] == pytest.approx(4.0)
+
+    def test_resume_base_included(self):
+        config = RunConfig(maxsv=100, processors=1)
+        base_acc = MomentAccumulator(1, 1)
+        base_acc.add(100.0)
+        collector = Collector(config, base_acc.snapshot(), None)
+        collector.receive(message(0, [0.0]), now=0.0)
+        assert collector.total_volume == 2
+        assert collector.session_volume == 1
+        assert collector.estimates().mean[0, 0] == pytest.approx(50.0)
+
+    def test_base_shape_guard(self):
+        config = RunConfig(maxsv=10)
+        with pytest.raises(ConfigurationError):
+            Collector(config, MomentSnapshot.zero(3, 3), None)
+
+    def test_estimates_without_data_rejected(self):
+        collector, _ = make_collector()
+        with pytest.raises(ConfigurationError):
+            collector.estimates()
+
+
+class TestPeriodicSaving:
+    def test_peraver_zero_saves_on_every_message(self, tmp_path):
+        collector, _ = make_collector(tmp_path, peraver=0.0)
+        assert collector.receive(message(0, [1.0]), now=0.0)
+        assert collector.receive(message(0, [1.0, 2.0]), now=0.1)
+        assert collector.save_count == 2
+
+    def test_peraver_throttles_saves(self, tmp_path):
+        collector, _ = make_collector(tmp_path, peraver=10.0)
+        assert collector.receive(message(0, [1.0]), now=0.0)  # first save
+        assert not collector.receive(message(0, [1.0, 2.0]), now=1.0)
+        assert not collector.receive(message(0, [1.0] * 3), now=9.0)
+        assert collector.receive(message(0, [1.0] * 4), now=10.5)
+
+    def test_final_message_always_saves(self, tmp_path):
+        collector, _ = make_collector(tmp_path, peraver=1000.0,
+                                      processors=1)
+        collector.receive(message(0, [1.0]), now=0.0)
+        saved = collector.receive(message(0, [1.0, 2.0], final=True),
+                                  now=0.5)
+        assert saved
+        assert collector.complete
+
+    def test_save_writes_result_files(self, tmp_path):
+        collector, _ = make_collector(tmp_path, peraver=0.0)
+        collector.receive(message(0, [1.0, 3.0]), now=0.0)
+        data = DataDirectory(tmp_path)
+        assert data.read_mean_matrix()[0, 0] == pytest.approx(2.0)
+
+    def test_save_with_no_volume_is_noop(self, tmp_path):
+        collector, _ = make_collector(tmp_path)
+        collector.save(now=0.0)
+        data = DataDirectory(tmp_path)
+        assert not (data.results_dir / "func.dat").exists()
+
+    def test_subtotal_persistence_for_manaver(self, tmp_path):
+        collector, _ = make_collector(tmp_path, peraver=1000.0)
+        collector.receive(message(0, [1.0]), now=0.0)
+        collector.receive(message(1, [2.0, 3.0]), now=0.0)
+        snapshots = DataDirectory(tmp_path).load_processor_snapshots()
+        assert snapshots[0].volume == 1
+        assert snapshots[1].volume == 2
+
+    def test_subtotal_persistence_can_be_disabled(self, tmp_path):
+        config = RunConfig(maxsv=10, processors=1)
+        collector = Collector(config, MomentSnapshot.zero(1, 1),
+                              DataDirectory(tmp_path),
+                              persist_subtotals=False)
+        collector.receive(message(0, [1.0]), now=0.0)
+        assert DataDirectory(tmp_path).load_processor_snapshots() == {}
+
+    def test_memory_only_collector_never_touches_disk(self, tmp_path):
+        collector, _ = make_collector(None, peraver=0.0)
+        collector.receive(message(0, [1.0]), now=0.0)
+        assert collector.save_count == 1  # counted, but nothing written

@@ -1,0 +1,128 @@
+"""Tests for repro.runtime.config."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.rng.multiplier import LeapSet
+from repro.runtime.config import RunConfig, minutes
+
+
+class TestMinutes:
+    def test_conversion(self):
+        # The paper's example: perpass = 10, peraver = 20 (minutes).
+        assert minutes(10) == 600.0
+        assert minutes(20) == 1200.0
+
+    def test_fractional(self):
+        assert minutes(0.5) == 30.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            minutes(-1)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = RunConfig()
+        assert config.shape == (1, 1)
+        assert config.processors == 1
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(nrow=0)
+        with pytest.raises(ConfigurationError):
+            RunConfig(ncol=-1)
+
+    def test_bad_maxsv(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(maxsv=0)
+
+    def test_res_must_be_flag(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(res=2)
+
+    def test_negative_seqnum(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(seqnum=-1)
+
+    def test_negative_periods(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(perpass=-0.1)
+        with pytest.raises(ConfigurationError):
+            RunConfig(peraver=-0.1)
+
+    def test_processors_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(processors=0)
+        # The default hierarchy supports 2**17 processors.
+        RunConfig(processors=2 ** 17)
+        with pytest.raises(ConfigurationError):
+            RunConfig(processors=2 ** 17 + 1)
+
+    def test_seqnum_capacity(self):
+        RunConfig(seqnum=2 ** 10 - 1)
+        with pytest.raises(ConfigurationError):
+            RunConfig(seqnum=2 ** 10)
+
+    def test_custom_leaps_change_capacity(self):
+        leaps = LeapSet(experiment_exponent=20, processor_exponent=12,
+                        realization_exponent=6)
+        with pytest.raises(ConfigurationError):
+            RunConfig(processors=2 ** 8 + 1, leaps=leaps)
+
+    def test_time_limit_positive(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(time_limit=0.0)
+        assert RunConfig(time_limit=5.0).time_limit == 5.0
+
+    def test_workdir_normalized_to_path(self):
+        config = RunConfig(workdir="/tmp/somewhere")
+        assert isinstance(config.workdir, Path)
+        assert config.data_dir == Path("/tmp/somewhere/parmonc_data")
+
+
+class TestQuotas:
+    def test_even_split(self):
+        config = RunConfig(maxsv=100, processors=4)
+        assert [config.worker_quota(r) for r in range(4)] == [25] * 4
+
+    def test_remainder_to_low_ranks(self):
+        config = RunConfig(maxsv=10, processors=4)
+        quotas = [config.worker_quota(r) for r in range(4)]
+        assert quotas == [3, 3, 2, 2]
+        assert sum(quotas) == 10
+
+    def test_more_processors_than_work(self):
+        config = RunConfig(maxsv=2, processors=5)
+        quotas = [config.worker_quota(r) for r in range(5)]
+        assert quotas == [1, 1, 0, 0, 0]
+
+    def test_rank_bounds(self):
+        config = RunConfig(maxsv=10, processors=2)
+        with pytest.raises(ConfigurationError):
+            config.worker_quota(2)
+        with pytest.raises(ConfigurationError):
+            config.worker_quota(-1)
+
+
+class TestUpdates:
+    def test_with_updates_returns_new_config(self):
+        config = RunConfig(maxsv=10)
+        updated = config.with_updates(maxsv=20, seqnum=3)
+        assert updated.maxsv == 20
+        assert updated.seqnum == 3
+        assert config.maxsv == 10
+
+    def test_with_updates_revalidates(self):
+        config = RunConfig(maxsv=10)
+        with pytest.raises(ConfigurationError):
+            config.with_updates(maxsv=-1)
+
+    def test_frozen(self):
+        config = RunConfig()
+        with pytest.raises(AttributeError):
+            config.maxsv = 5

@@ -1,0 +1,64 @@
+"""RunResult.summary() and throughput stress tests."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import parmonc
+
+
+class TestSummary:
+    def test_summary_mentions_key_figures(self, tmp_path):
+        result = parmonc(lambda rng: rng.random(), maxsv=100,
+                         processors=2, workdir=tmp_path)
+        text = result.summary()
+        assert "L=100" in text
+        assert "eps_max" in text
+        assert "rho_max" in text
+        assert "messages" in text
+        assert str(tmp_path) in text
+
+    def test_resumed_summary_counts_sessions(self, tmp_path):
+        parmonc(lambda rng: rng.random(), maxsv=50, workdir=tmp_path)
+        result = parmonc(lambda rng: rng.random(), maxsv=50, res=1,
+                         seqnum=1, workdir=tmp_path)
+        text = result.summary()
+        assert "session 2 (resumed)" in text
+        assert "added 50 realizations" in text
+
+    def test_accounting_only_summary(self, tmp_path):
+        # Accounting-only runs keep zero-matrix books: the summary
+        # renders with L and a zero error, without crashing on the
+        # missing user routine.
+        result = parmonc(None, maxsv=10, processors=2,
+                         backend="simcluster", use_files=False,
+                         workdir=tmp_path, execute_realizations=False)
+        text = result.summary()
+        assert "L=10" in text
+        assert "T_comp" in text
+
+
+class TestThroughputStress:
+    @pytest.mark.slow
+    def test_quarter_million_realizations(self, tmp_path):
+        # A volume big enough to surface quadratic bookkeeping bugs.
+        started = time.monotonic()
+        result = parmonc(lambda rng: rng.random(), maxsv=250_000,
+                         processors=4, workdir=tmp_path)
+        elapsed = time.monotonic() - started
+        assert result.total_volume == 250_000
+        assert abs(result.estimates.mean[0, 0] - 0.5) < 0.005
+        # Sanity throughput bound: > 20k realizations/second.
+        assert elapsed < 12.5, elapsed
+
+    @pytest.mark.slow
+    def test_wide_matrix_volume(self, tmp_path):
+        import numpy as np
+        result = parmonc(
+            lambda rng: np.full((50, 20), rng.random()),
+            nrow=50, ncol=20, maxsv=2_000, processors=2,
+            workdir=tmp_path)
+        assert result.estimates.shape == (50, 20)
+        assert result.total_volume == 2_000

@@ -1,0 +1,173 @@
+"""Tests for repro.runtime.worker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, RealizationError
+from repro.rng import current_rnd128, rnd128
+from repro.rng.streams import StreamTree
+from repro.runtime.config import RunConfig
+from repro.runtime.worker import adapt_realization, run_worker
+
+
+class FakeClock:
+    """A controllable monotonic clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestAdaptRealization:
+    def test_one_argument_passthrough(self):
+        def routine(rng):
+            return rng.random()
+        adapted = adapt_realization(routine)
+        assert adapted is routine
+
+    def test_zero_argument_installs_global_rng(self, tree):
+        def routine():
+            return rnd128()
+        adapted = adapt_realization(routine)
+        generator = tree.rng(0, 0, 5)
+        expected = tree.rng(0, 0, 5).random()
+        assert adapted(generator) == expected
+        # The global generator now *is* the supplied one.
+        assert current_rnd128() is generator
+
+    def test_default_arguments_do_not_count(self):
+        def routine(rng, scale=2.0):
+            return rng.random() * scale
+        adapted = adapt_realization(routine)
+        assert adapted is routine
+
+    def test_two_required_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adapt_realization(lambda rng, extra: 0.0)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            adapt_realization(42)
+
+
+class TestRunWorker:
+    def test_simulates_exactly_quota(self):
+        config = RunConfig(maxsv=100, processors=1)
+        messages = []
+        accumulator = run_worker(lambda rng: rng.random(), config, 0, 17,
+                                 send=messages.append)
+        assert accumulator.volume == 17
+        assert messages[-1].final
+        assert messages[-1].snapshot.volume == 17
+
+    def test_uses_correct_stream_coordinates(self):
+        # Worker rank 1 of experiment 3 must consume exactly the
+        # realization streams (3, 1, 0), (3, 1, 1), ...
+        config = RunConfig(maxsv=100, processors=2, seqnum=3)
+        values = []
+        run_worker(lambda rng: values.append(rng.random()) or values[-1],
+                   config, 1, 3, send=lambda m: None)
+        tree = StreamTree()
+        expected = [tree.rng(3, 1, r).random() for r in range(3)]
+        assert values == expected
+
+    def test_perpass_zero_sends_every_realization(self):
+        config = RunConfig(maxsv=100, processors=1, perpass=0.0)
+        messages = []
+        run_worker(lambda rng: 1.0, config, 0, 5, send=messages.append)
+        # 5 per-realization messages plus the final one.
+        assert len(messages) == 6
+        assert [m.snapshot.volume for m in messages] == [1, 2, 3, 4, 5, 5]
+
+    def test_perpass_throttles_sends(self):
+        clock = FakeClock()
+        config = RunConfig(maxsv=100, processors=1, perpass=10.0)
+
+        def routine(rng):
+            clock.advance(1.0)  # each realization takes 1 virtual second
+            return 1.0
+
+        messages = []
+        run_worker(routine, config, 0, 25, send=messages.append,
+                   clock=clock)
+        # Sends at t=10 and t=20 (plus final): 3 messages.
+        assert len(messages) == 3
+        assert messages[-1].final
+
+    def test_deadline_stops_early(self):
+        clock = FakeClock()
+        config = RunConfig(maxsv=1000, processors=1, perpass=1000.0)
+
+        def routine(rng):
+            clock.advance(1.0)
+            return 1.0
+
+        messages = []
+        accumulator = run_worker(routine, config, 0, 1000,
+                                 send=messages.append, clock=clock,
+                                 deadline=5.0)
+        assert accumulator.volume == 5
+        assert messages[-1].final
+
+    def test_compute_time_recorded(self):
+        clock = FakeClock()
+        config = RunConfig(maxsv=10, processors=1)
+
+        def routine(rng):
+            clock.advance(2.0)
+            return 1.0
+
+        accumulator = run_worker(routine, config, 0, 4,
+                                 send=lambda m: None, clock=clock)
+        assert accumulator.compute_time == pytest.approx(8.0)
+
+    def test_matrix_realizations(self):
+        config = RunConfig(nrow=2, ncol=2, maxsv=10, processors=1)
+        accumulator = run_worker(
+            lambda rng: np.full((2, 2), rng.random()), config, 0, 4,
+            send=lambda m: None)
+        assert accumulator.shape == (2, 2)
+        assert accumulator.volume == 4
+
+    def test_user_exception_wrapped(self):
+        config = RunConfig(maxsv=10, processors=1, seqnum=2)
+
+        def broken(rng):
+            raise ValueError("boom")
+
+        with pytest.raises(RealizationError) as info:
+            run_worker(broken, config, 1, 3, send=lambda m: None)
+        assert info.value.experiment == 2
+        assert info.value.processor == 1
+        assert info.value.realization == 0
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_zero_quota_sends_only_final(self):
+        config = RunConfig(maxsv=10, processors=1)
+        messages = []
+        accumulator = run_worker(lambda rng: 1.0, config, 0, 0,
+                                 send=messages.append)
+        assert accumulator.volume == 0
+        assert len(messages) == 1
+        assert messages[0].final
+
+    def test_negative_quota_rejected(self):
+        config = RunConfig(maxsv=10, processors=1)
+        with pytest.raises(ConfigurationError):
+            run_worker(lambda rng: 1.0, config, 0, -1, send=lambda m: None)
+
+    def test_determinism_across_runs(self):
+        config = RunConfig(maxsv=10, processors=1)
+        first = run_worker(lambda rng: rng.random(), config, 0, 10,
+                           send=lambda m: None)
+        second = run_worker(lambda rng: rng.random(), config, 0, 10,
+                            send=lambda m: None)
+        assert np.array_equal(first.snapshot().sum1,
+                              second.snapshot().sum1)

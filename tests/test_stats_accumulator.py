@@ -1,0 +1,168 @@
+"""Tests for repro.stats.accumulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.stats.accumulator import MomentAccumulator, MomentSnapshot
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestAccumulation:
+    def test_scalar_means(self):
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(2.0)
+        accumulator.add(4.0)
+        estimates = accumulator.estimates()
+        assert estimates.mean[0, 0] == 3.0
+        assert estimates.volume == 2
+
+    def test_matrix_accumulation(self):
+        accumulator = MomentAccumulator(2, 3)
+        accumulator.add(np.arange(6.0).reshape(2, 3))
+        accumulator.add(np.arange(6.0).reshape(2, 3) * 3)
+        estimates = accumulator.estimates()
+        assert np.allclose(estimates.mean,
+                           2 * np.arange(6.0).reshape(2, 3))
+
+    def test_volume_and_len(self):
+        accumulator = MomentAccumulator(1, 1)
+        for i in range(7):
+            accumulator.add(float(i))
+        assert accumulator.volume == 7
+        assert len(accumulator) == 7
+
+    def test_compute_time_tracked(self):
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(1.0, compute_time=0.5)
+        accumulator.add(1.0, compute_time=1.5)
+        assert accumulator.compute_time == pytest.approx(2.0)
+        assert accumulator.estimates().mean_time == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        accumulator = MomentAccumulator(2, 2)
+        with pytest.raises(ConfigurationError):
+            accumulator.add(np.zeros((2, 3)))
+
+    def test_scalar_rejected_for_matrix_problem(self):
+        accumulator = MomentAccumulator(2, 2)
+        with pytest.raises(ConfigurationError):
+            accumulator.add(1.0)
+
+    def test_nan_rejected(self):
+        accumulator = MomentAccumulator(1, 1)
+        with pytest.raises(ConfigurationError):
+            accumulator.add(float("nan"))
+
+    def test_inf_rejected(self):
+        accumulator = MomentAccumulator(1, 1)
+        with pytest.raises(ConfigurationError):
+            accumulator.add(float("inf"))
+
+    def test_negative_compute_time_rejected(self):
+        accumulator = MomentAccumulator(1, 1)
+        with pytest.raises(ConfigurationError):
+            accumulator.add(1.0, compute_time=-0.1)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MomentAccumulator(0, 1)
+
+    def test_reset(self):
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(5.0, compute_time=1.0)
+        accumulator.reset()
+        assert accumulator.volume == 0
+        assert accumulator.compute_time == 0.0
+        accumulator.add(1.0)
+        assert accumulator.estimates().mean[0, 0] == 1.0
+
+    def test_repr(self):
+        assert "volume=0" in repr(MomentAccumulator(3, 2))
+
+
+class TestSnapshot:
+    def test_snapshot_is_immutable_copy(self):
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(1.0)
+        snapshot = accumulator.snapshot()
+        accumulator.add(100.0)
+        assert snapshot.volume == 1
+        assert snapshot.sum1[0, 0] == 1.0
+
+    def test_zero_snapshot(self):
+        snapshot = MomentSnapshot.zero(2, 3)
+        assert snapshot.volume == 0
+        assert snapshot.shape == (2, 3)
+
+    def test_serialization_roundtrip(self):
+        accumulator = MomentAccumulator(2, 2)
+        accumulator.add(np.array([[1.0, 2.0], [3.0, 4.0]]),
+                        compute_time=0.25)
+        snapshot = accumulator.snapshot()
+        restored = MomentSnapshot.from_dict(snapshot.to_dict())
+        assert np.array_equal(restored.sum1, snapshot.sum1)
+        assert np.array_equal(restored.sum2, snapshot.sum2)
+        assert restored.volume == snapshot.volume
+        assert restored.compute_time == snapshot.compute_time
+
+    def test_from_dict_malformed(self):
+        with pytest.raises(ConfigurationError):
+            MomentSnapshot.from_dict({"sum1": [[1.0]]})
+
+    def test_snapshot_validation(self):
+        with pytest.raises(ConfigurationError):
+            MomentSnapshot(sum1=np.zeros((1, 1)), sum2=np.zeros((2, 2)),
+                           volume=0)
+        with pytest.raises(ConfigurationError):
+            MomentSnapshot(sum1=np.zeros((1, 1)), sum2=np.zeros((1, 1)),
+                           volume=-1)
+        with pytest.raises(ConfigurationError):
+            MomentSnapshot(sum1=np.zeros((1, 1)), sum2=np.zeros((1, 1)),
+                           volume=0, compute_time=-1.0)
+
+    def test_estimates_from_snapshot(self):
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(3.0)
+        assert accumulator.snapshot().estimates().mean[0, 0] == 3.0
+
+
+class TestMergeSnapshot:
+    def test_merge_equals_joint_accumulation(self):
+        joint = MomentAccumulator(1, 2)
+        part_a = MomentAccumulator(1, 2)
+        part_b = MomentAccumulator(1, 2)
+        for i in range(10):
+            row = np.array([[float(i), float(i * i)]])
+            joint.add(row)
+            (part_a if i % 2 == 0 else part_b).add(row)
+        part_a.merge_snapshot(part_b.snapshot())
+        assert np.allclose(part_a.estimates().mean, joint.estimates().mean)
+        assert part_a.volume == joint.volume
+
+    def test_merge_shape_mismatch(self):
+        accumulator = MomentAccumulator(1, 1)
+        with pytest.raises(ConfigurationError):
+            accumulator.merge_snapshot(MomentSnapshot.zero(2, 2))
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=30),
+           split=st.integers(0, 30))
+    @settings(max_examples=50)
+    def test_merge_any_split_is_exact(self, values, split):
+        split = min(split, len(values))
+        joint = MomentAccumulator(1, 1)
+        left = MomentAccumulator(1, 1)
+        right = MomentAccumulator(1, 1)
+        for index, value in enumerate(values):
+            joint.add(value)
+            (left if index < split else right).add(value)
+        left.merge_snapshot(right.snapshot())
+        assert left.snapshot().sum1 == pytest.approx(joint.snapshot().sum1)
+        assert left.snapshot().sum2 == pytest.approx(joint.snapshot().sum2)
+        assert left.volume == joint.volume

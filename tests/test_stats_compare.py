@@ -1,0 +1,135 @@
+"""Tests for repro.stats.compare and runtime logging hygiene."""
+
+from __future__ import annotations
+
+import logging
+import math
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.exceptions import ConfigurationError
+from repro.stats import (
+    compare_means,
+    compare_variances,
+    efficiency_gain,
+)
+from repro.stats.estimators import estimates_from_moments
+from repro.vr import antithetic_realization
+
+
+def estimates_of(values):
+    values = np.asarray(values, dtype=np.float64)
+    return estimates_from_moments(
+        np.array([[values.sum()]]),
+        np.array([[float(np.sum(values ** 2))]]), values.size)
+
+
+class TestCompareMeans:
+    def test_same_target_not_significant(self):
+        plain = parmonc(lambda rng: rng.random() ** 2, maxsv=2000,
+                        use_files=False).estimates
+        reduced = parmonc(
+            antithetic_realization(lambda rng: rng.random() ** 2),
+            maxsv=1000, seqnum=1, use_files=False).estimates
+        result = compare_means(plain, reduced)
+        assert not result.significant, result
+
+    def test_detects_bias(self):
+        generator = np.random.default_rng(0)
+        honest = estimates_of(generator.normal(0.0, 1.0, size=2000))
+        biased = estimates_of(generator.normal(0.3, 1.0, size=2000))
+        result = compare_means(honest, biased)
+        assert result.significant
+
+    def test_deterministic_estimators(self):
+        a = estimates_of([2.0, 2.0, 2.0])
+        b = estimates_of([2.0, 2.0])
+        result = compare_means(a, b)
+        assert result.p_value == 1.0
+        c = estimates_of([3.0, 3.0])
+        assert compare_means(a, c).significant
+
+    def test_entry_bounds(self):
+        a = estimates_of([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            compare_means(a, a, row=5)
+
+    def test_needs_two_realizations(self):
+        a = estimates_of([1.0])
+        with pytest.raises(ConfigurationError):
+            compare_means(a, a)
+
+    def test_str_mentions_verdict(self):
+        a = estimates_of([1.0, 2.0, 3.0])
+        assert "significant" in str(compare_means(a, a))
+
+
+class TestCompareVariances:
+    def test_variance_reduction_is_significant(self):
+        plain = parmonc(lambda rng: math.exp(rng.random()), maxsv=1000,
+                        use_files=False).estimates
+        reduced = parmonc(
+            antithetic_realization(lambda rng: math.exp(rng.random())),
+            maxsv=500, seqnum=1, use_files=False).estimates
+        result = compare_variances(reduced, plain)
+        assert result.significant
+        assert result.statistic < 0.2
+
+    def test_equal_variances_not_significant(self):
+        generator = np.random.default_rng(7)
+        a = estimates_of(generator.normal(size=4000))
+        b = estimates_of(generator.normal(size=4000))
+        assert not compare_variances(a, b).significant
+
+    def test_zero_comparator_rejected(self):
+        a = estimates_of([1.0, 2.0])
+        constant = estimates_of([1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            compare_variances(a, constant)
+
+
+class TestEfficiencyGain:
+    def test_matches_variance_ratio_for_equal_cost(self):
+        generator = np.random.default_rng(2)
+        a = estimates_of(generator.normal(0, 1.0, size=1000))
+        b = estimates_of(generator.normal(0, 3.0, size=1000))
+        gain = efficiency_gain(a, b)
+        assert gain == pytest.approx(
+            b.variance[0, 0] / a.variance[0, 0])
+
+    def test_cost_weighting(self):
+        generator = np.random.default_rng(3)
+        a = estimates_of(generator.normal(size=1000))
+        b = estimates_of(generator.normal(size=1000))
+        # Identical variance, but a costs 2x per realization.
+        assert efficiency_gain(a, b, cost_a=2.0) \
+            == pytest.approx(efficiency_gain(a, b) / 2.0)
+
+    def test_zero_variance_is_infinite_gain(self):
+        a = estimates_of([1.0, 1.0])
+        b = estimates_of([0.0, 2.0])
+        assert efficiency_gain(a, b) == math.inf
+
+    def test_cost_validation(self):
+        a = estimates_of([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            efficiency_gain(a, a, cost_a=0.0)
+
+
+class TestRuntimeLogging:
+    def test_session_start_logged(self, tmp_path, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.runtime"):
+            parmonc(lambda rng: rng.random(), maxsv=10,
+                    workdir=tmp_path)
+        messages = [record.message for record in caplog.records]
+        assert any("session 1 started" in message
+                   for message in messages), messages
+
+    def test_save_points_logged_at_debug(self, tmp_path, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.runtime"):
+            parmonc(lambda rng: rng.random(), maxsv=10, peraver=0.0,
+                    workdir=tmp_path)
+        assert any("save-point" in record.message
+                   for record in caplog.records)

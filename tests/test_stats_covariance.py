@@ -1,0 +1,128 @@
+"""Tests for CovarianceAccumulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.finance import EuropeanOption, make_realization
+from repro.exceptions import ConfigurationError
+from repro.rng.streams import StreamTree
+from repro.stats import CovarianceAccumulator
+
+
+class TestAccumulation:
+    def test_mean_matches_plain_average(self):
+        accumulator = CovarianceAccumulator(2, 2)
+        rows = [np.arange(4.0).reshape(2, 2) * k for k in (1, 2, 3)]
+        for row in rows:
+            accumulator.add(row)
+        assert np.allclose(accumulator.mean(), np.mean(rows, axis=0))
+
+    def test_covariance_matches_numpy(self):
+        generator = np.random.default_rng(0)
+        data = generator.normal(size=(200, 3))
+        accumulator = CovarianceAccumulator(1, 3)
+        for row in data:
+            accumulator.add(row.reshape(1, 3))
+        expected = np.cov(data.T, bias=True)
+        assert np.allclose(accumulator.covariance(), expected)
+
+    def test_correlation_diagonal_is_one(self):
+        generator = np.random.default_rng(1)
+        accumulator = CovarianceAccumulator(1, 2)
+        for row in generator.normal(size=(50, 2)):
+            accumulator.add(row.reshape(1, 2))
+        correlation = accumulator.correlation()
+        assert np.allclose(np.diag(correlation), 1.0)
+        assert np.all(np.abs(correlation) <= 1.0 + 1e-12)
+
+    def test_constant_entry_correlation_is_zero(self):
+        accumulator = CovarianceAccumulator(1, 2)
+        for value in (1.0, 2.0, 3.0):
+            accumulator.add(np.array([[value, 5.0]]))
+        correlation = accumulator.correlation()
+        assert correlation[0, 1] == 0.0
+
+    def test_merge_is_exact(self):
+        generator = np.random.default_rng(2)
+        data = generator.normal(size=(100, 2))
+        joint = CovarianceAccumulator(1, 2)
+        left = CovarianceAccumulator(1, 2)
+        right = CovarianceAccumulator(1, 2)
+        for index, row in enumerate(data):
+            joint.add(row.reshape(1, 2))
+            (left if index < 40 else right).add(row.reshape(1, 2))
+        left.merge(right)
+        assert np.allclose(left.covariance(), joint.covariance())
+        assert left.volume == 100
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CovarianceAccumulator(0, 1)
+        with pytest.raises(ConfigurationError):
+            CovarianceAccumulator(100, 100)  # cross-moment blowup
+        accumulator = CovarianceAccumulator(1, 2)
+        with pytest.raises(ConfigurationError):
+            accumulator.add(np.zeros((2, 2)))
+        with pytest.raises(ConfigurationError):
+            accumulator.add(np.array([[np.nan, 1.0]]))
+        with pytest.raises(ConfigurationError):
+            accumulator.mean()
+        with pytest.raises(ConfigurationError):
+            accumulator.merge(CovarianceAccumulator(2, 2))
+
+
+class TestContrastError:
+    def test_difference_of_correlated_entries(self):
+        # Entries are identical: their difference has zero variance
+        # even though each entry alone is noisy.
+        accumulator = CovarianceAccumulator(1, 2)
+        generator = np.random.default_rng(3)
+        for value in generator.normal(size=100):
+            accumulator.add(np.array([[value, value]]))
+        assert accumulator.contrast_error([1.0, -1.0]) \
+            == pytest.approx(0.0, abs=1e-9)
+        assert accumulator.contrast_error([1.0, 0.0]) > 0.0
+
+    def test_matches_marginal_for_single_entry(self):
+        accumulator = CovarianceAccumulator(1, 2)
+        generator = np.random.default_rng(4)
+        data = generator.normal(size=(400, 2))
+        for row in data:
+            accumulator.add(row.reshape(1, 2))
+        marginal = 3.0 * math.sqrt(np.var(data[:, 0]) / 400)
+        assert accumulator.contrast_error([1.0, 0.0]) \
+            == pytest.approx(marginal)
+
+    def test_weight_validation(self):
+        accumulator = CovarianceAccumulator(1, 2)
+        accumulator.add(np.array([[1.0, 2.0]]))
+        accumulator.add(np.array([[2.0, 1.0]]))
+        with pytest.raises(ConfigurationError):
+            accumulator.contrast_error([1.0, 2.0, 3.0])
+
+
+class TestPutCallParityApplication:
+    def test_parity_contrast_is_deterministic(self, tree):
+        # Call - put from the same terminal price is S_T - K discounted:
+        # its randomness is exactly S_T's, and the covariance-aware
+        # error of (call - put) is far below the naive sum of marginal
+        # errors.
+        option = EuropeanOption()
+        realization = make_realization(option)
+        accumulator = CovarianceAccumulator(1, 2)
+        for index in range(400):
+            accumulator.add(realization(tree.rng(0, 0, index)))
+        joint_error = accumulator.contrast_error([1.0, -1.0])
+        covariance = accumulator.covariance()
+        naive_error = 3.0 * (math.sqrt(covariance[0, 0] / 400)
+                             + math.sqrt(covariance[1, 1] / 400))
+        assert joint_error < naive_error
+        # And the parity value itself is recovered.
+        parity = accumulator.mean()[0, 0] - accumulator.mean()[0, 1]
+        expected = option.spot - option.strike * math.exp(
+            -option.rate * option.maturity)
+        assert abs(parity - expected) <= joint_error + 1e-9

@@ -1,0 +1,180 @@
+"""Tests for repro.stats.estimators: the §2.1 formulas."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.stats.estimators import (
+    CONFIDENCE_FACTOR,
+    CONFIDENCE_LEVEL,
+    computational_cost,
+    confidence_factor,
+    estimates_from_moments,
+    required_sample_volume,
+)
+
+
+def make_estimates(values):
+    """Estimates for a 1x1 problem from a list of realizations."""
+    values = np.asarray(values, dtype=np.float64)
+    return estimates_from_moments(
+        np.array([[values.sum()]]), np.array([[np.sum(values ** 2)]]),
+        values.size)
+
+
+class TestFormulas:
+    def test_sample_mean_formula_1(self):
+        estimates = make_estimates([1.0, 2.0, 3.0, 4.0])
+        assert estimates.mean[0, 0] == pytest.approx(2.5)
+
+    def test_sample_variance(self):
+        # sigma**2 = xi - mean**2 with xi the second-moment mean.
+        values = [1.0, 2.0, 3.0, 4.0]
+        estimates = make_estimates(values)
+        expected = np.mean(np.square(values)) - 2.5 ** 2
+        assert estimates.variance[0, 0] == pytest.approx(expected)
+
+    def test_absolute_error_three_sigma(self):
+        values = [0.0, 1.0] * 50
+        estimates = make_estimates(values)
+        sigma = math.sqrt(0.25)
+        assert estimates.abs_error[0, 0] == pytest.approx(
+            3.0 * sigma / math.sqrt(100))
+
+    def test_relative_error_percent(self):
+        values = [0.0, 1.0] * 50
+        estimates = make_estimates(values)
+        assert estimates.rel_error[0, 0] == pytest.approx(
+            estimates.abs_error[0, 0] / 0.5 * 100.0)
+
+    def test_zero_mean_relative_error_is_inf(self):
+        estimates = make_estimates([-1.0, 1.0])
+        assert np.isinf(estimates.rel_error[0, 0])
+
+    def test_constant_zero_sample_relative_error_is_zero(self):
+        estimates = make_estimates([0.0, 0.0, 0.0])
+        assert estimates.rel_error[0, 0] == 0.0
+        assert estimates.variance[0, 0] == 0.0
+
+    def test_variance_clipped_at_zero(self):
+        # A constant sample can produce a tiny negative difference in
+        # floating point; the variance must never be negative.
+        value = 0.1234567890123456
+        estimates = make_estimates([value] * 1000)
+        assert estimates.variance[0, 0] >= 0.0
+
+    def test_mean_time(self):
+        estimates = estimates_from_moments(
+            np.array([[10.0]]), np.array([[60.0]]), 5, total_time=2.5)
+        assert estimates.mean_time == pytest.approx(0.5)
+
+
+class TestEstimatesContainer:
+    def test_matrix_shape_and_bounds(self):
+        sum1 = np.array([[2.0, 4.0], [6.0, 0.0]])
+        sum2 = np.array([[4.0, 16.0], [36.0, 2.0]])
+        estimates = estimates_from_moments(sum1, sum2, 2)
+        assert estimates.shape == (2, 2)
+        assert estimates.abs_error_max == estimates.abs_error.max()
+        assert estimates.variance_max == estimates.variance.max()
+        assert np.isinf(estimates.rel_error_max)
+
+    def test_confidence_interval_formula_3(self):
+        values = [0.0, 1.0] * 200
+        estimates = make_estimates(values)
+        lower, upper = estimates.confidence_interval()
+        half = CONFIDENCE_FACTOR * math.sqrt(
+            estimates.variance[0, 0] / estimates.volume)
+        # gamma(0.997) is 2.9677; the paper rounds it to 3.
+        assert (upper - lower)[0, 0] == pytest.approx(
+            2 * confidence_factor(CONFIDENCE_LEVEL)
+            * math.sqrt(estimates.variance[0, 0] / estimates.volume))
+        assert (upper - lower)[0, 0] == pytest.approx(2 * half, rel=0.02)
+
+    def test_str(self):
+        estimates = make_estimates([1.0, 2.0])
+        text = str(estimates)
+        assert "L=2" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimates_from_moments(np.zeros((2, 2)), np.zeros((2, 3)), 5)
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimates_from_moments(np.zeros((1, 1)), np.zeros((1, 1)), 0)
+
+
+class TestConfidenceFactor:
+    def test_paper_value_0997_is_about_3(self):
+        # "According to Tables of a standard normal distribution,
+        # gamma(lambda) = 3 for lambda = 0.997".
+        assert confidence_factor(0.997) == pytest.approx(3.0, abs=0.04)
+
+    def test_095_is_about_196(self):
+        assert confidence_factor(0.95) == pytest.approx(1.96, abs=0.01)
+
+    def test_monotone_in_level(self):
+        assert confidence_factor(0.99) > confidence_factor(0.9)
+
+    def test_invalid_level(self):
+        with pytest.raises(ConfigurationError):
+            confidence_factor(1.0)
+        with pytest.raises(ConfigurationError):
+            confidence_factor(0.0)
+
+
+class TestCostAndVolume:
+    def test_cost_definition(self):
+        # C(zeta) = tau * Var(zeta), §2.2.
+        assert computational_cost(7.7, 2.0) == pytest.approx(15.4)
+
+    def test_cost_validation(self):
+        with pytest.raises(ConfigurationError):
+            computational_cost(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            computational_cost(1.0, -1.0)
+
+    def test_required_volume_inverts_error_formula(self):
+        variance = 4.0
+        target = 0.01
+        volume = required_sample_volume(variance, target)
+        achieved = CONFIDENCE_FACTOR * math.sqrt(variance / volume)
+        assert achieved <= target
+        # And one fewer realization would miss the target.
+        almost = CONFIDENCE_FACTOR * math.sqrt(variance / (volume - 1))
+        assert almost > target
+
+    def test_required_volume_proportional_to_variance(self):
+        # §2.2: "the sample volume L needed ... is proportional to the
+        # variance Var zeta".
+        v1 = required_sample_volume(1.0, 0.01)
+        v4 = required_sample_volume(4.0, 0.01)
+        assert v4 == pytest.approx(4 * v1, rel=0.001)
+
+    def test_required_volume_zero_variance(self):
+        assert required_sample_volume(0.0, 0.01) == 1
+
+    def test_required_volume_validation(self):
+        with pytest.raises(ConfigurationError):
+            required_sample_volume(-1.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            required_sample_volume(1.0, 0.0)
+
+
+class TestStatisticalSoundness:
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_variance_match_numpy(self, seed):
+        generator = np.random.default_rng(seed)
+        values = generator.normal(size=200)
+        estimates = make_estimates(values)
+        assert estimates.mean[0, 0] == pytest.approx(values.mean())
+        assert estimates.variance[0, 0] == pytest.approx(
+            values.var(), rel=1e-9, abs=1e-12)

@@ -1,0 +1,208 @@
+"""Tests for repro.vr: variance reduction wrappers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import parmonc
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+from repro.vr import (
+    AntitheticStream,
+    StratifiedRealization,
+    StratifiedStream,
+    antithetic_realization,
+    control_variate_realization,
+    exponential_proposal,
+    fit_control_coefficient,
+    importance_realization,
+    polynomial_proposal,
+)
+
+EXACT_EXP = math.e - 1.0  # integral_0^1 exp(x) dx
+
+
+def exp_realization(rng):
+    return math.exp(rng.random())
+
+
+def estimate(routine, maxsv=10_000, seqnum=0):
+    return parmonc(routine, maxsv=maxsv, seqnum=seqnum, processors=2,
+                   use_files=False).estimates
+
+
+class TestAntithetic:
+    def test_stream_mirrors_draws(self):
+        inner = Lcg128()
+        reference = Lcg128()
+        mirror = AntitheticStream(inner)
+        for _ in range(50):
+            assert mirror.random() == 1.0 - reference.random()
+
+    def test_unbiased(self):
+        estimates = estimate(antithetic_realization(exp_realization))
+        assert abs(estimates.mean[0, 0] - EXACT_EXP) \
+            <= 3 * estimates.abs_error[0, 0] + 1e-9
+
+    def test_variance_reduced_for_monotone_integrand(self):
+        plain = estimate(exp_realization)
+        anti = estimate(antithetic_realization(exp_realization))
+        assert anti.variance[0, 0] < 0.1 * plain.variance[0, 0]
+
+    def test_deterministic_per_stream(self, tree):
+        wrapped = antithetic_realization(exp_realization)
+        a = wrapped(tree.rng(0, 0, 7))
+        b = wrapped(tree.rng(0, 0, 7))
+        assert np.array_equal(a, b)
+
+    def test_symmetric_integrand_gives_zero_variance(self):
+        # f(U) + f(1-U) constant => the pair average is deterministic.
+        linear = antithetic_realization(lambda rng: rng.random())
+        estimates = estimate(linear, maxsv=100)
+        assert estimates.mean[0, 0] == pytest.approx(0.5)
+        assert estimates.variance[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matrix_realizations_supported(self, tree):
+        wrapped = antithetic_realization(
+            lambda rng: np.array([[rng.random(), rng.random() ** 2]]))
+        value = wrapped(tree.rng(0, 0, 0))
+        assert value.shape == (1, 2)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            antithetic_realization(42)
+
+
+class TestControlVariate:
+    def test_fit_finds_strong_correlation(self):
+        beta, correlation = fit_control_coefficient(
+            exp_realization, lambda rng: rng.random())
+        assert correlation > 0.95
+        # beta ~ Cov(e^U, U)/Var(U) = (12)(0.5(e-1)... just positivity
+        # and magnitude sanity:
+        assert 1.0 < beta < 2.5
+
+    def test_adjusted_estimator_unbiased_and_tighter(self):
+        control = lambda rng: rng.random()
+        beta, _ = fit_control_coefficient(exp_realization, control)
+        adjusted = control_variate_realization(
+            exp_realization, control, 0.5, beta)
+        plain = estimate(exp_realization)
+        tightened = estimate(adjusted)
+        assert abs(tightened.mean[0, 0] - EXACT_EXP) \
+            <= 3 * tightened.abs_error[0, 0] + 1e-9
+        assert tightened.variance[0, 0] < 0.05 * plain.variance[0, 0]
+
+    def test_control_replays_same_uniforms(self, tree):
+        seen = []
+        adjusted = control_variate_realization(
+            lambda rng: seen.append(rng.random()) or seen[-1],
+            lambda rng: seen.append(rng.random()) or seen[-1],
+            0.5, 1.0)
+        adjusted(tree.rng(0, 0, 0))
+        assert seen[0] == seen[1]
+
+    def test_constant_control_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_control_coefficient(exp_realization, lambda rng: 1.0)
+
+    def test_tiny_pilot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_control_coefficient(exp_realization,
+                                    lambda rng: rng.random(),
+                                    pilot_size=5)
+
+
+class TestStratified:
+    def test_stream_rescales_only_first_draw(self):
+        inner = Lcg128()
+        reference = Lcg128()
+        stream = StratifiedStream(inner, stratum=3, strata=4)
+        first = stream.random()
+        assert 0.75 <= first < 1.0
+        assert first == pytest.approx((3 + reference.random()) / 4)
+        assert stream.random() == reference.random()
+
+    def test_cycle_covers_all_strata(self, tree):
+        wrapped = StratifiedRealization(lambda rng: rng.random(), 4)
+        cells = sorted(int(wrapped(tree.rng(0, 0, i)) * 4)
+                       for i in range(4))
+        assert cells == [0, 1, 2, 3]
+
+    def test_unbiased(self):
+        wrapped = StratifiedRealization(exp_realization, 8)
+        estimates = estimate(wrapped, maxsv=8_000)
+        assert abs(estimates.mean[0, 0] - EXACT_EXP) < 0.02
+
+    def test_reduces_estimate_spread_across_experiments(self):
+        def spread(factory):
+            means = [estimate(factory(), maxsv=128, seqnum=s).mean[0, 0]
+                     for s in range(25)]
+            return float(np.var(means))
+
+        plain_spread = spread(lambda: exp_realization)
+        stratified_spread = spread(
+            lambda: StratifiedRealization(exp_realization, 16))
+        assert stratified_spread < plain_spread / 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StratifiedRealization(exp_realization, 1)
+        with pytest.raises(ConfigurationError):
+            StratifiedStream(Lcg128(), stratum=4, strata=4)
+        with pytest.raises(ConfigurationError):
+            StratifiedRealization(7, 4)
+
+
+class TestImportance:
+    def test_polynomial_proposal_samples_match_density(self, tree):
+        proposal = polynomial_proposal(2.0)
+        generator = tree.rng(0, 0, 0)
+        samples = np.array([proposal.inverse_cdf(generator.random())
+                            for _ in range(20_000)])
+        # E X under p(x) = 3 x**2 is 3/4.
+        assert samples.mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_perfectly_matched_proposal_zero_variance(self):
+        # Integrand proportional to the proposal density => constant
+        # weights => zero variance.
+        integrand = lambda x: 3.0 * x * x
+        wrapped = importance_realization(integrand,
+                                         polynomial_proposal(2.0))
+        estimates = estimate(wrapped, maxsv=500)
+        assert estimates.mean[0, 0] == pytest.approx(1.0)
+        assert estimates.variance[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_unbiased_with_mismatched_proposal(self):
+        wrapped = importance_realization(math.exp,
+                                         polynomial_proposal(1.0))
+        estimates = estimate(wrapped, maxsv=20_000)
+        assert abs(estimates.mean[0, 0] - EXACT_EXP) \
+            <= 3 * estimates.abs_error[0, 0] + 1e-9
+
+    def test_exponential_proposal_reduces_variance_for_decaying_f(self):
+        integrand = lambda x: math.exp(-8.0 * x)
+        plain = estimate(lambda rng: integrand(rng.random()),
+                         maxsv=10_000)
+        weighted = estimate(
+            importance_realization(integrand, exponential_proposal(8.0)),
+            maxsv=10_000)
+        assert weighted.variance[0, 0] < 0.05 * plain.variance[0, 0]
+        assert abs(weighted.mean[0, 0] - (1 - math.exp(-8.0)) / 8.0) \
+            < 0.001
+
+    def test_mirrored_polynomial(self, tree):
+        proposal = polynomial_proposal(3.0, mirrored=True)
+        generator = tree.rng(0, 0, 0)
+        samples = np.array([proposal.inverse_cdf(generator.random())
+                            for _ in range(5_000)])
+        assert samples.mean() < 0.35  # mass near 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            polynomial_proposal(-1.0)
+        with pytest.raises(ConfigurationError):
+            exponential_proposal(0.0)
