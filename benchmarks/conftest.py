@@ -3,11 +3,16 @@
 Each benchmark regenerates one table/figure of the paper (see
 DESIGN.md's experiment index), prints it through pytest's capture so it
 appears in ``bench_output.txt``, and appends it to
-``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.  Numeric series
+recorded via :meth:`Reporter.metric` additionally land in
+``benchmarks/results/<name>.json`` so downstream tooling (plots,
+regression tracking) never has to parse the human tables.
 """
 
 from __future__ import annotations
 
+import json
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -22,6 +27,7 @@ class Reporter:
         self._name = name
         self._capsys = capsys
         self._lines: list[str] = []
+        self._metrics: dict = {}
 
     def line(self, text: str = "") -> None:
         """Emit one line of the reproduction report."""
@@ -29,11 +35,36 @@ class Reporter:
         with self._capsys.disabled():
             print(text)
 
+    def metric(self, name: str, value) -> None:
+        """Record one machine-readable figure (repeats become a series).
+
+        Values must be JSON-serializable plain data; recording the same
+        name again turns the entry into a list, so per-point series
+        (``reporter.metric("t_comp", t)`` inside a sweep) come out as
+        arrays in the JSON artifact.
+        """
+        if name in self._metrics:
+            existing = self._metrics[name]
+            if not isinstance(existing, list):
+                self._metrics[name] = [existing]
+            self._metrics[name].append(value)
+        else:
+            self._metrics[name] = value
+
     def flush(self) -> None:
         """Persist the collected report under benchmarks/results/."""
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self._name}.txt"
         path.write_text("\n".join(self._lines) + "\n")
+        payload = {
+            "benchmark": self._name,
+            "written_at": datetime.now(timezone.utc).strftime(
+                "%Y-%m-%dT%H:%M:%SZ"),
+            "metrics": self._metrics,
+            "report_lines": len(self._lines),
+        }
+        (RESULTS_DIR / f"{self._name}.json").write_text(
+            json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture

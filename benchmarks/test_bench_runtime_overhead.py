@@ -66,6 +66,36 @@ def test_batching_amortizes_overhead(benchmark, reporter):
                   "bench with 1/100th of the runtime bookkeeping")
 
 
+def test_telemetry_overhead(benchmark, reporter, tmp_path):
+    """Telemetry must be free when off and cheap when on."""
+    import time
+
+    def run(telemetry: bool):
+        config = RunConfig(maxsv=5_000, processors=1, perpass=1e9,
+                           peraver=1e9, telemetry=telemetry)
+        return run_sequential(trivial, config, False)
+
+    samples = {True: [], False: []}
+    for _ in range(5):
+        for flag in (False, True):
+            began = time.perf_counter()
+            result = run(flag)
+            samples[flag].append(time.perf_counter() - began)
+            assert result.total_volume == 5_000
+    off, on = min(samples[False]), min(samples[True])
+    ratio = on / off if off > 0 else float("nan")
+    benchmark(run, False)
+    reporter.metric("seconds_telemetry_off", off)
+    reporter.metric("seconds_telemetry_on", on)
+    reporter.metric("on_off_ratio", ratio)
+    reporter.line(f"telemetry off: {off * 1e3:.2f} ms   "
+                  f"on: {on * 1e3:.2f} ms   ratio {ratio:.3f} "
+                  f"(5000 trivial realizations, best of 5)")
+    reporter.line("the disabled path is the default path: every "
+                  "instrumentation site hides behind `telemetry is "
+                  "not None`")
+
+
 def test_stream_positioning_overhead(benchmark, reporter):
     from repro.rng.streams import StreamTree
     tree = StreamTree()

@@ -3,18 +3,23 @@
 PARMONC periodically averages and saves results *during* the run
 (§2.2: "it is desirable to control the absolute and relative
 stochastic errors during the simulation").  The library surfaces that
-trace on ``RunResult.history``: one ``(time, volume, eps_max)`` entry
-per save-point.  This example plots (in ASCII) the 1/sqrt(L) error
-decay of a live run and shows the run_until() loop that stops at a
-target accuracy.
+trace twice over: on ``RunResult.history`` — one ``(time, volume,
+eps_max)`` entry per save-point — and, with ``telemetry=True``, as
+``save`` events in the structured JSONL event log under
+``parmonc_data/telemetry/`` (see docs/observability.md).  This example
+reads the event log, plots (in ASCII) the 1/sqrt(L) error decay of a
+live run, and shows the run_until() loop that stops at a target
+accuracy.
 
 Run:  python examples/convergence_monitoring.py
 """
 
 import math
 import tempfile
+from pathlib import Path
 
 from repro import MonteCarloRun, parmonc
+from repro.obs import read_events
 
 
 def heavy_tailish(rng):
@@ -25,16 +30,31 @@ def heavy_tailish(rng):
 def main():
     with tempfile.TemporaryDirectory() as workdir:
         result = parmonc(heavy_tailish, maxsv=20_000, processors=2,
-                         peraver=0.0, perpass=0.0, workdir=workdir)
-        history = result.history
-        print(f"{len(history)} save-points recorded; "
+                         peraver=0.0, perpass=0.0, workdir=workdir,
+                         telemetry=True)
+        events_path = (Path(workdir) / "parmonc_data" / "telemetry"
+                       / "events.jsonl")
+        saves = list(read_events(events_path, kind="save"))
+        print(f"{len(saves)} save-points in the event log; "
               f"error decay along the run:")
-        print("      L      eps_max   eps_max * sqrt(L)  (should be ~flat)")
-        step = max(1, len(history) // 8)
-        for _, volume, eps in history[::step]:
-            print(f"{volume:7d}   {eps:.6f}    {eps * math.sqrt(volume):8.4f}")
-        _, final_volume, final_eps = history[-1]
-        print(f"final:  L = {final_volume}, eps_max = {final_eps:.6f}\n")
+        print("   t(s)        L      eps_max   eps_max * sqrt(L)  "
+              "(should be ~flat)")
+        step = max(1, len(saves) // 8)
+        for event in saves[::step]:
+            volume = event.fields["volume"]
+            eps = event.fields["eps_max"]
+            print(f"{event.ts:7.3f}  {volume:7d}   {eps:.6f}    "
+                  f"{eps * math.sqrt(volume):8.4f}")
+        final = saves[-1]
+        print(f"final:  L = {final.fields['volume']}, "
+              f"eps_max = {final.fields['eps_max']:.6f}")
+        # The in-memory history carries the same trace (and works with
+        # telemetry off); the event log survives the process.
+        assert len(result.history) == len(saves)
+        totals = result.telemetry
+        print(f"telemetry: {totals['events']} events, "
+              f"{totals['messages']} messages from "
+              f"{totals['workers']} workers\n")
 
     with tempfile.TemporaryDirectory() as workdir:
         run = MonteCarloRun(heavy_tailish, workdir=workdir, processors=2)

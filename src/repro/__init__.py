@@ -21,14 +21,19 @@ Quick start::
 
 from __future__ import annotations
 
-from repro.core import (
+from repro.obs.log import configure_logging, install_null_handler
+
+# Library hygiene: never warn about missing handlers in user programs.
+install_null_handler()
+
+from repro.core import (  # noqa: E402
     BACKENDS,
     MonteCarloRun,
     batched_realization,
     parameter_sweep,
     parmonc,
 )
-from repro.exceptions import (
+from repro.exceptions import (  # noqa: E402
     BackendError,
     CapacityError,
     ConfigurationError,
@@ -38,15 +43,19 @@ from repro.exceptions import (
     ReproWarning,
     ResumeError,
 )
-from repro.rng import (
+from repro.rng import (  # noqa: E402
     Lcg128,
     StreamTree,
     VectorLcg128,
     initialize_rnd128,
     rnd128,
 )
-from repro.runtime import RunConfig, RunResult, minutes
-from repro.stats import Estimates, MomentAccumulator, MomentSnapshot
+from repro.runtime import RunConfig, RunResult, minutes  # noqa: E402
+from repro.stats import (  # noqa: E402
+    Estimates,
+    MomentAccumulator,
+    MomentSnapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -75,5 +84,6 @@ __all__ = [
     "RealizationError",
     "ReproWarning",
     "PeriodWarning",
+    "configure_logging",
     "__version__",
 ]

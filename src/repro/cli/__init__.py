@@ -7,6 +7,8 @@ from repro.cli.manaver import main as manaver_main, manual_average
 from repro.cli.report import main as report_main, render_report
 from repro.cli.rngtest import certify, main as rngtest_main
 from repro.cli.run import main as run_main
+from repro.cli.telemetry import main as telemetry_main
 
 __all__ = ["genparam_main", "manaver_main", "manual_average", "run_main",
-           "report_main", "render_report", "rngtest_main", "certify"]
+           "report_main", "render_report", "rngtest_main", "certify",
+           "telemetry_main"]

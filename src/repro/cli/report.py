@@ -4,9 +4,13 @@ Reads the ``parmonc_data`` directory of §3.6 and prints a human
 summary: the run log, the experiment registry, the shape and corner of
 the mean matrix, the worst errors, and the resumability status.
 
+With ``--telemetry`` the report also renders the run's observability
+artifacts (``telemetry/events.jsonl`` + ``metrics.json``, written by
+telemetry-enabled runs; see ``docs/observability.md``).
+
 Usage::
 
-    $ parmonc-report [--workdir DIR] [--rows N]
+    $ parmonc-report [--workdir DIR] [--rows N] [--telemetry]
 """
 
 from __future__ import annotations
@@ -15,14 +19,22 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.exceptions import ReproError, ResumeError
+from repro.exceptions import ConfigurationError, ReproError, ResumeError
+from repro.obs.render import render_telemetry
 from repro.runtime.files import DataDirectory
 
 __all__ = ["main", "render_report"]
 
 
-def render_report(workdir: Path, rows: int = 5) -> str:
+def render_report(workdir: Path, rows: int = 5,
+                  telemetry: bool = False) -> str:
     """Build the report text for a ``parmonc_data`` directory.
+
+    Args:
+        workdir: Directory containing ``parmonc_data``.
+        rows: Matrix rows to preview.
+        telemetry: Append the telemetry view (metrics, spans, events)
+            when the run recorded one.
 
     Raises:
         ReproError: If no results exist under ``workdir``.
@@ -84,6 +96,12 @@ def render_report(workdir: Path, rows: int = 5) -> str:
         lines.append(
             f"NOTE: {len(pending)} processor save-point(s) with "
             f"{recoverable} realizations await `manaver` recovery")
+    if telemetry:
+        lines.append("")
+        try:
+            lines.append(render_telemetry(data.telemetry_dir))
+        except ConfigurationError as exc:
+            lines.append(f"telemetry: {exc}")
     return "\n".join(lines)
 
 
@@ -96,6 +114,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory containing parmonc_data")
     parser.add_argument("--rows", type=int, default=5,
                         help="matrix rows to preview")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="append the run's telemetry view (metrics, "
+                             "spans, events)")
     return parser
 
 
@@ -103,7 +124,8 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
-        print(render_report(args.workdir, rows=max(1, args.rows)))
+        print(render_report(args.workdir, rows=max(1, args.rows),
+                            telemetry=args.telemetry))
     except ReproError as exc:
         print(f"parmonc-report: error: {exc}", file=sys.stderr)
         return 2

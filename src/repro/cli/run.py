@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workdir", type=Path, default=Path.cwd())
     parser.add_argument("--time-limit", type=float, default=None,
                         help="job time limit in seconds")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record telemetry artifacts under "
+                             "parmonc_data/telemetry (view with "
+                             "parmonc-telemetry)")
     return parser
 
 
@@ -90,7 +94,7 @@ def main(argv: list[str] | None = None) -> int:
             res=args.res, seqnum=args.seqnum, perpass=args.perpass,
             peraver=args.peraver, processors=args.processors,
             backend=args.backend, workdir=args.workdir,
-            time_limit=args.time_limit)
+            time_limit=args.time_limit, telemetry=args.telemetry)
     except ReproError as exc:
         print(f"parmonc-run: error: {exc}", file=sys.stderr)
         return 2
@@ -102,6 +106,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"rel error upper bound: {estimates.rel_error_max:.4f}%")
     if result.data_dir is not None:
         print(f"results under: {result.data_dir}")
+    if result.telemetry is not None and result.telemetry["directory"]:
+        print(f"telemetry under: {result.telemetry['directory']}")
     return 0
 
 

@@ -1,0 +1,60 @@
+"""The ``parmonc-telemetry`` command: render a run's observability record.
+
+Reads the ``parmonc_data/telemetry`` artifacts written by a run with
+``telemetry=True`` — the JSONL event log and the metrics snapshot (see
+``docs/observability.md``) — and prints the run totals, the per-worker
+table, timing histograms, the slowest spans, and the tail of the event
+log.  ``parmonc-report --telemetry`` shows the same view appended to the
+result-file summary; this command is the telemetry-only equivalent.
+
+Usage::
+
+    $ parmonc-telemetry [--workdir DIR] [--spans N] [--events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.obs.render import render_telemetry, telemetry_directory
+from repro.runtime.files import DataDirectory
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the parmonc-telemetry argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="parmonc-telemetry",
+        description="Render the telemetry record of a PARMONC run.")
+    parser.add_argument("--workdir", type=Path, default=Path.cwd(),
+                        help="directory containing parmonc_data")
+    parser.add_argument("--spans", type=int, default=8,
+                        help="slowest spans to list")
+    parser.add_argument("--events", type=int, default=8,
+                        help="trailing events to list")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    data = DataDirectory(args.workdir)
+    try:
+        if not data.root.exists():
+            raise ReproError(
+                f"no parmonc_data directory under {args.workdir}")
+        print(render_telemetry(telemetry_directory(data.root),
+                               spans=max(0, args.spans),
+                               tail=max(0, args.events)))
+    except ReproError as exc:
+        print(f"parmonc-telemetry: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

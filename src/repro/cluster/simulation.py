@@ -25,6 +25,7 @@ from repro.exceptions import ConfigurationError
 from repro.cluster.events import EventQueue
 from repro.cluster.machine import Accelerator, DurationModel, Processor
 from repro.cluster.network import CollectorService, NetworkModel
+from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
 from repro.runtime.messages import MomentMessage, message_bytes
@@ -172,13 +173,20 @@ class ClusterSimulation:
             cluster-wide, so faster nodes naturally contribute more.
             This is the paper's actual §2.2 argument for needing no
             load balancer; quotas must not be given in this mode.
+        telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`
+            stamped in *virtual* time: every realization chunk and
+            message transfer becomes a span, worker stats piggyback on
+            the simulated messages, and fault injections land in the
+            event log — the Fig. 2 scaling study yields a full trace
+            for free.
     """
 
     def __init__(self, config: RunConfig, spec: ClusterSpec,
                  collector: Collector,
                  routine: RealizationRoutine | None = None,
                  quotas: list[int] | None = None,
-                 scheduling: str = "static") -> None:
+                 scheduling: str = "static",
+                 telemetry: RunTelemetry | None = None) -> None:
         if scheduling not in ("static", "dynamic"):
             raise ConfigurationError(
                 f"scheduling must be 'static' or 'dynamic', "
@@ -239,6 +247,17 @@ class ClusterSimulation:
         self._queue_delay_total = 0.0
         self._last_completion = 0.0
         self._last_compute = 0.0
+        self._telemetry = telemetry
+        self._worker_stats = (
+            [WorkerTelemetry(rank, clock=lambda: self._events.now)
+             for rank in range(config.processors)]
+            if telemetry is not None else None)
+        self._failures_logged: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (drives the telemetry clock)."""
+        return self._events.now
 
     # ------------------------------------------------------------------
 
@@ -266,14 +285,29 @@ class ClusterSimulation:
             chunk, self._spec.duration_model, self._duration_rng)
         self._events.schedule(
             now + duration,
-            lambda when, r=rank, c=chunk: self._complete_chunk(r, c, when))
+            lambda when, r=rank, c=chunk, s=now:
+                self._complete_chunk(r, c, when, started=s))
 
     def _dead(self, rank: int, now: float) -> bool:
         """Whether rank has failed by simulation time ``now``."""
         fail_time = self._failures.get(rank)
-        return fail_time is not None and now >= fail_time
+        if fail_time is not None and now >= fail_time:
+            self._note_failure(rank, fail_time)
+            return True
+        return False
 
-    def _complete_chunk(self, rank: int, chunk: int, now: float) -> None:
+    def _note_failure(self, rank: int, fail_time: float) -> None:
+        """Log an injected node failure once, stamped at its fail time."""
+        if self._telemetry is None or rank in self._failures_logged:
+            return
+        self._failures_logged.add(rank)
+        self._telemetry.events.append(
+            "node_failed", ts=fail_time, rank=rank,
+            delivered_volume=self._collector.worker_volume(rank),
+            computed_volume=self._accumulators[rank].volume)
+
+    def _complete_chunk(self, rank: int, chunk: int, now: float,
+                        started: float | None = None) -> None:
         """A chunk finished: accumulate, maybe pass data, go on."""
         if self._dead(rank, now):
             # The node died while computing: the in-flight chunk (and
@@ -289,6 +323,11 @@ class ClusterSimulation:
                 result = self._zero
             self._accumulators[rank].add(result)
         self._last_compute = max(self._last_compute, now)
+        if self._worker_stats is not None:
+            begun = started if started is not None else now
+            self._worker_stats[rank].add_realizations(chunk, now - begun)
+            self._telemetry.tracer.record("worker.chunk", begun, now,
+                                          rank=rank, chunk=chunk)
         if (self._config.perpass == 0.0
                 or now - self._last_send[rank] >= self._config.perpass):
             self._send(rank, now, final=False)
@@ -300,9 +339,14 @@ class ClusterSimulation:
             return
         if final:
             self._finaled.add(rank)
+        metrics = None
+        if self._worker_stats is not None:
+            stats = self._worker_stats[rank]
+            stats.message(self._nbytes)
+            metrics = stats.as_dict(now=now)
         message = MomentMessage(
             rank=rank, snapshot=self._accumulators[rank].snapshot(),
-            sent_at=now, final=final)
+            sent_at=now, final=final, metrics=metrics)
         self._messages_sent += 1
         self._last_send[rank] = now
         arrival = now + self._spec.network.transfer_time(
@@ -310,6 +354,18 @@ class ClusterSimulation:
         completion = self._service.admit(arrival)
         self._queue_delay_total += completion \
             - self._service.service_time - arrival
+        if self._telemetry is not None:
+            self._telemetry.tracer.record(
+                "message.transfer", now, completion, rank=rank,
+                bytes=self._nbytes, final=final,
+                queue_delay=max(
+                    completion - self._service.service_time - arrival, 0.0))
+            if final:
+                self._telemetry.events.append(
+                    "worker_final", ts=now, rank=rank,
+                    volume=self._accumulators[rank].volume,
+                    messages=self._worker_stats[rank].messages,
+                    bytes=self._worker_stats[rank].bytes_sent)
         self._events.schedule(
             completion,
             lambda when, m=message: self._deliver(m, when))
@@ -324,8 +380,15 @@ class ClusterSimulation:
     def run(self) -> ClusterResult:
         """Execute the session; return virtual-time accounting."""
         for rank in range(self._config.processors):
+            if self._telemetry is not None:
+                self._telemetry.events.append(
+                    "worker_start", ts=0.0, rank=rank,
+                    quota=(self._quotas[rank]
+                           if self._scheduling == "static" else None))
             self._start_realization(rank, 0.0)
         self._events.run()
+        for rank, fail_time in self._failures.items():
+            self._note_failure(rank, fail_time)
         survivors = [rank for rank in range(self._config.processors)
                      if rank not in self._failures]
         if not all(rank in self._finaled for rank in survivors):

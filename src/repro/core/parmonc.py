@@ -60,7 +60,8 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             use_files: bool = True,
             cluster_spec: ClusterSpec | None = None,
             execute_realizations: bool = True,
-            start_method: str | None = None) -> RunResult:
+            start_method: str | None = None,
+            telemetry: bool = False) -> RunResult:
     """Run a massively parallel stochastic simulation.
 
     Args:
@@ -98,6 +99,11 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             into a pure timing study.
         start_method: ``multiprocess`` only — multiprocessing start
             method override.
+        telemetry: Record metrics, spans and a JSONL event log under
+            ``parmonc_data/telemetry/`` (virtual-clock timestamps under
+            ``simcluster``); summarized on ``RunResult.telemetry`` and
+            rendered by ``parmonc-report --telemetry``.  See
+            :mod:`repro.obs` and ``docs/observability.md``.
 
     Returns:
         The session's :class:`~repro.runtime.result.RunResult`.
@@ -111,7 +117,7 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
         perpass=perpass, peraver=peraver, processors=processors,
         workdir=resolved_workdir,
         leaps=_resolve_leaps(resolved_workdir, leaps),
-        time_limit=time_limit)
+        time_limit=time_limit, telemetry=telemetry)
     if backend == "sequential":
         return run_sequential(realization, config, use_files=use_files)
     if backend == "multiprocess":

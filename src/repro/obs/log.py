@@ -1,0 +1,67 @@
+"""Library logging hygiene.
+
+``repro`` is a library: it must never print to a user's stderr unless
+asked.  The package installs a :class:`logging.NullHandler` on its root
+logger at import time (see ``repro/__init__.py``), and programs that
+*do* want to see the runtime's logs call :func:`configure_logging` once
+instead of fighting ``basicConfig``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["configure_logging", "install_null_handler"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Name of the library's root logger.
+ROOT_LOGGER = "repro"
+
+
+def install_null_handler() -> None:
+    """Attach a NullHandler to the ``repro`` root logger (idempotent).
+
+    Called from ``repro/__init__.py`` so that module-level loggers such
+    as ``repro.runtime.collector`` never trigger Python's "no handlers
+    could be found" warning inside user programs.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+
+
+def configure_logging(level: int | str = logging.INFO,
+                      stream: IO[str] | None = None,
+                      fmt: str = _FORMAT) -> logging.Handler:
+    """Route the library's logs to a stream (default stderr).
+
+    Idempotent: repeated calls reconfigure the single handler installed
+    by the first call instead of stacking duplicates.
+
+    Args:
+        level: Threshold for the ``repro`` logger tree.
+        stream: Destination; defaults to ``sys.stderr``.
+        fmt: Log line format.
+
+    Returns:
+        The stream handler attached to the ``repro`` root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    handler = next(
+        (h for h in root.handlers
+         if isinstance(h, logging.StreamHandler)
+         and not isinstance(h, logging.NullHandler)
+         and getattr(h, "_repro_configured", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_configured = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setFormatter(logging.Formatter(fmt))
+    handler.setLevel(level)
+    root.setLevel(level)
+    return handler

@@ -1,0 +1,299 @@
+"""Zero-dependency metrics: counters, gauges, histograms.
+
+The registry mirrors the moment pipeline's design (see
+``stats/merging.py``): instruments accumulate locally, a
+:class:`MetricsSnapshot` is an immutable plain-data copy, and snapshots
+merge exactly — counters and histogram buckets are sums, so merging
+per-worker snapshots on rank 0 is the same arithmetic as merging two
+sessions.  Everything serializes to plain JSON types.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "merge_metrics",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, exponential).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
+
+
+class Counter:
+    """A monotonically increasing count (messages sent, stale drops, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self._value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, per-rank volume, ...)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Last set value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the level by ``amount`` (may be negative)."""
+        self._value += amount
+
+
+@dataclass(frozen=True)
+class HistogramData:
+    """Immutable histogram state: cumulative stats plus bucket counts.
+
+    Attributes:
+        count: Number of observations.
+        total: Sum of observations.
+        minimum: Smallest observation (``inf`` when empty).
+        maximum: Largest observation (``-inf`` when empty).
+        bounds: Bucket upper bounds, ascending; an implicit ``+inf``
+            bucket follows the last bound.
+        buckets: Per-bucket observation counts, ``len(bounds) + 1`` long.
+    """
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    bounds: tuple[float, ...]
+    buckets: tuple[int, ...]
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """Serialize to plain JSON types."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "HistogramData":
+        """Deserialize a payload produced by :meth:`to_dict`."""
+        try:
+            count = int(data["count"])
+            return cls(
+                count=count,
+                total=float(data["total"]),
+                minimum=(float(data["min"]) if data.get("min") is not None
+                         else math.inf),
+                maximum=(float(data["max"]) if data.get("max") is not None
+                         else -math.inf),
+                bounds=tuple(float(b) for b in data["bounds"]),
+                buckets=tuple(int(b) for b in data["buckets"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed histogram payload: {exc}") from exc
+
+    def merged(self, other: "HistogramData") -> "HistogramData":
+        """Exact merge of two histograms with identical bounds."""
+        if self.bounds != other.bounds:
+            raise ConfigurationError(
+                f"cannot merge histograms with bounds {self.bounds} "
+                f"and {other.bounds}")
+        return HistogramData(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            bounds=self.bounds,
+            buckets=tuple(a + b for a, b in zip(self.buckets,
+                                                other.buckets)))
+
+
+class Histogram:
+    """Distribution of observations over fixed exponential-ish buckets."""
+
+    def __init__(self, name: str,
+                 bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self._bounds = tuple(sorted(float(b) for b in bounds))
+        if not self._bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound")
+        self._buckets = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        return self._count
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        for index, bound in enumerate(self._bounds):
+            if value <= bound:
+                self._buckets[index] += 1
+                return
+        self._buckets[-1] += 1
+
+    def data(self) -> HistogramData:
+        """Immutable copy of the histogram state."""
+        return HistogramData(
+            count=self._count, total=self._total, minimum=self._min,
+            maximum=self._max, bounds=self._bounds,
+            buckets=tuple(self._buckets))
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable copy of a registry's state at one instant.
+
+    The unit of worker-to-collector metrics transport and of on-disk
+    persistence (``parmonc_data/telemetry/metrics.json``).
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramData] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Serialize to plain JSON types."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: data.to_dict()
+                           for name, data in self.histograms.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "MetricsSnapshot":
+        """Deserialize a payload produced by :meth:`to_dict`."""
+        try:
+            return cls(
+                counters={str(k): float(v)
+                          for k, v in dict(data.get("counters", {})).items()},
+                gauges={str(k): float(v)
+                        for k, v in dict(data.get("gauges", {})).items()},
+                histograms={
+                    str(k): HistogramData.from_dict(v)
+                    for k, v in dict(data.get("histograms", {})).items()})
+        except (TypeError, ValueError, AttributeError) as exc:
+            raise ConfigurationError(
+                f"malformed metrics payload: {exc}") from exc
+
+
+def merge_metrics(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Merge snapshots from workers and/or sessions into one.
+
+    Counters and histograms add exactly (they carry sums); for gauges the
+    later snapshot wins, so merge per-worker snapshots in arrival order
+    and namespace per-rank gauges (``worker.3.volume``) to avoid
+    collisions.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, HistogramData] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.counters.items():
+            counters[name] = counters.get(name, 0.0) + value
+        gauges.update(snapshot.gauges)
+        for name, data in snapshot.histograms.items():
+            histograms[name] = (histograms[name].merged(data)
+                                if name in histograms else data)
+    return MetricsSnapshot(counters=counters, gauges=gauges,
+                           histograms=histograms)
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument in one process.
+
+    Names are dotted strings (``worker.3.realizations``,
+    ``collector.save_seconds``); an instrument name maps to exactly one
+    kind — asking for a counter where a gauge lives is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram under ``name`` (created with ``bounds`` once)."""
+        return self._get_or_create(name, Histogram, bounds)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Immutable copy of every instrument's current state."""
+        counters = {}
+        gauges = {}
+        histograms = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = instrument.data()
+        return MetricsSnapshot(counters=counters, gauges=gauges,
+                               histograms=histograms)

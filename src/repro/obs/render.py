@@ -1,0 +1,176 @@
+"""Rendering a run's telemetry artifacts for the CLI views.
+
+Reads ``telemetry/metrics.json`` and ``telemetry/events.jsonl`` (see
+``docs/observability.md`` for the schema) and builds the text shown by
+``parmonc-report --telemetry`` and the ``parmonc-telemetry`` command.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from pathlib import Path
+
+from repro.exceptions import ConfigurationError
+from repro.obs.events import read_events
+from repro.obs.telemetry import EVENTS_FILENAME, METRICS_FILENAME
+
+__all__ = ["load_metrics", "render_telemetry", "telemetry_directory"]
+
+
+def telemetry_directory(data_root: Path | str) -> Path:
+    """The telemetry directory beneath a ``parmonc_data`` root."""
+    return Path(data_root) / "telemetry"
+
+
+def load_metrics(directory: Path | str) -> dict:
+    """Load the ``metrics.json`` payload of a telemetry directory.
+
+    Raises:
+        ConfigurationError: If the file is absent or malformed.
+    """
+    path = Path(directory) / METRICS_FILENAME
+    if not path.exists():
+        raise ConfigurationError(f"no metrics snapshot at {path}")
+    try:
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            raise ValueError("missing 'metrics' key")
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"corrupted metrics snapshot at {path}: {exc}") from exc
+    return payload
+
+
+def _format_bytes(count: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(count) < 1024.0 or unit == "GB":
+            return (f"{count:.0f} {unit}" if unit == "B"
+                    else f"{count:.1f} {unit}")
+        count /= 1024.0
+    return f"{count:.1f} GB"
+
+
+def _worker_table(workers: dict) -> list[str]:
+    lines = ["per-worker stats:",
+             "  rank  realizations      r/s  messages      bytes  busy"]
+    for rank in sorted(workers, key=int):
+        stats = workers[rank]
+        lines.append(
+            f"  {int(rank):>4d}  {int(stats.get('realizations', 0)):>12d}"
+            f"  {stats.get('realizations_per_second', 0.0):>7.1f}"
+            f"  {int(stats.get('messages', 0)):>8d}"
+            f"  {_format_bytes(stats.get('bytes', 0)):>9s}"
+            f"  {stats.get('busy_fraction', 0.0) * 100:>3.0f}%")
+    return lines
+
+
+def _gauge_lines(gauges: dict) -> list[str]:
+    lines = ["run totals:"]
+    for key in ("run.volume", "run.realizations", "run.messages",
+                "run.bytes", "run.elapsed_seconds", "run.virtual_seconds",
+                "run.compute_seconds", "run.idle_seconds"):
+        if key in gauges:
+            value = gauges[key]
+            if key == "run.bytes":
+                rendered = _format_bytes(value)
+            elif key.endswith("_seconds"):
+                rendered = f"{value:.3f} s"
+            else:
+                rendered = f"{value:g}"
+            lines.append(f"  {key:<22s} {rendered}")
+    return lines
+
+
+def _histogram_lines(histograms: dict) -> list[str]:
+    lines = []
+    for name in sorted(histograms):
+        data = histograms[name]
+        count = data.get("count", 0)
+        if not count:
+            continue
+        mean = data.get("total", 0.0) / count
+        lines.append(
+            f"  {name:<26s} n={count}  mean={mean:.4g}s  "
+            f"min={data.get('min', 0.0):.4g}s  "
+            f"max={data.get('max', 0.0):.4g}s")
+    if lines:
+        lines.insert(0, "timing histograms:")
+    return lines
+
+
+def render_telemetry(directory: Path | str, *, spans: int = 8,
+                     tail: int = 8) -> str:
+    """Build the telemetry summary text for one run.
+
+    Args:
+        directory: The run's ``parmonc_data/telemetry`` directory.
+        spans: How many slowest spans to list.
+        tail: How many trailing non-span events to list.
+
+    Raises:
+        ConfigurationError: If the directory holds no telemetry
+            artifacts at all.
+    """
+    directory = Path(directory)
+    events_path = directory / EVENTS_FILENAME
+    have_metrics = (directory / METRICS_FILENAME).exists()
+    if not have_metrics and not events_path.exists():
+        raise ConfigurationError(
+            f"no telemetry artifacts under {directory}; run with "
+            f"telemetry=True to record them")
+    lines = [f"telemetry — {directory}", "-" * 60]
+    if have_metrics:
+        payload = load_metrics(directory)
+        metrics = payload["metrics"]
+        lines.extend(_gauge_lines(metrics.get("gauges", {})))
+        workers = payload.get("workers", {})
+        if workers:
+            lines.append("")
+            lines.extend(_worker_table(workers))
+        histogram_lines = _histogram_lines(metrics.get("histograms", {}))
+        if histogram_lines:
+            lines.append("")
+            lines.extend(histogram_lines)
+        counters = metrics.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("counters:")
+            for name in sorted(counters):
+                lines.append(f"  {name:<26s} {counters[name]:g}")
+    if events_path.exists():
+        all_events = list(read_events(events_path))
+        tally = TallyCounter(e.kind for e in all_events)
+        lines.append("")
+        lines.append(f"events ({len(all_events)} in {events_path.name}): "
+                     + ", ".join(f"{kind}={count}"
+                                 for kind, count in sorted(tally.items())))
+        span_events = sorted(
+            (e for e in all_events if e.kind == "span"),
+            key=lambda e: e.fields.get("end", 0.0) - e.fields.get(
+                "start", 0.0),
+            reverse=True)
+        if span_events and spans > 0:
+            lines.append("")
+            lines.append(f"slowest spans (of {len(span_events)}):")
+            for event in span_events[:spans]:
+                duration = (event.fields.get("end", 0.0)
+                            - event.fields.get("start", 0.0))
+                attrs = {k: v for k, v in event.fields.items()
+                         if k not in ("name", "start", "end")}
+                suffix = ("  " + " ".join(f"{k}={v}"
+                                          for k, v in sorted(attrs.items()))
+                          if attrs else "")
+                lines.append(
+                    f"  {event.fields.get('name', '?'):<22s} "
+                    f"{duration:>10.4g}s  @t={event.ts:<10.4g}{suffix}")
+        plain = [e for e in all_events if e.kind != "span"]
+        if plain and tail > 0:
+            lines.append("")
+            lines.append("last events:")
+            for event in plain[-tail:]:
+                fields = " ".join(f"{k}={v}" for k, v in
+                                  sorted(event.fields.items()))
+                lines.append(f"  t={event.ts:<10.4g} {event.kind:<14s} "
+                             f"{fields}")
+    return "\n".join(lines)

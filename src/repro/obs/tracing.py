@@ -1,0 +1,131 @@
+"""A lightweight span/trace API with an explicit, swappable clock.
+
+Real-time backends let the tracer read ``time.monotonic`` itself; the
+discrete-event backend instead *tells* the tracer when things happened
+(:meth:`Tracer.record`), so a simulated 512-processor run yields a full
+trace stamped in virtual seconds without ever sleeping.
+
+Spans are flat records, not a tree — the runtime's concurrency is
+processes and simulated nodes, so parentage is expressed with the
+``rank`` attribute and span names (``worker.run``, ``collector.save``)
+rather than span IDs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SpanRecord", "Tracer"]
+
+#: Spans kept in memory before the tracer starts counting drops instead.
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: Operation name, dotted (``worker.run``, ``message.transfer``).
+        start: Start time in run seconds (virtual under simulation).
+        end: End time in run seconds; never before ``start``.
+        attributes: Plain-data annotations (rank, volume, bytes, ...).
+    """
+
+    name: str
+    start: float
+    end: float
+    attributes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"span {self.name!r} ends at {self.end} before its "
+                f"start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """Serialize to plain JSON types (the JSONL ``span`` event body)."""
+        return {"name": self.name, "start": self.start, "end": self.end,
+                **self.attributes}
+
+
+class Tracer:
+    """Collects :class:`SpanRecord`s from one process.
+
+    Args:
+        clock: Monotonic time source used by :meth:`span`; swap in a
+            virtual clock (``lambda: queue.now``) under simulation.
+        max_spans: In-memory cap; once reached, further spans are counted
+            in :attr:`dropped` instead of stored, so a pathological
+            perpass=0 run cannot exhaust memory.
+        epoch: Clock value of the run's start; subtracted from span
+            timestamps so real-time backends trace in run-relative
+            seconds (the virtual backend keeps epoch 0).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic,
+                 max_spans: int = DEFAULT_MAX_SPANS,
+                 epoch: float = 0.0) -> None:
+        if max_spans < 1:
+            raise ConfigurationError(
+                f"max_spans must be >= 1, got {max_spans}")
+        self._clock = clock
+        self._epoch = epoch
+        self._max_spans = max_spans
+        self._spans: list[SpanRecord] = []
+        self._dropped = 0
+
+    @property
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Completed spans in completion order."""
+        return tuple(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after the in-memory cap was hit."""
+        return self._dropped
+
+    def record(self, name: str, start: float, end: float,
+               **attributes) -> SpanRecord:
+        """Record a span with explicit timestamps (the virtual-clock path).
+
+        Timestamps must come from the tracer's clock; they are shifted
+        onto the run-relative axis here.
+        """
+        span = SpanRecord(name=name, start=start - self._epoch,
+                          end=end - self._epoch, attributes=attributes)
+        if len(self._spans) >= self._max_spans:
+            self._dropped += 1
+        else:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[dict]:
+        """Time a block against the tracer's clock.
+
+        Yields the attribute dict so the block can annotate the span
+        while it runs::
+
+            with tracer.span("collector.save") as attrs:
+                attrs["volume"] = merged.volume
+        """
+        start = self._clock()
+        try:
+            yield attributes
+        finally:
+            self.record(name, start, self._clock(), **attributes)
+
+    def by_name(self, name: str) -> tuple[SpanRecord, ...]:
+        """All spans with the given name."""
+        return tuple(s for s in self._spans if s.name == name)

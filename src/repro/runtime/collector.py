@@ -5,13 +5,21 @@ Averaging merges the resume base with every latest snapshot — formula
 (5) with per-worker volumes ``l_m`` that may differ, exactly as the
 paper allows ("the sample volumes l_m ... may be different at the moment
 of passing data").
+
+When a run enables telemetry the collector doubles as rank 0's
+instrumentation point: it stamps a last-seen watermark per rank, counts
+stale (out-of-order) messages, times every averaging round, and feeds
+piggybacked worker stats to the :class:`~repro.obs.telemetry
+.RunTelemetry` aggregator.
 """
 
 from __future__ import annotations
 
 import logging
+import time
 
 from repro.exceptions import ConfigurationError
+from repro.obs.telemetry import RunTelemetry
 from repro.runtime.config import RunConfig
 from repro.runtime.files import DataDirectory
 from repro.runtime.messages import MomentMessage
@@ -39,11 +47,15 @@ class Collector:
             snapshot into ``savepoints/processor_<m>.json`` (the
             ``manaver`` recovery input).  Defaults to True whenever a
             data directory is given.
+        telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`
+            to instrument against; None (the default) keeps the hot
+            path free of any telemetry work.
     """
 
     def __init__(self, config: RunConfig, base: MomentSnapshot,
                  data: DataDirectory | None = None, *, sessions: int = 1,
-                 persist_subtotals: bool | None = None) -> None:
+                 persist_subtotals: bool | None = None,
+                 telemetry: RunTelemetry | None = None) -> None:
         if base.shape != config.shape:
             raise ConfigurationError(
                 f"resume base shape {base.shape} does not match the "
@@ -54,10 +66,14 @@ class Collector:
         self._sessions = sessions
         self._persist = (persist_subtotals if persist_subtotals is not None
                          else data is not None)
+        self._telemetry = telemetry
         self._latest: dict[int, MomentSnapshot] = {}
         self._finals: set[int] = set()
+        self._last_seen: dict[int, float] = {}
+        self._epoch: float | None = None
         self._last_average_at: float | None = None
         self._receive_count = 0
+        self._stale_count = 0
         self._save_count = 0
         self._history: list[tuple[float, int, float]] = []
 
@@ -65,8 +81,13 @@ class Collector:
 
     @property
     def receive_count(self) -> int:
-        """Messages received so far."""
+        """Messages received so far (stale ones included)."""
         return self._receive_count
+
+    @property
+    def stale_count(self) -> int:
+        """Out-of-order messages dropped because a newer snapshot won."""
+        return self._stale_count
 
     @property
     def save_count(self) -> int:
@@ -89,9 +110,53 @@ class Collector:
         return len(self._finals)
 
     @property
+    def final_ranks(self) -> frozenset[int]:
+        """Ranks whose final message has arrived."""
+        return frozenset(self._finals)
+
+    @property
     def complete(self) -> bool:
         """True when every configured worker has sent a final message."""
         return len(self._finals) >= self._config.processors
+
+    @property
+    def last_seen(self) -> dict[int, float]:
+        """Per-rank watermark: arrival time of the last accepted message."""
+        return dict(self._last_seen)
+
+    def mark_epoch(self, now: float) -> None:
+        """Anchor staleness checks: the run-clock time workers started.
+
+        Ranks never heard from are judged against this epoch; without
+        one, the first received message's time stands in for it.
+        """
+        self._epoch = now
+
+    def stale_workers(self, now: float, threshold: float) -> tuple[int, ...]:
+        """Ranks not heard from for over ``threshold`` seconds.
+
+        A rank counts as stale when it has not finalized and either has
+        never been heard from (watermark taken as the epoch, see
+        :meth:`mark_epoch`) or last reported more than ``threshold``
+        seconds before ``now``.  Drive this from the backend's poll loop
+        to flag unhealthy workers mid-run.
+        """
+        if threshold < 0:
+            raise ConfigurationError(
+                f"staleness threshold must be >= 0, got {threshold}")
+        epoch = self._epoch
+        if epoch is None:
+            if not self._last_seen:
+                return ()
+            epoch = min(self._last_seen.values())
+        stale = []
+        for rank in range(self._config.processors):
+            if rank in self._finals:
+                continue
+            watermark = self._last_seen.get(rank, epoch)
+            if now - watermark > threshold:
+                stale.append(rank)
+        return tuple(stale)
 
     @property
     def session_volume(self) -> int:
@@ -129,11 +194,27 @@ class Collector:
         previous = self._latest.get(message.rank)
         if previous is not None and message.snapshot.volume < previous.volume:
             # Stale out-of-order message: cumulative volume can only grow.
+            self._stale_count += 1
+            if self._telemetry is not None:
+                self._telemetry.registry.counter(
+                    "collector.stale_messages").inc()
+                self._telemetry.events.append(
+                    "stale_message", ts=now, rank=message.rank,
+                    volume=message.snapshot.volume,
+                    kept_volume=previous.volume)
             return False
         self._latest[message.rank] = message.snapshot
+        self._last_seen[message.rank] = now
         self._receive_count += 1
         if message.final:
             self._finals.add(message.rank)
+        if self._telemetry is not None:
+            self._telemetry.registry.counter("collector.messages").inc()
+            if message.metrics is not None:
+                self._telemetry.record_worker(message.metrics)
+            self._telemetry.events.append(
+                "message", ts=now, rank=message.rank,
+                volume=message.snapshot.volume, final=message.final)
         if self._persist and self._data is not None:
             self._data.save_processor_snapshot(message.rank,
                                                message.snapshot)
@@ -162,18 +243,29 @@ class Collector:
         """Average and write result files (a periodic PARMONC save-point)."""
         self._last_average_at = now
         self._save_count += 1
-        if self._data is None:
+        if self._data is None and self._telemetry is None:
             return
+        round_started = time.perf_counter()
         merged = self.merged()
         if merged.volume == 0:
             return
         estimates = merged.estimates()
-        self._history.append((now, merged.volume,
-                              estimates.abs_error_max))
-        self._data.write_results(
-            estimates, seqnum=self._config.seqnum,
-            processors=self._config.processors, sessions=self._sessions,
-            elapsed=elapsed)
+        if self._data is not None:
+            self._history.append((now, merged.volume,
+                                  estimates.abs_error_max))
+            self._data.write_results(
+                estimates, seqnum=self._config.seqnum,
+                processors=self._config.processors, sessions=self._sessions,
+                elapsed=elapsed)
+        if self._telemetry is not None:
+            # The round is timed against the real clock even under
+            # simulation: merging cost is a property of this machine,
+            # while the event's ``now`` stays on the run clock.
+            self._telemetry.averaging_round(
+                duration=time.perf_counter() - round_started,
+                volume=merged.volume,
+                eps_max=float(estimates.abs_error_max),
+                save_index=self._save_count, now=now)
         _logger.debug(
             "save-point %d: L=%d, eps_max=%.6g, finals=%d/%d",
             self._save_count, merged.volume, estimates.abs_error_max,

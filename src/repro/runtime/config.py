@@ -51,6 +51,10 @@ class RunConfig:
         leaps: Subsequence hierarchy parameters (``genparam`` output).
         time_limit: Optional cap on (virtual or wall) run seconds, the
             analogue of the cluster job time limit.
+        telemetry: Record run telemetry — metrics, spans and a JSONL
+            event log under ``parmonc_data/telemetry/`` (see
+            :mod:`repro.obs`).  Off by default; the backends skip all
+            instrumentation when disabled.
     """
 
     nrow: int = 1
@@ -64,6 +68,7 @@ class RunConfig:
     workdir: Path = field(default_factory=Path.cwd)
     leaps: LeapSet = DEFAULT_LEAPS
     time_limit: float | None = None
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.nrow < 1 or self.ncol < 1:

@@ -9,6 +9,9 @@ Layout under the user's working directory::
         func_log.dat     run log: volume, mean time, error upper bounds
       savepoints/
         processor_<m>.json   latest subtotal snapshot of processor m
+      telemetry/
+        events.jsonl     structured run record (telemetry-enabled runs)
+        metrics.json     final metrics snapshot (see docs/observability.md)
       savepoint.json     merged snapshot + session metadata (resume source)
       parmonc_exp.dat    registry of stochastic experiments
 
@@ -129,6 +132,28 @@ class DataDirectory:
     def savepoints_dir(self) -> Path:
         """``parmonc_data/savepoints`` (per-processor subtotals)."""
         return self._root / "savepoints"
+
+    @property
+    def telemetry_dir(self) -> Path:
+        """``parmonc_data/telemetry`` (events.jsonl + metrics.json).
+
+        Created lazily by :class:`repro.obs.telemetry.RunTelemetry` when
+        a run enables telemetry; merely reading the property never
+        touches the filesystem.
+        """
+        return self._root / "telemetry"
+
+    def has_telemetry(self) -> bool:
+        """Whether a telemetry-enabled run left artifacts behind."""
+        return self.telemetry_dir.exists() and any(
+            self.telemetry_dir.iterdir())
+
+    def clear_telemetry(self) -> None:
+        """Remove telemetry artifacts (fresh runs start a fresh record)."""
+        if self.telemetry_dir.exists():
+            for path in self.telemetry_dir.iterdir():
+                if path.is_file():
+                    path.unlink()
 
     @property
     def savepoint_path(self) -> Path:

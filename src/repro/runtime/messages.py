@@ -31,12 +31,18 @@ class MomentMessage:
         sent_at: Send time in run seconds (virtual under simulation).
         final: True for the worker's last message; the collector uses
             this to detect run completion.
+        metrics: Optional worker telemetry piggybacking on the data
+            pass — the plain dict of
+            :meth:`repro.obs.telemetry.WorkerTelemetry.as_dict`.  Like
+            the moment snapshot it is cumulative, so the collector
+            keeps the latest per rank and loses nothing to reordering.
     """
 
     rank: int
     snapshot: MomentSnapshot
     sent_at: float
     final: bool = False
+    metrics: dict | None = None
 
     def __post_init__(self) -> None:
         if self.rank < 0:

@@ -5,6 +5,10 @@ worker is a separate process, messages travel through an OS queue, and
 the collector (this process) receives them asynchronously — slower
 workers simply deliver fewer realizations by the time any given
 averaging happens, exercising the unequal-``l_m`` branch of formula (5).
+
+Worker telemetry (when enabled) piggybacks on the moment messages, so
+rank 0 needs no extra IPC channel to know every worker's realization
+rate, message count and bytes shipped.
 """
 
 from __future__ import annotations
@@ -14,25 +18,70 @@ import queue as queue_module
 import time
 
 from repro.exceptions import BackendError
+from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
 from repro.runtime.bootstrap import start_session
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
 from repro.runtime.resume import finalize_session
 from repro.runtime.result import RunResult
+from repro.runtime.telemetry_support import open_run_telemetry
 from repro.runtime.worker import RealizationRoutine, run_worker
 
 __all__ = ["run_multiprocess"]
 
 _POLL_SECONDS = 0.05
 _JOIN_SECONDS = 10.0
+#: How long a cleanly-exited child may leave its final message in flight
+#: before the backend declares it dead (queue feeder threads flush fast;
+#: this only bounds the pathological case).
+_DEAD_GRACE_SECONDS = 1.0
 
 
 def _worker_entry(routine: RealizationRoutine, config: RunConfig,
                   rank: int, quota: int, outbox, deadline: float | None
                   ) -> None:
     """Worker process body: run the loop, shipping messages via the queue."""
+    telemetry = WorkerTelemetry(rank) if config.telemetry else None
     run_worker(routine, config, rank, quota, send=outbox.put,
-               deadline=deadline)
+               deadline=deadline, telemetry=telemetry)
+
+
+def _scan_for_dead_workers(workers, collector, suspects: dict[int, float],
+                           now: float, telemetry: RunTelemetry | None
+                           ) -> None:
+    """Raise :class:`BackendError` for children that died short of final.
+
+    A worker that exited with a nonzero code (or a signal) is dead on
+    sight.  A worker that exited *cleanly* but whose final message has
+    not arrived gets a short grace period — its last message may still
+    be crossing the queue's feeder thread — and is declared dead only if
+    the silence persists.
+    """
+    dead: dict[int, int] = {}
+    for rank, process in enumerate(workers):
+        if process.exitcode is None or rank in collector.final_ranks:
+            suspects.pop(rank, None)
+            continue
+        if process.exitcode != 0:
+            dead[rank] = process.exitcode
+        else:
+            first_seen = suspects.setdefault(rank, now)
+            if now - first_seen >= _DEAD_GRACE_SECONDS:
+                dead[rank] = process.exitcode
+    if not dead:
+        return
+    if telemetry is not None:
+        for rank, exitcode in sorted(dead.items()):
+            telemetry.events.append("worker_died", rank=rank,
+                                    exitcode=exitcode,
+                                    volume=collector.worker_volume(rank))
+        telemetry.events.flush()
+    described = ", ".join(
+        f"rank {rank} (exitcode {exitcode})"
+        for rank, exitcode in sorted(dead.items()))
+    raise BackendError(
+        f"worker process(es) died before delivering a final message: "
+        f"{described}")
 
 
 def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
@@ -50,12 +99,17 @@ def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
 
     Raises:
         BackendError: If a worker dies without delivering its final
-            message.
+            message — whether it crashed (nonzero exit, signal) or
+            exited cleanly without finishing its quota.
     """
     started = time.monotonic()
     data, state = start_session(config, use_files)
+    telemetry = open_run_telemetry(config, data, backend="multiprocess",
+                                   epoch=started)
     collector = Collector(config, state.base, data,
-                          sessions=state.session_index)
+                          sessions=state.session_index,
+                          telemetry=telemetry)
+    collector.mark_epoch(started)
     context = (multiprocessing.get_context(start_method)
                if start_method else multiprocessing.get_context())
     outbox = context.Queue()
@@ -70,26 +124,53 @@ def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
             daemon=True)
         process.start()
         workers.append(process)
+        if telemetry is not None:
+            telemetry.events.append("worker_start", rank=rank,
+                                    quota=config.worker_quota(rank),
+                                    pid=process.pid)
+    suspects: dict[int, float] = {}
+    stale_flagged: set[int] = set()
+    stale_after = (3.0 * config.perpass + 1.0
+                   if config.perpass > 0 else None)
+    drain_started = time.monotonic()
     try:
         while not collector.complete:
             try:
                 message = outbox.get(timeout=_POLL_SECONDS)
             except queue_module.Empty:
-                dead = [p for p in workers
-                        if not p.is_alive() and p.exitcode not in (0, None)]
-                if dead:
-                    codes = {p.pid: p.exitcode for p in dead}
-                    raise BackendError(
-                        f"worker process(es) died before finishing: "
-                        f"{codes}")
+                now = time.monotonic()
+                _scan_for_dead_workers(workers, collector, suspects, now,
+                                       telemetry)
+                if telemetry is not None and stale_after is not None:
+                    for rank in collector.stale_workers(now, stale_after):
+                        if rank not in stale_flagged:
+                            stale_flagged.add(rank)
+                            seen = collector.last_seen.get(rank)
+                            telemetry.events.append(
+                                "stale_worker", ts=now, rank=rank,
+                                last_seen=(seen - started
+                                           if seen is not None else None))
                 continue
-            collector.receive(message, time.monotonic())
+            now = time.monotonic()
+            collector.receive(message, now)
+            stale_flagged.discard(message.rank)
+            if telemetry is not None and message.final:
+                stats = message.metrics or {}
+                telemetry.events.append(
+                    "worker_final", ts=now, rank=message.rank,
+                    volume=message.snapshot.volume,
+                    messages=stats.get("messages"),
+                    bytes=stats.get("bytes"))
     finally:
         for process in workers:
             process.join(timeout=_JOIN_SECONDS)
             if process.is_alive():
                 process.terminate()
         outbox.close()
+    if telemetry is not None:
+        telemetry.tracer.record("collector.drain", drain_started,
+                                time.monotonic(),
+                                messages=collector.receive_count)
     elapsed = time.monotonic() - started
     collector.save(time.monotonic(), elapsed=elapsed)
     merged = collector.merged()
@@ -98,6 +179,9 @@ def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
         data.clear_processor_snapshots()
     per_rank = {rank: collector.worker_volume(rank)
                 for rank in range(config.processors)}
+    summary = (telemetry.finalize(elapsed=elapsed,
+                                  volume=collector.total_volume)
+               if telemetry is not None else None)
     return RunResult(
         estimates=merged.estimates(),
         config=config,
@@ -109,4 +193,5 @@ def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
         data_dir=data.root if data is not None else None,
         messages_received=collector.receive_count,
         saves_performed=collector.save_count,
-        history=collector.history)
+        history=collector.history,
+        telemetry=summary)

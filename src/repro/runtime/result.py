@@ -34,6 +34,10 @@ class RunResult:
         saves_performed: Collector averaging/saving sweeps.
         history: Convergence trace ``(time, volume, eps_max)`` per
             save-point (empty for in-memory runs).
+        telemetry: Summary dict of the run's telemetry (realizations,
+            messages, bytes, compute vs idle seconds, artifact
+            directory); None unless the run enabled telemetry.  The full
+            record lives under ``parmonc_data/telemetry/``.
     """
 
     estimates: Estimates | None
@@ -48,6 +52,7 @@ class RunResult:
     messages_received: int = 0
     saves_performed: int = 0
     history: tuple[tuple[float, int, float], ...] = ()
+    telemetry: dict | None = None
 
     def __str__(self) -> str:
         timing = (f"T_comp={self.virtual_time:.3f}s (virtual)"

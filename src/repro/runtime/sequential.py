@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import time
 
+from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
 from repro.runtime.bootstrap import start_session
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
 from repro.runtime.resume import finalize_session
 from repro.runtime.result import RunResult
+from repro.runtime.telemetry_support import open_run_telemetry
 from repro.runtime.worker import RealizationRoutine, run_worker
 
 __all__ = ["run_sequential"]
@@ -36,18 +38,35 @@ def run_sequential(routine: RealizationRoutine, config: RunConfig,
     """
     started = time.monotonic()
     data, state = start_session(config, use_files)
+    telemetry: RunTelemetry | None = open_run_telemetry(
+        config, data, backend="sequential", epoch=started)
     collector = Collector(config, state.base, data,
-                          sessions=state.session_index)
+                          sessions=state.session_index,
+                          telemetry=telemetry)
     deadline = (started + config.time_limit
                 if config.time_limit is not None else None)
     per_rank: dict[int, int] = {}
     for rank in range(config.processors):
+        worker_telemetry = (WorkerTelemetry(rank)
+                            if telemetry is not None else None)
+        if telemetry is not None:
+            telemetry.events.append("worker_start", rank=rank,
+                                    quota=config.worker_quota(rank))
+        worker_started = time.monotonic()
         accumulator = run_worker(
             routine, config, rank, config.worker_quota(rank),
             send=lambda message: collector.receive(message,
                                                    time.monotonic()),
-            deadline=deadline)
+            deadline=deadline, telemetry=worker_telemetry)
         per_rank[rank] = accumulator.volume
+        if telemetry is not None:
+            telemetry.tracer.record("worker.run", worker_started,
+                                    time.monotonic(), rank=rank,
+                                    volume=accumulator.volume)
+            telemetry.events.append(
+                "worker_final", rank=rank, volume=accumulator.volume,
+                messages=worker_telemetry.messages,
+                bytes=worker_telemetry.bytes_sent)
         if deadline is not None and time.monotonic() >= deadline:
             break
     elapsed = time.monotonic() - started
@@ -56,6 +75,9 @@ def run_sequential(routine: RealizationRoutine, config: RunConfig,
     if data is not None:
         finalize_session(data, state, merged)
         data.clear_processor_snapshots()
+    summary = (telemetry.finalize(elapsed=elapsed,
+                                  volume=collector.total_volume)
+               if telemetry is not None else None)
     return RunResult(
         estimates=merged.estimates(),
         config=config,
@@ -67,4 +89,5 @@ def run_sequential(routine: RealizationRoutine, config: RunConfig,
         data_dir=data.root if data is not None else None,
         messages_received=collector.receive_count,
         saves_performed=collector.save_count,
-        history=collector.history)
+        history=collector.history,
+        telemetry=summary)

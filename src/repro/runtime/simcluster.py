@@ -5,6 +5,10 @@ session lifecycle as the other backends (resume, result files,
 save-points), so a run "on 512 processors" is one function call on a
 laptop.  The returned :class:`RunResult` carries the virtual ``T_comp``
 in :attr:`~repro.runtime.result.RunResult.virtual_time`.
+
+With telemetry enabled the whole record — spans, events, metrics — is
+stamped in virtual seconds: the simulation's event queue *is* the
+telemetry clock.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
 from repro.runtime.resume import finalize_session
 from repro.runtime.result import RunResult
+from repro.runtime.telemetry_support import open_run_telemetry
 from repro.runtime.worker import RealizationRoutine
 
 __all__ = ["run_simcluster"]
@@ -55,15 +60,23 @@ def run_simcluster(routine: RealizationRoutine | None, config: RunConfig,
     if spec is None:
         spec = ClusterSpec()
     data, state = start_session(config, use_files)
+    # The telemetry clock reads the simulation's virtual time; the cell
+    # closes the construction cycle (telemetry -> collector -> sim).
+    simulation_cell: list[ClusterSimulation] = []
+    telemetry = open_run_telemetry(
+        config, data, backend="simcluster", epoch=0.0,
+        clock=lambda: simulation_cell[0].now if simulation_cell else 0.0)
     # Per-message subtotal persistence would dominate a timing study;
     # the merged save-point at session end still supports resumption.
     collector = Collector(config, state.base, data,
                           sessions=state.session_index,
-                          persist_subtotals=False)
+                          persist_subtotals=False,
+                          telemetry=telemetry)
     simulation = ClusterSimulation(
         config, spec, collector,
         routine=routine if execute_realizations else None,
-        quotas=quotas, scheduling=scheduling)
+        quotas=quotas, scheduling=scheduling, telemetry=telemetry)
+    simulation_cell.append(simulation)
     cluster_result = simulation.run()
     elapsed = time.monotonic() - started
     merged = collector.merged()
@@ -71,6 +84,10 @@ def run_simcluster(routine: RealizationRoutine | None, config: RunConfig,
         collector.save(cluster_result.t_comp, elapsed=elapsed)
         finalize_session(data, state, merged)
     estimates = merged.estimates() if merged.volume > 0 else None
+    summary = (telemetry.finalize(elapsed=elapsed,
+                                  volume=collector.total_volume,
+                                  virtual_time=cluster_result.t_comp)
+               if telemetry is not None else None)
     return RunResult(
         estimates=estimates,
         config=config,
@@ -83,4 +100,5 @@ def run_simcluster(routine: RealizationRoutine | None, config: RunConfig,
         data_dir=data.root if data is not None else None,
         messages_received=collector.receive_count,
         saves_performed=collector.save_count,
-        history=collector.history)
+        history=collector.history,
+        telemetry=summary)

@@ -15,11 +15,12 @@ import time
 from typing import Callable
 
 from repro.exceptions import ConfigurationError, RealizationError
+from repro.obs.telemetry import WorkerTelemetry
 from repro.rng import install_rnd128
 from repro.rng.lcg128 import Lcg128
 from repro.rng.streams import StreamTree
 from repro.runtime.config import RunConfig
-from repro.runtime.messages import MomentMessage
+from repro.runtime.messages import MomentMessage, message_bytes
 from repro.stats.accumulator import MomentAccumulator
 
 __all__ = ["RealizationRoutine", "adapt_realization", "run_worker"]
@@ -68,7 +69,9 @@ def adapt_realization(routine: RealizationRoutine
 def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
                quota: int, send: Callable[[MomentMessage], None],
                clock: Callable[[], float] = time.monotonic,
-               deadline: float | None = None) -> MomentAccumulator:
+               deadline: float | None = None,
+               telemetry: WorkerTelemetry | None = None
+               ) -> MomentAccumulator:
     """Simulate ``quota`` realizations on processor ``rank``.
 
     Args:
@@ -82,6 +85,10 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
             clock under simulation.
         deadline: Optional absolute clock value after which the worker
             stops early (the job time limit).
+        telemetry: Optional per-worker stats; when given, every data
+            pass carries its cumulative dict to rank 0 on the message's
+            ``metrics`` field.  None (the default) leaves the loop
+            untouched.
 
     Returns:
         The worker's final accumulator (also shipped via ``send`` with
@@ -93,6 +100,16 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
     stream = StreamTree(config.leaps).experiment(config.seqnum) \
                                      .processor(rank)
     accumulator = MomentAccumulator(config.nrow, config.ncol)
+    nbytes = message_bytes(config.nrow, config.ncol)
+
+    def ship(sent_at: float, final: bool) -> None:
+        metrics = None
+        if telemetry is not None:
+            telemetry.message(nbytes)
+            metrics = telemetry.as_dict(now=sent_at)
+        send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
+                           sent_at=sent_at, final=final, metrics=metrics))
+
     last_send = clock()
     for index in range(quota):
         rng = stream.realization(index)
@@ -107,12 +124,12 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
                 realization=index) from exc
         finished = clock()
         accumulator.add(result, compute_time=finished - started)
+        if telemetry is not None:
+            telemetry.realization(finished - started)
         if config.perpass == 0.0 or finished - last_send >= config.perpass:
-            send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
-                               sent_at=finished))
+            ship(finished, final=False)
             last_send = finished
         if deadline is not None and finished >= deadline:
             break
-    send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
-                       sent_at=clock(), final=True))
+    ship(clock(), final=True)
     return accumulator

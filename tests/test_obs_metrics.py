@@ -1,0 +1,155 @@
+"""Tests for repro.obs.metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_metrics,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = MetricsRegistry().counter("messages")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("messages")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(7.0)
+        gauge.inc(-2.0)
+        assert gauge.value == 5.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("t", bounds=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 100.0):
+            histogram.observe(value)
+        data = histogram.data()
+        assert data.buckets == (2, 1, 1)  # <=1, <=10, +inf overflow
+        assert data.count == 4
+        assert data.minimum == 0.5
+        assert data.maximum == 100.0
+        assert data.mean == pytest.approx(106.2 / 4)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("t", bounds=())
+
+    def test_merge_is_exact(self):
+        a = Histogram("t", bounds=(1.0,))
+        b = Histogram("t", bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        b.observe(0.25)
+        merged = a.data().merged(b.data())
+        assert merged.count == 3
+        assert merged.buckets == (2, 1)
+        assert merged.minimum == 0.25
+        assert merged.maximum == 2.0
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("t", bounds=(1.0,)).data()
+        b = Histogram("t", bounds=(2.0,)).data()
+        with pytest.raises(ConfigurationError):
+            a.merged(b)
+
+    def test_dict_round_trip(self):
+        histogram = Histogram("t")
+        histogram.observe(0.01)
+        data = histogram.data()
+        assert HistogramData.from_dict(data.to_dict()) == data
+
+    def test_empty_histogram_serializes_without_infinities(self):
+        payload = Histogram("t").data().to_dict()
+        assert payload["min"] is None and payload["max"] is None
+        restored = HistogramData.from_dict(payload)
+        assert restored.minimum == math.inf
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistogramData.from_dict({"count": "many"})
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_snapshot_partitions_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.0)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot.counters == {"c": 1.0}
+        assert snapshot.gauges == {"g": 2.0}
+        assert snapshot.histograms["h"].count == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        registry.counter("c").inc()
+        assert snapshot.counters["c"] == 1.0
+
+    def test_default_histogram_bounds(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.data().bounds == DEFAULT_BUCKETS
+
+
+class TestMergeMetrics:
+    def test_counters_add_gauges_right_biased(self):
+        a = MetricsSnapshot(counters={"n": 2.0}, gauges={"g": 1.0})
+        b = MetricsSnapshot(counters={"n": 3.0, "m": 1.0},
+                            gauges={"g": 9.0})
+        merged = merge_metrics([a, b])
+        assert merged.counters == {"n": 5.0, "m": 1.0}
+        assert merged.gauges == {"g": 9.0}
+
+    def test_histograms_merge_like_formula_5(self):
+        # Merging per-worker snapshots on rank 0 is the same arithmetic
+        # as merging the workers' own observations into one histogram.
+        workers = []
+        direct = Histogram("t", bounds=(1.0, 10.0))
+        for values in ((0.5, 3.0), (20.0,), (0.1, 0.2, 7.0)):
+            local = Histogram("t", bounds=(1.0, 10.0))
+            for value in values:
+                local.observe(value)
+                direct.observe(value)
+            workers.append(MetricsSnapshot(
+                histograms={"t": local.data()}))
+        merged = merge_metrics(workers)
+        assert merged.histograms["t"] == direct.data()
+
+    def test_dict_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert MetricsSnapshot.from_dict(snapshot.to_dict()) == snapshot

@@ -1,0 +1,189 @@
+"""Tests for repro.obs.telemetry and repro.obs.render."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.telemetry import main as telemetry_main
+from repro.exceptions import ConfigurationError
+from repro.obs.render import load_metrics, render_telemetry
+from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestWorkerTelemetry:
+    def test_counters_accumulate(self):
+        clock = FakeClock()
+        worker = WorkerTelemetry(3, clock=clock)
+        worker.realization(0.5)
+        worker.add_realizations(9, 4.5)
+        worker.message(128, send_seconds=0.1)
+        clock.advance(10.0)
+        stats = worker.as_dict()
+        assert stats["rank"] == 3
+        assert stats["realizations"] == 10
+        assert stats["messages"] == 1
+        assert stats["bytes"] == 128
+        assert stats["compute_seconds"] == pytest.approx(5.0)
+        assert stats["send_seconds"] == pytest.approx(0.1)
+        assert stats["wall_seconds"] == pytest.approx(10.0)
+
+    def test_explicit_now_overrides_clock(self):
+        clock = FakeClock(100.0)
+        worker = WorkerTelemetry(0, clock=clock)
+        assert worker.as_dict(now=103.0)["wall_seconds"] == pytest.approx(3.0)
+
+
+class TestRunTelemetryRollup:
+    def test_latest_wins_and_stale_rejected(self):
+        telemetry = RunTelemetry(clock=FakeClock())
+        telemetry.record_worker({"rank": 0, "realizations": 5,
+                                 "messages": 1, "bytes": 10,
+                                 "compute_seconds": 1.0,
+                                 "send_seconds": 0.0, "wall_seconds": 2.0})
+        telemetry.record_worker({"rank": 0, "realizations": 3,  # stale
+                                 "messages": 1, "bytes": 10,
+                                 "compute_seconds": 1.0,
+                                 "send_seconds": 0.0, "wall_seconds": 2.0})
+        assert telemetry.worker_stats()[0]["realizations"] == 5
+
+    def test_derived_rates(self):
+        telemetry = RunTelemetry(clock=FakeClock())
+        telemetry.record_worker({"rank": 1, "realizations": 10,
+                                 "messages": 2, "bytes": 100,
+                                 "compute_seconds": 2.0,
+                                 "send_seconds": 0.5, "wall_seconds": 4.0})
+        stats = telemetry.worker_stats()[1]
+        assert stats["idle_seconds"] == pytest.approx(1.5)
+        assert stats["realizations_per_second"] == pytest.approx(2.5)
+        assert stats["busy_fraction"] == pytest.approx(0.5)
+
+    def test_rollup_sums_across_workers(self):
+        telemetry = RunTelemetry(clock=FakeClock())
+        for rank in range(3):
+            telemetry.record_worker({"rank": rank, "realizations": 10,
+                                     "messages": 2, "bytes": 50,
+                                     "compute_seconds": 1.0,
+                                     "send_seconds": 0.0,
+                                     "wall_seconds": 2.0})
+        rolled = telemetry.rollup()
+        assert rolled["workers"] == 3
+        assert rolled["realizations"] == 30
+        assert rolled["bytes"] == 150
+
+
+class TestFinalize:
+    def make(self, tmp_path, clock=None):
+        return RunTelemetry(clock=clock or FakeClock(),
+                            directory=tmp_path / "telemetry")
+
+    def test_writes_artifacts(self, tmp_path):
+        clock = FakeClock()
+        telemetry = self.make(tmp_path, clock)
+        telemetry.events.append("session_start", backend="test")
+        telemetry.tracer.record("worker.run", 0.0, 2.0, rank=0)
+        telemetry.averaging_round(duration=0.01, volume=10, eps_max=0.1,
+                                  save_index=1)
+        summary = telemetry.finalize(elapsed=2.0, volume=10)
+        assert summary["directory"] == str(tmp_path / "telemetry")
+        payload = json.loads(
+            (tmp_path / "telemetry" / "metrics.json").read_text())
+        assert payload["metrics"]["gauges"]["run.volume"] == 10
+        histogram = payload["metrics"]["histograms"][
+            "collector.save_seconds"]
+        assert histogram["count"] == 1
+        kinds = [json.loads(line)["kind"] for line in
+                 (tmp_path / "telemetry" / "events.jsonl")
+                 .read_text().splitlines()]
+        assert kinds.count("session_end") == 1
+        assert "span" in kinds
+
+    def test_span_events_keep_run_relative_timestamps(self, tmp_path):
+        # The tracer already shifted span stamps onto the run axis;
+        # exporting them as events must not shift them again.
+        telemetry = RunTelemetry(clock=FakeClock(1000.0),
+                                 directory=tmp_path / "t", epoch=1000.0)
+        telemetry.tracer.record("w", 1001.0, 1002.0)
+        telemetry.finalize(elapsed=2.0, volume=1)
+        (span,) = (e for e in telemetry.events.events if e.kind == "span")
+        assert span.ts == pytest.approx(1.0)
+        assert span.fields["start"] == pytest.approx(1.0)
+        assert span.fields["end"] == pytest.approx(2.0)
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        telemetry = self.make(tmp_path)
+        first = telemetry.finalize(elapsed=1.0, volume=5)
+        second = telemetry.finalize(elapsed=1.0, volume=5)
+        assert first == second
+        assert len(telemetry.events.by_kind("session_end")) == 1
+
+    def test_virtual_time_recorded(self, tmp_path):
+        telemetry = self.make(tmp_path)
+        telemetry.finalize(elapsed=0.5, volume=5, virtual_time=123.0)
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot.gauges["run.virtual_seconds"] == 123.0
+
+    def test_in_memory_telemetry_writes_nothing(self, tmp_path):
+        telemetry = RunTelemetry(clock=FakeClock())
+        summary = telemetry.finalize(elapsed=1.0, volume=0)
+        assert summary["directory"] is None
+        assert telemetry.metrics_path is None
+
+
+class TestRender:
+    def populated(self, tmp_path):
+        telemetry = RunTelemetry(clock=FakeClock(),
+                                 directory=tmp_path / "telemetry")
+        telemetry.events.append("session_start", backend="test")
+        telemetry.record_worker({"rank": 0, "realizations": 100,
+                                 "messages": 4, "bytes": 512,
+                                 "compute_seconds": 1.0,
+                                 "send_seconds": 0.0, "wall_seconds": 2.0})
+        telemetry.tracer.record("worker.run", 0.0, 2.0, rank=0)
+        telemetry.averaging_round(duration=0.02, volume=100, eps_max=0.01,
+                                  save_index=1)
+        telemetry.finalize(elapsed=2.0, volume=100)
+        return tmp_path / "telemetry"
+
+    def test_render_mentions_the_load_bearing_figures(self, tmp_path):
+        text = render_telemetry(self.populated(tmp_path))
+        assert "run.volume" in text
+        assert "per-worker stats" in text
+        assert "collector.save_seconds" in text
+        assert "worker.run" in text
+        assert "session_end" in text
+
+    def test_render_without_artifacts_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            render_telemetry(tmp_path / "empty")
+
+    def test_load_metrics_rejects_missing_and_corrupt(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_metrics(tmp_path)
+        (tmp_path / "metrics.json").write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_metrics(tmp_path)
+
+    def test_cli_renders_a_run_directory(self, tmp_path, capsys):
+        directory = self.populated(tmp_path / "parmonc_data")
+        assert directory == tmp_path / "parmonc_data" / "telemetry"
+        exit_code = telemetry_main(["--workdir", str(tmp_path)])
+        assert exit_code == 0
+        assert "per-worker stats" in capsys.readouterr().out
+
+    def test_cli_exit_2_without_artifacts(self, tmp_path, capsys):
+        (tmp_path / "parmonc_data").mkdir()
+        assert telemetry_main(["--workdir", str(tmp_path)]) == 2
+        assert "error" in capsys.readouterr().err

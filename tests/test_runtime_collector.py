@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError
+from repro.obs.telemetry import RunTelemetry
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
 from repro.runtime.files import DataDirectory
@@ -165,3 +166,115 @@ class TestPeriodicSaving:
         collector, _ = make_collector(None, peraver=0.0)
         collector.receive(message(0, [1.0]), now=0.0)
         assert collector.save_count == 1  # counted, but nothing written
+
+
+def make_instrumented_collector(**config_kwargs):
+    config_kwargs.setdefault("maxsv", 100)
+    config_kwargs.setdefault("processors", 3)
+    config_kwargs.setdefault("peraver", 1000.0)
+    config = RunConfig(**config_kwargs)
+    telemetry = RunTelemetry(clock=lambda: 0.0)
+    base = MomentSnapshot.zero(config.nrow, config.ncol)
+    return Collector(config, base, None, telemetry=telemetry), telemetry
+
+
+class TestOutOfOrderInstrumentation:
+    """The stale-drop path: formula (5) stays exact, telemetry sees it."""
+
+    def test_stale_interleaving_keeps_formula_5_exact(self):
+        # Rank 0's messages arrive out of order: the cumulative 3-sample
+        # snapshot lands before the 2-sample one.  The drop must keep
+        # the merged average identical to in-order delivery.
+        collector, telemetry = make_instrumented_collector()
+        collector.receive(message(0, [1.0, 2.0, 3.0]), now=1.0)
+        collector.receive(message(0, [1.0, 2.0]), now=2.0)  # late, stale
+        collector.receive(message(1, [10.0]), now=3.0)
+        assert collector.stale_count == 1
+        assert collector.worker_volume(0) == 3
+        estimates = collector.estimates()
+        assert estimates.volume == 4
+        assert estimates.mean[0, 0] == pytest.approx(4.0)
+        counters = telemetry.registry.snapshot().counters
+        assert counters["collector.stale_messages"] == 1
+        assert counters["collector.messages"] == 2  # accepted only
+        (stale,) = telemetry.events.by_kind("stale_message")
+        assert stale.fields == {"rank": 0, "volume": 2, "kept_volume": 3}
+
+    def test_equal_volume_resend_is_not_stale(self):
+        collector, telemetry = make_instrumented_collector()
+        collector.receive(message(0, [1.0]), now=1.0)
+        collector.receive(message(0, [1.0]), now=2.0)  # duplicate resend
+        assert collector.stale_count == 0
+        assert telemetry.events.by_kind("stale_message") == ()
+
+    def test_stale_message_does_not_advance_watermark(self):
+        collector, _ = make_instrumented_collector()
+        collector.receive(message(0, [1.0, 2.0]), now=1.0)
+        collector.receive(message(0, [1.0]), now=5.0)  # stale
+        assert collector.last_seen[0] == 1.0
+
+    def test_piggybacked_worker_stats_ingested(self):
+        collector, telemetry = make_instrumented_collector(processors=1)
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(1.0)
+        stats = {"rank": 0, "realizations": 1, "messages": 1, "bytes": 64,
+                 "compute_seconds": 0.5, "send_seconds": 0.0,
+                 "wall_seconds": 1.0}
+        collector.receive(
+            MomentMessage(rank=0, snapshot=accumulator.snapshot(),
+                          sent_at=0.0, final=False, metrics=stats),
+            now=0.0)
+        assert telemetry.worker_stats()[0]["realizations"] == 1
+
+
+class TestLastSeenWatermarks:
+    def test_watermarks_track_arrival_times(self):
+        collector, _ = make_instrumented_collector()
+        collector.receive(message(0, [1.0]), now=1.0)
+        collector.receive(message(1, [1.0]), now=4.0)
+        collector.receive(message(0, [1.0, 2.0]), now=7.0)
+        assert collector.last_seen == {0: 7.0, 1: 4.0}
+
+    def test_silent_rank_judged_against_epoch(self):
+        collector, _ = make_instrumented_collector()
+        collector.mark_epoch(0.0)
+        collector.receive(message(0, [1.0]), now=9.0)
+        assert collector.stale_workers(now=10.0, threshold=5.0) == (1, 2)
+
+    def test_finalized_ranks_never_stale(self):
+        collector, _ = make_instrumented_collector(processors=2)
+        collector.mark_epoch(0.0)
+        collector.receive(message(0, [1.0], final=True), now=1.0)
+        assert collector.stale_workers(now=100.0, threshold=5.0) == (1,)
+
+    def test_no_epoch_no_messages_means_no_verdict(self):
+        collector, _ = make_instrumented_collector()
+        assert collector.stale_workers(now=100.0, threshold=5.0) == ()
+
+    def test_without_epoch_first_arrival_stands_in(self):
+        collector, _ = make_instrumented_collector()  # 3 processors
+        collector.receive(message(0, [1.0]), now=2.0)
+        collector.receive(message(1, [1.0]), now=8.0)
+        # No epoch marked: the earliest watermark (2.0) stands in for
+        # the never-heard-from rank 2.
+        assert collector.stale_workers(now=10.0, threshold=5.0) == (0, 2)
+        assert collector.stale_workers(now=10.0, threshold=9.0) == ()
+
+    def test_negative_threshold_rejected(self):
+        collector, _ = make_instrumented_collector()
+        with pytest.raises(ConfigurationError):
+            collector.stale_workers(now=0.0, threshold=-1.0)
+
+
+class TestAveragingRoundTelemetry:
+    def test_each_save_observed_in_histogram(self):
+        collector, telemetry = make_instrumented_collector(
+            processors=1, peraver=0.0)
+        for index in range(1, 4):
+            collector.receive(message(0, [1.0] * index), now=float(index))
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot.histograms["collector.save_seconds"].count == 3
+        saves = telemetry.events.by_kind("save")
+        assert [e.fields["save_index"] for e in saves] == [1, 2, 3]
+        assert saves[-1].fields["volume"] == 3
+        assert saves[-1].ts == 3.0
