@@ -44,13 +44,20 @@ from repro.exceptions import (  # noqa: E402
     ResumeError,
 )
 from repro.rng import (  # noqa: E402
+    BatchStreams,
     Lcg128,
     StreamTree,
     VectorLcg128,
     initialize_rnd128,
     rnd128,
 )
-from repro.runtime import RunConfig, RunResult, minutes  # noqa: E402
+from repro.runtime import (  # noqa: E402
+    RunConfig,
+    RunResult,
+    batch_routine,
+    make_batched,
+    minutes,
+)
 from repro.stats import (  # noqa: E402
     Estimates,
     MomentAccumulator,
@@ -69,7 +76,10 @@ __all__ = [
     "initialize_rnd128",
     "Lcg128",
     "VectorLcg128",
+    "BatchStreams",
     "StreamTree",
+    "batch_routine",
+    "make_batched",
     "RunConfig",
     "RunResult",
     "minutes",

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record telemetry artifacts under "
                              "parmonc_data/telemetry (view with "
                              "parmonc-telemetry)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="run the batched realization engine with "
+                             "blocks of this many realizations (scalar "
+                             "routines are wrapped automatically; "
+                             "estimates are bit-identical)")
     return parser
 
 
@@ -94,7 +99,8 @@ def main(argv: list[str] | None = None) -> int:
             res=args.res, seqnum=args.seqnum, perpass=args.perpass,
             peraver=args.peraver, processors=args.processors,
             backend=args.backend, workdir=args.workdir,
-            time_limit=args.time_limit, telemetry=args.telemetry)
+            time_limit=args.time_limit, telemetry=args.telemetry,
+            batch_size=args.batch_size)
     except ReproError as exc:
         print(f"parmonc-run: error: {exc}", file=sys.stderr)
         return 2

@@ -200,6 +200,7 @@ class ClusterSimulation:
         self._collector = collector
         self._adapted = (adapt_realization(routine)
                          if routine is not None else None)
+        self._batch_size = getattr(self._adapted, "batch_size", None)
         self._events = EventQueue()
         self._duration_rng = np.random.default_rng(spec.seed)
         self._processors = spec.processors_for(config.processors)
@@ -313,19 +314,36 @@ class ClusterSimulation:
             # The node died while computing: the in-flight chunk (and
             # everything since its last pass) is lost.
             return
-        for _ in range(chunk):
-            index = self._next_index[rank]
-            self._next_index[rank] = index + 1
-            if self._adapted is not None:
-                rng = self._streams[rank].realization(index)
-                result = self._adapted(rng)
-            else:
-                result = self._zero
-            self._accumulators[rank].add(result)
+        widths: list[int] = []
+        if self._batch_size is not None:
+            start = self._next_index[rank]
+            self._next_index[rank] = start + chunk
+            done = 0
+            while done < chunk:
+                width = min(self._batch_size, chunk - done)
+                streams = self._streams[rank].realization_block(
+                    start + done, width)
+                self._accumulators[rank].add_batch(self._adapted(streams))
+                widths.append(width)
+                done += width
+        else:
+            for _ in range(chunk):
+                index = self._next_index[rank]
+                self._next_index[rank] = index + 1
+                if self._adapted is not None:
+                    rng = self._streams[rank].realization(index)
+                    result = self._adapted(rng)
+                else:
+                    result = self._zero
+                self._accumulators[rank].add(result)
         self._last_compute = max(self._last_compute, now)
         if self._worker_stats is not None:
             begun = started if started is not None else now
-            self._worker_stats[rank].add_realizations(chunk, now - begun)
+            stats = self._worker_stats[rank]
+            stats.add_realizations(chunk, now - begun)
+            if widths:
+                stats.batches += len(widths)
+                stats.max_batch = max(stats.max_batch, max(widths))
             self._telemetry.tracer.record("worker.chunk", begun, now,
                                           rank=rank, chunk=chunk)
         if (self._config.perpass == 0.0

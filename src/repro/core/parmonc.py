@@ -29,7 +29,7 @@ from repro.runtime.multiprocess import run_multiprocess
 from repro.runtime.result import RunResult
 from repro.runtime.sequential import run_sequential
 from repro.runtime.simcluster import run_simcluster
-from repro.runtime.worker import RealizationRoutine
+from repro.runtime.worker import RealizationRoutine, make_batched
 
 __all__ = ["parmonc", "BACKENDS"]
 
@@ -61,7 +61,8 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             cluster_spec: ClusterSpec | None = None,
             execute_realizations: bool = True,
             start_method: str | None = None,
-            telemetry: bool = False) -> RunResult:
+            telemetry: bool = False,
+            batch_size: int | None = None) -> RunResult:
     """Run a massively parallel stochastic simulation.
 
     Args:
@@ -104,6 +105,13 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             ``simcluster``); summarized on ``RunResult.telemetry`` and
             rendered by ``parmonc-report --telemetry``.  See
             :mod:`repro.obs` and ``docs/observability.md``.
+        batch_size: Run the batched realization engine with blocks of
+            this many realizations per inner-loop pass.  A scalar
+            routine is wrapped with :func:`~repro.runtime.worker
+            .make_batched`; a routine already carrying a ``batch_size``
+            attribute (see :func:`~repro.runtime.worker.batch_routine`)
+            is used as-is and this argument must be None.  Estimates are
+            bit-identical to the scalar path; see ``docs/performance.md``.
 
     Returns:
         The session's :class:`~repro.runtime.result.RunResult`.
@@ -111,6 +119,12 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
     if backend not in BACKENDS:
         raise ConfigurationError(
             f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if batch_size is not None:
+        if getattr(realization, "batch_size", None) is not None:
+            raise ConfigurationError(
+                "realization routine already declares its own batch_size; "
+                "drop the batch_size argument")
+        realization = make_batched(realization, batch_size)
     resolved_workdir = Path(workdir) if workdir is not None else Path.cwd()
     config = RunConfig(
         nrow=nrow, ncol=ncol, maxsv=maxsv, res=res, seqnum=seqnum,

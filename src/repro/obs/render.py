@@ -52,30 +52,40 @@ def _format_bytes(count: float) -> str:
 
 
 def _worker_table(workers: dict) -> list[str]:
-    lines = ["per-worker stats:",
-             "  rank  realizations      r/s  messages      bytes  busy"]
+    batched = any(workers[rank].get("batches") for rank in workers)
+    header = "  rank  realizations      r/s  messages      bytes  busy"
+    if batched:
+        header += "  batches"
+    lines = ["per-worker stats:", header]
     for rank in sorted(workers, key=int):
         stats = workers[rank]
-        lines.append(
+        line = (
             f"  {int(rank):>4d}  {int(stats.get('realizations', 0)):>12d}"
             f"  {stats.get('realizations_per_second', 0.0):>7.1f}"
             f"  {int(stats.get('messages', 0)):>8d}"
             f"  {_format_bytes(stats.get('bytes', 0)):>9s}"
             f"  {stats.get('busy_fraction', 0.0) * 100:>3.0f}%")
+        if batched:
+            line += f"  {int(stats.get('batches', 0)):>7d}"
+        lines.append(line)
     return lines
 
 
 def _gauge_lines(gauges: dict) -> list[str]:
     lines = ["run totals:"]
-    for key in ("run.volume", "run.realizations", "run.messages",
-                "run.bytes", "run.elapsed_seconds", "run.virtual_seconds",
-                "run.compute_seconds", "run.idle_seconds"):
+    for key in ("run.volume", "run.realizations",
+                "run.realizations_per_second", "run.batches",
+                "run.messages", "run.bytes", "run.elapsed_seconds",
+                "run.virtual_seconds", "run.compute_seconds",
+                "run.idle_seconds"):
         if key in gauges:
             value = gauges[key]
             if key == "run.bytes":
                 rendered = _format_bytes(value)
             elif key.endswith("_seconds"):
                 rendered = f"{value:.3f} s"
+            elif key == "run.realizations_per_second":
+                rendered = f"{value:.1f} r/s"
             else:
                 rendered = f"{value:g}"
             lines.append(f"  {key:<22s} {rendered}")

@@ -60,6 +60,8 @@ class WorkerTelemetry:
         self.bytes_sent = 0
         self.compute_seconds = 0.0
         self.send_seconds = 0.0
+        self.batches = 0
+        self.max_batch = 0
 
     def realization(self, seconds: float) -> None:
         """Account one completed realization."""
@@ -70,6 +72,12 @@ class WorkerTelemetry:
         """Account a batch of realizations (accelerated / simulated nodes)."""
         self.realizations += count
         self.compute_seconds += seconds
+
+    def batch(self, count: int, seconds: float) -> None:
+        """Account one batched inner-loop iteration of ``count`` realizations."""
+        self.batches += 1
+        self.max_batch = max(self.max_batch, count)
+        self.add_realizations(count, seconds)
 
     def message(self, nbytes: int, send_seconds: float = 0.0) -> None:
         """Account one data pass to the collector."""
@@ -92,6 +100,8 @@ class WorkerTelemetry:
             "compute_seconds": self.compute_seconds,
             "send_seconds": self.send_seconds,
             "wall_seconds": max(wall, 0.0),
+            "batches": self.batches,
+            "max_batch": self.max_batch,
         }
 
 
@@ -188,6 +198,7 @@ class RunTelemetry:
         total_bytes = sum(w["bytes"] for w in workers.values())
         compute = sum(w["compute_seconds"] for w in workers.values())
         idle = sum(w["idle_seconds"] for w in workers.values())
+        batches = sum(int(w.get("batches", 0)) for w in workers.values())
         return {
             "workers": len(workers),
             "realizations": total_realizations,
@@ -195,6 +206,7 @@ class RunTelemetry:
             "bytes": total_bytes,
             "compute_seconds": compute,
             "idle_seconds": idle,
+            "batches": batches,
         }
 
     # ------------------------------------------------------------------
@@ -223,6 +235,10 @@ class RunTelemetry:
                 self.registry.gauge(f"run.{key}").set(value)
             self.registry.gauge("run.volume").set(volume)
             self.registry.gauge("run.elapsed_seconds").set(elapsed)
+            denominator = (virtual_time if virtual_time is not None
+                           else elapsed)
+            self.registry.gauge("run.realizations_per_second").set(
+                volume / denominator if denominator > 0 else 0.0)
             if virtual_time is not None:
                 self.registry.gauge("run.virtual_seconds").set(virtual_time)
             for rank, stats in self.worker_stats().items():
@@ -237,6 +253,11 @@ class RunTelemetry:
                     stats["realizations_per_second"])
                 self.registry.gauge(f"{prefix}.busy_fraction").set(
                     stats["busy_fraction"])
+                if stats.get("batches"):
+                    self.registry.gauge(f"{prefix}.batches").set(
+                        stats["batches"])
+                    self.registry.gauge(f"{prefix}.max_batch").set(
+                        stats.get("max_batch", 0))
             self.events.append(
                 "session_end", volume=volume, elapsed=elapsed,
                 **({"t_comp": virtual_time}

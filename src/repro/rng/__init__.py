@@ -18,6 +18,7 @@ and realization coordinates, so user realization code can simply call
 from __future__ import annotations
 
 from repro.exceptions import ConfigurationError
+from repro.rng.batch import BatchStreams
 from repro.rng.lcg128 import Lcg128, state_to_unit
 from repro.rng.multiplier import (
     BASE_MULTIPLIER,
@@ -36,11 +37,13 @@ from repro.rng.streams import (
     StreamCoordinates,
     StreamTree,
 )
-from repro.rng.vectorized import VectorLcg128, generate_block
+from repro.rng.vectorized import VectorLcg128, generate_block, geometric_limbs
 
 __all__ = [
     "Lcg128",
     "VectorLcg128",
+    "BatchStreams",
+    "geometric_limbs",
     "StreamTree",
     "StreamCoordinates",
     "ExperimentStream",

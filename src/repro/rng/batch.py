@@ -1,0 +1,117 @@
+"""A block of realization substreams advancing in lock-step.
+
+The batched realization engine runs ``B`` realizations per inner-loop
+iteration; each realization still consumes base random numbers from its
+own disjoint substream of the hierarchy.  :class:`BatchStreams` is the
+object a batch realization routine receives instead of a scalar
+generator: it holds the ``B`` stream states as ``(B, 4)`` little-endian
+32-bit limbs and advances all of them together, so drawing the ``j``-th
+uniform of every stream is one vectorized 128-bit multiply.
+
+Bit-identity contract: column ``j`` of :meth:`BatchStreams.uniforms` is
+exactly what the ``j``-th call to :meth:`repro.rng.lcg128.Lcg128.random`
+returns on a scalar generator positioned at the same head state.  The
+property is what lets a batched run reproduce a scalar run's estimates
+to the last bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng.lcg128 import Lcg128
+from repro.rng.multiplier import BASE_MULTIPLIER, STATE_MASK
+from repro.rng.vectorized import (
+    int_to_limbs,
+    limbs_to_int,
+    limbs_to_unit,
+    mul_mod_2_128,
+)
+
+__all__ = ["BatchStreams"]
+
+
+class BatchStreams:
+    """``B`` generator streams drawn from together, one per realization.
+
+    Args:
+        heads: ``(B, 4)`` uint64 array of limb-decomposed head states,
+            one row per stream (as produced by
+            :meth:`repro.rng.streams.ProcessorStream.realization_heads`).
+        multiplier: The one-step multiplier ``A`` shared by all streams.
+
+    Example:
+        >>> from repro.rng.streams import StreamTree
+        >>> streams = StreamTree().experiment(0).processor(0) \\
+        ...                       .realization_block(0, 4)
+        >>> streams.uniforms(2).shape
+        (4, 2)
+    """
+
+    def __init__(self, heads: np.ndarray,
+                 multiplier: int = BASE_MULTIPLIER) -> None:
+        heads = np.asarray(heads, dtype=np.uint64)
+        if heads.ndim != 2 or heads.shape[1] != 4:
+            raise ConfigurationError(
+                f"heads must be a (B, 4) limb array, got shape "
+                f"{heads.shape}")
+        if multiplier % 2 == 0:
+            raise ConfigurationError("multiplier must be odd")
+        self._states = np.ascontiguousarray(heads).copy()
+        self._multiplier = multiplier & STATE_MASK
+        self._mult_limbs = int_to_limbs(self._multiplier)
+        self._count = 0
+
+    @property
+    def size(self) -> int:
+        """Number of streams ``B`` in the block."""
+        return self._states.shape[0]
+
+    def __len__(self) -> int:
+        return self._states.shape[0]
+
+    @property
+    def multiplier(self) -> int:
+        """The shared one-step multiplier ``A``."""
+        return self._multiplier
+
+    @property
+    def count(self) -> int:
+        """Draws taken from each stream so far."""
+        return self._count
+
+    def uniforms(self, count: int) -> np.ndarray:
+        """Return the next ``count`` draws of every stream.
+
+        Column ``j`` of the ``(B, count)`` result holds each stream's
+        ``j``-th upcoming base random number — bit-identical to ``count``
+        successive :meth:`~repro.rng.lcg128.Lcg128.random` calls on a
+        scalar generator at the same position.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        out = np.empty((self.size, count), dtype=np.float64)
+        states = self._states
+        for j in range(count):
+            states = mul_mod_2_128(states, self._mult_limbs)
+            out[:, j] = limbs_to_unit(states)
+        self._states = states
+        self._count += count
+        return out
+
+    def states(self) -> list[int]:
+        """Current 128-bit state of every stream, as Python integers."""
+        return [limbs_to_int(self._states[i]) for i in range(self.size)]
+
+    def generators(self) -> list[Lcg128]:
+        """Scalar generators continuing each stream from its position.
+
+        The generic scalar-to-batch adapter iterates over these, so any
+        one-argument realization routine can ride the batched loop
+        without a vectorized kernel.
+        """
+        return [Lcg128(state, self._multiplier) for state in self.states()]
+
+    def __repr__(self) -> str:
+        return f"BatchStreams(size={self.size}, count={self._count})"

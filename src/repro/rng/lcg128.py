@@ -23,7 +23,12 @@ from repro.rng.multiplier import (
     jump_multiplier,
 )
 
-__all__ = ["Lcg128", "TOP_SHIFT", "state_to_unit"]
+__all__ = ["Lcg128", "TOP_SHIFT", "state_to_unit",
+           "VECTOR_BLOCK_THRESHOLD"]
+
+#: Block sizes at or above this delegate to the vectorized generator;
+#: below it, the limb set-up cost exceeds the scalar loop's.
+VECTOR_BLOCK_THRESHOLD = 256
 
 #: Number of low bits discarded when converting a 128-bit state to a
 #: 53-bit double mantissa: ``128 - 53``.
@@ -154,11 +159,29 @@ class Lcg128:
         """Return the next ``size`` base random numbers as a float64 array.
 
         Semantically identical to calling :meth:`random` ``size`` times.
-        For large blocks prefer :class:`repro.rng.vectorized.VectorLcg128`,
-        which produces the same numbers using vectorized limb arithmetic.
+        Blocks of :data:`VECTOR_BLOCK_THRESHOLD` or more delegate to the
+        bit-identical vectorized generator in
+        :mod:`repro.rng.vectorized`; smaller blocks keep the scalar loop,
+        whose per-draw cost is lower than the limb set-up.
         """
         if size < 0:
             raise ConfigurationError(f"block size must be >= 0, got {size}")
+        if size >= VECTOR_BLOCK_THRESHOLD:
+            # Imported lazily: repro.rng.vectorized imports this module.
+            from repro.rng.vectorized import generate_block
+            values, self._state = generate_block(self._state, size,
+                                                 self._multiplier)
+            before = self._count
+            self._count += size
+            if before < RECOMMENDED_LIMIT <= self._count \
+                    and not self._period_warned:
+                self._period_warned = True
+                warnings.warn(
+                    "generator consumed the recommended first half of its "
+                    "period (2**125 draws); statistical quality beyond "
+                    "this point is not guaranteed", PeriodWarning,
+                    stacklevel=2)
+            return values
         out = np.empty(size, dtype=np.float64)
         for i in range(size):
             out[i] = self.random()

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.exceptions import CapacityError, ConfigurationError
+from repro.rng.batch import BatchStreams
 from repro.rng.lcg128 import Lcg128
 from repro.rng.multiplier import (
     BASE_MULTIPLIER,
@@ -31,6 +34,12 @@ from repro.rng.multiplier import (
     LeapSet,
     MODULUS,
     STATE_MASK,
+)
+from repro.rng.vectorized import (
+    geometric_limbs,
+    int_to_limbs,
+    limbs_to_int,
+    mul_mod_2_128,
 )
 
 __all__ = ["StreamCoordinates", "StreamTree", "ExperimentStream",
@@ -194,6 +203,22 @@ class ProcessorStream:
         self._tree = tree
         self._experiment = experiment
         self._processor = processor
+        jump_e, jump_p, jump_r = tree.jump_multipliers
+        # The experiment/processor part of every head state is constant
+        # for this stream; computing it once turns per-realization
+        # placement from three modular exponentiations into (at most)
+        # one multiplication.
+        self._prefix = (pow(jump_e, experiment, MODULUS)
+                        * pow(jump_p, processor, MODULUS)) % MODULUS
+        self._jump_realization = jump_r
+        self._cached_index: int | None = None
+        self._cached_head = 0
+        # Last head block produced by realization_heads, for the batched
+        # worker loop: the next consecutive block follows from one
+        # vectorized multiply by A(n_r)**len(block).
+        self._block_heads: np.ndarray | None = None
+        self._block_start = 0
+        self._block_jump: np.ndarray | None = None
 
     @property
     def experiment(self) -> int:
@@ -210,11 +235,87 @@ class ProcessorStream:
         """How many disjoint realization streams this processor offers."""
         return self._tree.leaps.realization_capacity
 
+    def _check_realization(self, index: int) -> None:
+        if not isinstance(index, int) or index < 0:
+            raise ConfigurationError(
+                f"realization index must be a non-negative integer, "
+                f"got {index!r}")
+        self._tree._check("realization", index,
+                          self._tree.leaps.realization_capacity)
+
+    def _head(self, index: int) -> int:
+        """Head state ``prefix * A(n_r)**index``, advanced incrementally.
+
+        Sequential access — the worker loop's pattern — costs one
+        modular multiplication per call; only a jump to an arbitrary
+        index falls back to a modular exponentiation.
+        """
+        if index == self._cached_index:
+            return self._cached_head
+        if self._cached_index is not None and index == self._cached_index + 1:
+            head = (self._cached_head * self._jump_realization) & STATE_MASK
+        else:
+            head = (self._prefix * pow(self._jump_realization, index,
+                                       MODULUS)) & STATE_MASK
+        self._cached_index = index
+        self._cached_head = head
+        return head
+
     def realization(self, index: int) -> Lcg128:
         """Return the generator for the ``index``-th realization."""
-        coords = StreamCoordinates(self._experiment, self._processor, index)
-        return Lcg128(self._tree.head_state(coords),
-                      self._tree.base_multiplier)
+        self._check_realization(index)
+        return Lcg128(self._head(index), self._tree.base_multiplier)
+
+    def realization_heads(self, start: int, count: int) -> np.ndarray:
+        """Head states of realizations ``start .. start+count-1``, as limbs.
+
+        Returns a ``(count, 4)`` uint64 array of little-endian 32-bit
+        limbs (the layout :func:`repro.rng.vectorized.mul_mod_2_128`
+        operates on); row ``i`` equals
+        ``head_state((experiment, processor, start + i))``.  Produced by
+        ``O(log count)`` vectorized multiplies, and leaves the
+        incremental cursor at the block's last index so consecutive
+        blocks keep the one-multiply fast path.
+        """
+        self._check_realization(start)
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        if count > 0:
+            self._check_realization(start + count - 1)
+        previous = self._block_heads
+        if (previous is not None and count > 0
+                and start == self._block_start + previous.shape[0]
+                and count <= previous.shape[0]):
+            # The worker loop's pattern: block k+1 follows block k, at
+            # most as wide.  One vectorized multiply by the cached
+            # A(n_r)**len(block) limbs replaces the doubling scheme.
+            if self._block_jump is None:
+                self._block_jump = int_to_limbs(
+                    pow(self._jump_realization, previous.shape[0],
+                        MODULUS))
+            heads = mul_mod_2_128(previous[:count], self._block_jump)
+        else:
+            heads = geometric_limbs(self._head(start),
+                                    self._jump_realization, count)
+        if count > 0:
+            if (self._block_heads is None
+                    or count != self._block_heads.shape[0]):
+                self._block_jump = None
+            self._block_heads = heads
+            self._block_start = start
+            self._cached_index = start + count - 1
+            self._cached_head = limbs_to_int(heads[-1])
+        return heads
+
+    def realization_block(self, start: int, count: int) -> BatchStreams:
+        """Return a :class:`~repro.rng.batch.BatchStreams` for a block.
+
+        The block covers realizations ``start .. start+count-1``; this
+        is what the batched worker loop hands to a batch realization
+        routine.
+        """
+        return BatchStreams(self.realization_heads(start, count),
+                            self._tree.base_multiplier)
 
     def realizations(self, start: int = 0):
         """Yield ``(index, generator)`` pairs for successive realizations."""

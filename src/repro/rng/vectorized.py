@@ -27,6 +27,7 @@ __all__ = [
     "limbs_to_int",
     "mul_mod_2_128",
     "limbs_to_unit",
+    "geometric_limbs",
     "generate_block",
     "VectorLcg128",
 ]
@@ -94,6 +95,32 @@ def limbs_to_unit(states: np.ndarray) -> np.ndarray:
     return values
 
 
+def geometric_limbs(first: int, ratio: int, count: int) -> np.ndarray:
+    """Limb-decomposed geometric progression ``first * ratio**i`` mod 2**128.
+
+    Row ``i`` of the returned ``(count, 4)`` uint64 array holds the limbs
+    of ``first * ratio**i`` for ``i = 0 .. count-1``.  Built by repeated
+    doubling — ``O(log count)`` calls to :func:`mul_mod_2_128` — so
+    producing a block of stream head states costs far less than ``count``
+    big-integer multiplications.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    out = np.empty((count, _N_LIMBS), dtype=np.uint64)
+    if count == 0:
+        return out
+    out[0] = int_to_limbs(first)
+    filled = 1
+    power = ratio & STATE_MASK  # ratio**filled throughout the loop
+    while filled < count:
+        step = min(filled, count - filled)
+        out[filled:filled + step] = mul_mod_2_128(
+            out[:step], int_to_limbs(power))
+        filled += step
+        power = (power * power) & STATE_MASK
+    return out
+
+
 def generate_block(state: int, size: int,
                    multiplier: int = BASE_MULTIPLIER,
                    lanes: int = 1024) -> tuple[np.ndarray, int]:
@@ -122,11 +149,8 @@ def generate_block(state: int, size: int,
     lanes = min(lanes, size)
     steps = -(-size // lanes)
     # Lane i starts at u * A**(i+1): the first `lanes` outputs.
-    lane_heads = np.empty((lanes, _N_LIMBS), dtype=np.uint64)
-    head = state
-    for i in range(lanes):
-        head = (head * multiplier) & STATE_MASK
-        lane_heads[i] = int_to_limbs(head)
+    lane_heads = geometric_limbs((state * multiplier) & STATE_MASK,
+                                 multiplier, lanes)
     stride = int_to_limbs(pow(multiplier, lanes, MODULUS))
     values = np.empty(steps * lanes, dtype=np.float64)
     current = lane_heads

@@ -10,7 +10,13 @@ from repro.runtime.multiprocess import run_multiprocess
 from repro.runtime.result import RunResult
 from repro.runtime.resume import ResumeState, finalize_session, prepare_resume
 from repro.runtime.sequential import run_sequential
-from repro.runtime.worker import adapt_realization, run_worker
+from repro.runtime.worker import (
+    BatchRealizationRoutine,
+    adapt_realization,
+    batch_routine,
+    make_batched,
+    run_worker,
+)
 
 __all__ = [
     "RunConfig",
@@ -24,6 +30,9 @@ __all__ = [
     "prepare_resume",
     "finalize_session",
     "adapt_realization",
+    "BatchRealizationRoutine",
+    "batch_routine",
+    "make_batched",
     "run_worker",
     "run_sequential",
     "run_multiprocess",

@@ -6,38 +6,126 @@ substream ``r``, runs the user routine, accumulates the returned matrix,
 and every ``perpass`` seconds ships its cumulative moments to the
 collector.  ``perpass = 0`` reproduces the paper's strictest performance
 test: a data pass after *every* realization.
+
+Routines carrying a ``batch_size`` attribute (see :func:`batch_routine`
+and :func:`make_batched`) take the batched fast path instead: the worker
+places a whole block of realization substreams at once
+(:meth:`~repro.rng.streams.ProcessorStream.realization_block`), calls
+the routine once per block, and folds the returned ``(B, nrow, ncol)``
+stack with one :meth:`~repro.stats.accumulator.MomentAccumulator
+.add_batch`.  Estimates are bit-identical to the scalar loop's.
 """
 
 from __future__ import annotations
 
 import inspect
 import time
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, RealizationError
 from repro.obs.telemetry import WorkerTelemetry
 from repro.rng import install_rnd128
+from repro.rng.batch import BatchStreams
 from repro.rng.lcg128 import Lcg128
 from repro.rng.streams import StreamTree
 from repro.runtime.config import RunConfig
 from repro.runtime.messages import MomentMessage, message_bytes
 from repro.stats.accumulator import MomentAccumulator
 
-__all__ = ["RealizationRoutine", "adapt_realization", "run_worker"]
+__all__ = ["RealizationRoutine", "BatchRealizationRoutine",
+           "adapt_realization", "batch_routine", "make_batched",
+           "run_worker"]
 
 #: A realization routine: either ``fn(rng) -> matrix`` or, PARMONC-style,
 #: ``fn() -> matrix`` drawing from the global :func:`repro.rng.rnd128`.
 RealizationRoutine = Callable
 
 
-def adapt_realization(routine: RealizationRoutine
-                      ) -> Callable[[Lcg128], object]:
+@runtime_checkable
+class BatchRealizationRoutine(Protocol):
+    """A routine simulating ``B`` realizations per call.
+
+    Receives a :class:`~repro.rng.batch.BatchStreams` of ``B`` disjoint
+    substreams and returns a ``(B, nrow, ncol)`` array (a length-``B``
+    vector for 1x1 problems); ``batch_size`` is the preferred block
+    width — the worker may call with fewer streams on the final block.
+    """
+
+    batch_size: int
+
+    def __call__(self, streams: BatchStreams) -> object: ...
+
+
+def _check_batch_size(batch_size: object) -> int:
+    if not isinstance(batch_size, int) or isinstance(batch_size, bool) \
+            or batch_size < 1:
+        raise ConfigurationError(
+            f"batch_size must be a positive integer, got {batch_size!r}")
+    return batch_size
+
+
+def batch_routine(batch_size: int) -> Callable[[Callable], Callable]:
+    """Decorator marking ``fn(streams) -> (B, nrow, ncol)`` as batched.
+
+    Example:
+        >>> @batch_routine(512)
+        ... def kernel(streams):
+        ...     return streams.uniforms(1)[:, 0]
+        >>> kernel.batch_size
+        512
+    """
+    _check_batch_size(batch_size)
+
+    def mark(fn: Callable) -> Callable:
+        if not callable(fn):
+            raise ConfigurationError(
+                f"batch routine must be callable, got "
+                f"{type(fn).__name__}")
+        fn.batch_size = batch_size
+        return fn
+    return mark
+
+
+def make_batched(routine: RealizationRoutine,
+                 batch_size: int) -> BatchRealizationRoutine:
+    """Wrap a scalar realization routine for the batched worker loop.
+
+    The adapter peels the block apart again — it calls the scalar
+    routine once per stream via :meth:`~repro.rng.batch.BatchStreams
+    .generators` — so it does not vectorize the simulation itself, but
+    it does buy the block-placement and batch-accumulation savings, and
+    its results are bit-identical to the scalar loop's.
+    """
+    _check_batch_size(batch_size)
+    if getattr(routine, "batch_size", None) is not None:
+        raise ConfigurationError(
+            "routine is already batched; make_batched only wraps scalar "
+            "realization routines")
+    adapted = adapt_realization(routine)
+
+    def batched(streams: BatchStreams):
+        return np.stack([
+            np.atleast_2d(np.asarray(adapted(rng), dtype=np.float64))
+            for rng in streams.generators()])
+    batched.batch_size = batch_size
+    batched.__name__ = (
+        f"batched_{getattr(routine, '__name__', 'realization')}")
+    return batched
+
+
+def adapt_realization(routine: RealizationRoutine) -> Callable:
     """Normalize a user routine to the ``fn(rng) -> matrix`` convention.
 
     Zero-argument routines are wrapped so that the supplied generator is
     installed behind the global :func:`repro.rng.rnd128` before each
     call — the direct analogue of the C API, where the user routine
     calls ``rnd128()`` with no arguments.
+
+    Routines carrying a ``batch_size`` attribute are validated and
+    passed through unchanged; the worker detects the attribute and runs
+    the batched loop instead of the scalar one.
     """
     if not callable(routine):
         raise ConfigurationError(
@@ -53,6 +141,15 @@ def adapt_realization(routine: RealizationRoutine
         # Builtins and some callables hide their signature; assume the
         # modern one-argument convention.
         n_required = 1
+    if getattr(routine, "batch_size", None) is not None:
+        _check_batch_size(routine.batch_size)
+        if n_required != 1:
+            raise ConfigurationError(
+                f"batch realization routine must take exactly 1 argument "
+                f"(the stream block); "
+                f"{getattr(routine, '__name__', routine)!r} requires "
+                f"{n_required}")
+        return routine
     if n_required == 0:
         def zero_arg_adapter(rng: Lcg128):
             install_rnd128(rng)
@@ -75,7 +172,8 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
     """Simulate ``quota`` realizations on processor ``rank``.
 
     Args:
-        routine: The user realization routine.
+        routine: The user realization routine; one with a ``batch_size``
+            attribute takes the batched fast path.
         config: Run configuration (seqnum, perpass, shape, leaps).
         rank: This worker's processor index.
         quota: Number of realizations to simulate.
@@ -110,7 +208,46 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
         send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
                            sent_at=sent_at, final=final, metrics=metrics))
 
+    batch_size = getattr(adapted, "batch_size", None)
     last_send = clock()
+    if batch_size is not None:
+        index = 0
+        while index < quota:
+            width = min(batch_size, quota - index)
+            streams = stream.realization_block(index, width)
+            started = clock()
+            try:
+                results = adapted(streams)
+            except Exception as exc:
+                raise RealizationError(
+                    f"batch realization routine failed at experiment="
+                    f"{config.seqnum} processor={rank} realizations="
+                    f"{index}..{index + width - 1}: {exc}",
+                    experiment=config.seqnum, processor=rank,
+                    realization=index) from exc
+            finished = clock()
+            shape = np.shape(results)
+            if not shape or shape[0] != width:
+                returned = f"shape {shape}" if shape else "a scalar"
+                raise RealizationError(
+                    f"batch realization routine returned {returned} "
+                    f"for a block of {width} streams at "
+                    f"experiment={config.seqnum} processor={rank}",
+                    experiment=config.seqnum, processor=rank,
+                    realization=index)
+            accumulator.add_batch(results,
+                                  compute_time=finished - started)
+            if telemetry is not None:
+                telemetry.batch(width, finished - started)
+            index += width
+            if config.perpass == 0.0 \
+                    or finished - last_send >= config.perpass:
+                ship(finished, final=False)
+                last_send = finished
+            if deadline is not None and finished >= deadline:
+                break
+        ship(clock(), final=True)
+        return accumulator
     for index in range(quota):
         rng = stream.realization(index)
         started = clock()

@@ -120,6 +120,7 @@ class MomentAccumulator:
         self._sum2 = np.zeros(self._shape, dtype=np.float64)
         self._volume = 0
         self._compute_time = 0.0
+        self._fold_stack: np.ndarray | None = None
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -162,6 +163,95 @@ class MomentAccumulator:
         self._sum2 += matrix * matrix
         self._volume += 1
         self._compute_time += compute_time
+
+    def add_batch(self, realizations, compute_time: float = 0.0) -> None:
+        """Accumulate a batch of realizations in one vectorized fold.
+
+        Bit-identical to calling :meth:`add` once per batch row, in
+        order — the fold starts from the current sums and adds the rows
+        sequentially, so batched and scalar runs produce the same
+        moments to the last bit.  One shape/finiteness check covers the
+        whole batch.
+
+        Args:
+            realizations: ``(B, nrow, ncol)`` array-like (a 1-D length-B
+                vector is accepted for 1x1 problems).  Any non-finite
+                entry rejects the entire batch, leaving the accumulator
+                unchanged.
+            compute_time: Seconds spent simulating the whole batch.
+        """
+        # Layout does not matter here: the chunked fold copies rows into
+        # a C-contiguous stack before reducing, so even a broadcast view
+        # (e.g. a constant batch) is accepted without materializing it.
+        matrices = np.asarray(realizations, dtype=np.float64)
+        if matrices.ndim == 1 and self._shape == (1, 1):
+            matrices = matrices.reshape(-1, 1, 1)
+        if matrices.ndim != 3 or matrices.shape[1:] != self._shape:
+            raise ConfigurationError(
+                f"batch shape {matrices.shape} does not match the "
+                f"declared (B, {self._shape[0]}, {self._shape[1]})")
+        if compute_time < 0.0:
+            raise ConfigurationError(
+                f"compute_time must be >= 0, got {compute_time}")
+        count = matrices.shape[0]
+        if count:
+            # One check covers the whole batch, before any fold touches
+            # the sums — a poisoned batch leaves the accumulator intact.
+            if not np.isfinite(matrices).all():
+                raise ConfigurationError(
+                    "batch contains non-finite realization values")
+            if self._shape == (1, 1):
+                # A (B, 1, 1) axis-0 reduce has a single output element,
+                # which numpy may sum pairwise; fold in Python to keep
+                # the exact left-to-right association of repeated add().
+                sum1 = self._sum1[0, 0].item()
+                sum2 = self._sum2[0, 0].item()
+                for value in matrices.ravel().tolist():
+                    sum1 += value
+                    sum2 += value * value
+                self._sum1[0, 0] = sum1
+                self._sum2[0, 0] = sum2
+            else:
+                self._fold_batch(matrices)
+        self._volume += count
+        self._compute_time += compute_time
+
+    # Sequential-fold scratch: one (chunk+1, nrow, ncol) stack reused
+    # across add_batch calls.  Chunks of 32 keep the stack resident in
+    # L2 while the batch itself streams through once, which is what
+    # makes the fold cheaper than a whole-batch stack.
+    _FOLD_CHUNK = 32
+
+    def _fold_batch(self, matrices: np.ndarray) -> None:
+        """Fold ``(B, nrow, ncol)`` rows into the sums, exactly in order.
+
+        An axis-0 reduce over a C-contiguous stack adds the slices
+        strictly sequentially, and chaining ``reduce([s, chunk...])``
+        per chunk preserves the overall left-to-right association, so
+        the result is bit-identical to repeated :meth:`add`.
+        """
+        chunk = self._FOLD_CHUNK
+        stack = self._fold_stack
+        if stack is None or stack.shape[1:] != self._shape:
+            stack = np.empty((chunk + 1,) + self._shape, dtype=np.float64)
+            self._fold_stack = stack
+        sum1 = self._sum1
+        sum2 = self._sum2
+        count = matrices.shape[0]
+        done = 0
+        while done < count:
+            width = min(chunk, count - done)
+            block = matrices[done:done + width]
+            rows = stack[:width + 1]
+            rows[0] = sum1
+            rows[1:] = block
+            sum1 = np.add.reduce(rows, axis=0)
+            rows[0] = sum2
+            np.multiply(block, block, out=rows[1:])
+            sum2 = np.add.reduce(rows, axis=0)
+            done += width
+        self._sum1 = sum1
+        self._sum2 = sum2
 
     def merge_snapshot(self, snapshot: MomentSnapshot) -> None:
         """Fold another accumulator's snapshot into this one (formula (5))."""

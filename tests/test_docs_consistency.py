@@ -72,7 +72,8 @@ class TestReadmeClaims:
 
     def test_docs_files_exist(self):
         for name in ("rng.md", "protocol.md", "simulator.md",
-                     "user-guide.md", "api.md", "cli.md"):
+                     "user-guide.md", "api.md", "cli.md",
+                     "performance.md"):
             assert (ROOT / "docs" / name).exists(), name
 
 

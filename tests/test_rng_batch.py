@@ -1,0 +1,214 @@
+"""Tests for batched stream placement: realization_heads + BatchStreams.
+
+The contract under test is bit-identity: a block of realization head
+states must equal the per-index ``head_state`` values, and every column
+of :meth:`BatchStreams.uniforms` must equal the scalar generator's
+draws — whatever the block size or access pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.rng.streams as streams_module
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.rng.batch import BatchStreams
+from repro.rng.lcg128 import Lcg128, VECTOR_BLOCK_THRESHOLD
+from repro.rng.streams import StreamCoordinates, StreamTree
+from repro.rng.vectorized import geometric_limbs, limbs_to_int
+
+
+def processor(experiment=0, rank=0, tree=None):
+    tree = tree or StreamTree()
+    return tree.experiment(experiment).processor(rank)
+
+
+class TestRealizationHeads:
+    @given(experiment=st.integers(0, 5), rank=st.integers(0, 5),
+           start=st.integers(0, 50), count=st.integers(0, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_head_state_per_index(self, experiment, rank, start,
+                                          count):
+        tree = StreamTree()
+        heads = processor(experiment, rank, tree).realization_heads(
+            start, count)
+        assert heads.shape == (count, 4)
+        for i in range(count):
+            expected = tree.head_state(
+                StreamCoordinates(experiment, rank, start + i))
+            assert limbs_to_int(heads[i]) == expected
+
+    def test_consecutive_blocks_use_cached_jump(self):
+        """The worker's pattern: block k+1 right after block k."""
+        tree = StreamTree()
+        stream = processor(1, 2, tree)
+        fresh = processor(1, 2, tree)
+        expected = fresh.realization_heads(0, 96)
+        got = np.concatenate([stream.realization_heads(0, 32),
+                              stream.realization_heads(32, 32),
+                              stream.realization_heads(64, 32)])
+        assert np.array_equal(got, expected)
+
+    def test_shorter_final_block(self):
+        stream = processor()
+        expected = processor().realization_heads(0, 50)
+        got = np.concatenate([stream.realization_heads(0, 32),
+                              stream.realization_heads(32, 18)])
+        assert np.array_equal(got, expected)
+
+    def test_non_consecutive_jump_falls_back(self):
+        stream = processor()
+        stream.realization_heads(0, 16)
+        jumped = stream.realization_heads(100, 16)
+        assert np.array_equal(jumped,
+                              processor().realization_heads(100, 16))
+
+    def test_width_change_then_continue(self):
+        stream = processor()
+        stream.realization_heads(0, 16)
+        wider = stream.realization_heads(16, 32)
+        assert np.array_equal(wider,
+                              processor().realization_heads(16, 32))
+        after = stream.realization_heads(48, 32)
+        assert np.array_equal(after,
+                              processor().realization_heads(48, 32))
+
+    def test_interleaves_with_scalar_cursor(self):
+        """A block leaves the incremental cursor at its last index."""
+        tree = StreamTree()
+        stream = processor(0, 0, tree)
+        stream.realization_heads(0, 8)
+        rng = stream.realization(8)
+        fresh = tree.rng(experiment=0, processor=0, realization=8)
+        assert rng.state == fresh.state
+
+    def test_sequential_access_avoids_pow_after_warmup(self, monkeypatch):
+        stream = processor()
+        stream.realization(0)
+        calls = []
+        original = pow
+
+        def counting_pow(*args):
+            calls.append(args)
+            return original(*args)
+
+        monkeypatch.setattr(streams_module, "pow", counting_pow,
+                            raising=False)
+        for index in range(1, 50):
+            stream.realization(index)
+        assert calls == []
+
+    def test_count_validation(self):
+        stream = processor()
+        with pytest.raises(ConfigurationError):
+            stream.realization_heads(0, -1)
+        with pytest.raises(ConfigurationError):
+            stream.realization_heads(-1, 4)
+
+    def test_capacity_checked_for_block_end(self):
+        tree = StreamTree()
+        capacity = tree.leaps.realization_capacity
+        stream = processor(0, 0, tree)
+        with pytest.raises(CapacityError):
+            stream.realization_heads(capacity - 2, 8)
+
+    def test_empty_block(self):
+        heads = processor().realization_heads(0, 0)
+        assert heads.shape == (0, 4)
+
+
+class TestBatchStreams:
+    def test_uniforms_match_scalar_draws(self):
+        tree = StreamTree()
+        block = processor(0, 0, tree).realization_block(0, 8)
+        uniforms = block.uniforms(5)
+        assert uniforms.shape == (8, 5)
+        for i in range(8):
+            rng = tree.rng(realization=i)
+            for j in range(5):
+                assert uniforms[i, j] == rng.random()
+
+    def test_successive_draw_calls_continue_streams(self):
+        one = processor().realization_block(0, 4)
+        two = processor().realization_block(0, 4)
+        combined = one.uniforms(6)
+        first, second = two.uniforms(2), two.uniforms(4)
+        assert np.array_equal(combined, np.hstack([first, second]))
+        assert two.count == 6
+
+    def test_states_and_generators_continue(self):
+        block = processor().realization_block(0, 3)
+        block.uniforms(2)
+        generators = block.generators()
+        scalars = [processor().realization(i) for i in range(3)]
+        for rng in scalars:
+            rng.random()
+            rng.random()
+        for left, right in zip(generators, scalars):
+            assert left.state == right.state
+            assert left.random() == right.random()
+
+    def test_block_is_isolated_from_source_heads(self):
+        heads = processor().realization_heads(0, 4)
+        before = heads.copy()
+        block = BatchStreams(heads)
+        block.uniforms(3)
+        assert np.array_equal(heads, before)
+
+    def test_invalid_heads_shape(self):
+        with pytest.raises(ConfigurationError):
+            BatchStreams(np.zeros((4, 3), dtype=np.uint64))
+        with pytest.raises(ConfigurationError):
+            BatchStreams(np.zeros(4, dtype=np.uint64))
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchStreams(np.ones((2, 4), dtype=np.uint64), multiplier=4)
+
+    def test_negative_count_rejected(self):
+        block = processor().realization_block(0, 2)
+        with pytest.raises(ConfigurationError):
+            block.uniforms(-1)
+
+    def test_len_and_size(self):
+        block = processor().realization_block(0, 7)
+        assert len(block) == block.size == 7
+
+
+class TestGeometricLimbs:
+    @given(head=st.integers(1, 2**128 - 1), count=st.integers(0, 33))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_scalar_powers(self, head, count):
+        ratio = StreamTree().jump_multipliers[2]
+        rows = geometric_limbs(head, ratio, count)
+        value = head
+        for i in range(count):
+            assert limbs_to_int(rows[i]) == value
+            value = (value * ratio) % 2**128
+
+
+class TestBlockDelegation:
+    """Lcg128.block must be bit-identical across the vector threshold."""
+
+    @pytest.mark.parametrize("size", [
+        1, 5, VECTOR_BLOCK_THRESHOLD - 1, VECTOR_BLOCK_THRESHOLD,
+        VECTOR_BLOCK_THRESHOLD + 1, 2 * VECTOR_BLOCK_THRESHOLD + 7])
+    def test_block_values_and_state(self, size):
+        fast = Lcg128(123456789)
+        slow = Lcg128(123456789)
+        values = fast.block(size)
+        expected = np.array([slow.random() for _ in range(size)])
+        assert np.array_equal(values, expected)
+        assert fast.state == slow.state
+        assert fast.count == slow.count
+
+    def test_block_then_scalar_continues(self):
+        fast = Lcg128(43)
+        slow = Lcg128(43)
+        fast.block(VECTOR_BLOCK_THRESHOLD)
+        for _ in range(VECTOR_BLOCK_THRESHOLD):
+            slow.random()
+        assert fast.random() == slow.random()
