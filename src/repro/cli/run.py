@@ -83,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "blocks of this many realizations (scalar "
                              "routines are wrapped automatically; "
                              "estimates are bit-identical)")
+    parser.add_argument("--on-worker-death", choices=("fail", "reassign"),
+                        default="fail",
+                        help="policy when a worker dies short of its "
+                             "final message: fail aborts the run "
+                             "(default), reassign reissues the remaining "
+                             "quota to a fresh worker")
+    parser.add_argument("--death-grace", type=float, default=1.0,
+                        help="seconds a cleanly-exited worker may stay "
+                             "silent before being declared dead")
     return parser
 
 
@@ -100,7 +109,9 @@ def main(argv: list[str] | None = None) -> int:
             peraver=args.peraver, processors=args.processors,
             backend=args.backend, workdir=args.workdir,
             time_limit=args.time_limit, telemetry=args.telemetry,
-            batch_size=args.batch_size)
+            batch_size=args.batch_size,
+            on_worker_death=args.on_worker_death,
+            death_grace=args.death_grace)
     except ReproError as exc:
         print(f"parmonc-run: error: {exc}", file=sys.stderr)
         return 2

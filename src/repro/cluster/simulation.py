@@ -208,8 +208,8 @@ class ClusterSimulation:
         self._nbytes = (spec.message_bytes if spec.message_bytes is not None
                         else message_bytes(config.nrow, config.ncol))
         tree = StreamTree(config.leaps)
-        experiment = tree.experiment(config.seqnum)
-        self._streams = [experiment.processor(rank)
+        self._experiment = tree.experiment(config.seqnum)
+        self._streams = [self._experiment.processor(rank)
                          for rank in range(config.processors)]
         self._accumulators = [MomentAccumulator(config.nrow, config.ncol)
                               for _ in range(config.processors)]
@@ -254,6 +254,7 @@ class ClusterSimulation:
              for rank in range(config.processors)]
             if telemetry is not None else None)
         self._failures_logged: set[int] = set()
+        self._result: ClusterResult | None = None
 
     @property
     def now(self) -> float:
@@ -395,6 +396,94 @@ class ClusterSimulation:
 
     # ------------------------------------------------------------------
 
+    def start(self) -> None:
+        """Seed every configured worker's first realization at t = 0.
+
+        The incremental half of :meth:`run`, used by the engine-driven
+        backend (which owns the ``worker_start`` telemetry events
+        itself): after seeding, drive the clock with
+        :meth:`run_until_idle` and settle accounts with :meth:`finish`.
+        """
+        for rank in range(self._config.processors):
+            self._start_realization(rank, 0.0)
+
+    def run_until_idle(self) -> float:
+        """Dispatch events until the queue drains; return virtual now."""
+        return self._events.run()
+
+    def add_worker(self, rank: int, quota: int) -> None:
+        """Attach a fresh worker mid-simulation (quota reassignment).
+
+        The new node is a plain unit-speed processor drawing from the
+        ``rank``-th "processors" subsequence — a substream no failed
+        node ever touched — and starts computing at the current virtual
+        time.
+        """
+        if self._scheduling != "static":
+            raise ConfigurationError(
+                "workers can only be added under static scheduling")
+        if rank != len(self._processors):
+            raise ConfigurationError(
+                f"worker ranks must stay contiguous: expected "
+                f"{len(self._processors)}, got {rank}")
+        now = self._events.now
+        self._processors.append(Processor(rank, 1.0, None))
+        self._streams.append(self._experiment.processor(rank))
+        self._accumulators.append(
+            MomentAccumulator(self._config.nrow, self._config.ncol))
+        self._next_index.append(0)
+        self._last_send.append(now)
+        self._quotas.append(quota)
+        if self._worker_stats is not None:
+            self._worker_stats.append(
+                WorkerTelemetry(rank, clock=lambda: self._events.now))
+        self._result = None
+        self._start_realization(rank, now)
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        """Injected failures that kept their node from finalizing."""
+        return tuple(sorted(rank for rank in self._failures
+                            if rank not in self._finaled))
+
+    def finish(self) -> ClusterResult:
+        """Settle the books once the event queue has drained.
+
+        Idempotent between topology changes: calling it twice returns
+        the same (cached) result; :meth:`add_worker` invalidates the
+        cache so a recovered run re-accounts.
+        """
+        if self._result is not None:
+            return self._result
+        for rank, fail_time in self._failures.items():
+            self._note_failure(rank, fail_time)
+        survivors = [rank for rank in range(len(self._processors))
+                     if rank not in self._failures]
+        if not all(rank in self._finaled for rank in survivors):
+            raise ConfigurationError(
+                "simulation drained its event queue before every "
+                "surviving worker finalized — this indicates an "
+                "internal protocol bug")
+        t_comp = self._last_completion
+        per_rank = {rank: self._accumulators[rank].volume
+                    for rank in range(len(self._processors))}
+        total = sum(per_rank.values())
+        lost = sum(self._accumulators[rank].volume
+                   - self._collector.worker_volume(rank)
+                   for rank in self._failures)
+        mean_delay = (self._queue_delay_total / self._messages_sent
+                      if self._messages_sent else 0.0)
+        self._result = ClusterResult(
+            t_comp=t_comp,
+            total_volume=total,
+            per_rank_volumes=per_rank,
+            messages_sent=self._messages_sent,
+            collector_utilization=self._service.utilization(t_comp),
+            mean_queue_delay=mean_delay,
+            compute_span=self._last_compute,
+            failed_ranks=tuple(sorted(self._failures)),
+            lost_realizations=lost)
+        return self._result
+
     def run(self) -> ClusterResult:
         """Execute the session; return virtual-time accounting."""
         for rank in range(self._config.processors):
@@ -405,33 +494,7 @@ class ClusterSimulation:
                            if self._scheduling == "static" else None))
             self._start_realization(rank, 0.0)
         self._events.run()
-        for rank, fail_time in self._failures.items():
-            self._note_failure(rank, fail_time)
-        survivors = [rank for rank in range(self._config.processors)
-                     if rank not in self._failures]
-        if not all(rank in self._finaled for rank in survivors):
-            raise ConfigurationError(
-                "simulation drained its event queue before every "
-                "surviving worker finalized — this indicates an "
-                "internal protocol bug")
-        t_comp = self._last_completion
+        result = self.finish()
         # The final averaging-and-saving sweep the paper times.
-        self._collector.save(t_comp)
-        per_rank = {rank: self._accumulators[rank].volume
-                    for rank in range(self._config.processors)}
-        total = sum(per_rank.values())
-        lost = sum(self._accumulators[rank].volume
-                   - self._collector.worker_volume(rank)
-                   for rank in self._failures)
-        mean_delay = (self._queue_delay_total / self._messages_sent
-                      if self._messages_sent else 0.0)
-        return ClusterResult(
-            t_comp=t_comp,
-            total_volume=total,
-            per_rank_volumes=per_rank,
-            messages_sent=self._messages_sent,
-            collector_utilization=self._service.utilization(t_comp),
-            mean_queue_delay=mean_delay,
-            compute_span=self._last_compute,
-            failed_ranks=tuple(sorted(self._failures)),
-            lost_realizations=lost)
+        self._collector.save(result.t_comp)
+        return result

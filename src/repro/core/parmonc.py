@@ -14,27 +14,35 @@ becomes::
 with the user routine written either as ``difftraj(rng)`` (explicit
 generator) or as the paper's argument-less style calling the global
 ``rnd128()``.
+
+Backend dispatch goes through the engine registry
+(:func:`~repro.runtime.engine.register_backend`): each name maps to a
+:class:`~repro.runtime.engine.Backend` factory, and the shared
+:class:`~repro.runtime.engine.Engine` drives the session lifecycle the
+same way for all of them.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.cluster.simulation import ClusterSpec
 from repro.exceptions import ConfigurationError
 from repro.rng.multiplier import DEFAULT_LEAPS, LeapSet
 from repro.runtime.config import RunConfig
+from repro.runtime.engine import Engine, available_backends, create_backend
 from repro.runtime.files import read_genparam_file
-from repro.runtime.multiprocess import run_multiprocess
 from repro.runtime.result import RunResult
-from repro.runtime.sequential import run_sequential
-from repro.runtime.simcluster import run_simcluster
 from repro.runtime.worker import RealizationRoutine, make_batched
+
+if TYPE_CHECKING:
+    from repro.cluster.simulation import ClusterSpec
 
 __all__ = ["parmonc", "BACKENDS"]
 
-#: Names accepted by the ``backend`` argument.
-BACKENDS = ("sequential", "multiprocess", "simcluster")
+#: Names accepted by the ``backend`` argument (registry snapshot; the
+#: authoritative, always-current list is ``available_backends()``).
+BACKENDS = available_backends()
 
 
 def _resolve_leaps(workdir: Path, leaps: LeapSet | None) -> LeapSet:
@@ -62,7 +70,9 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             execute_realizations: bool = True,
             start_method: str | None = None,
             telemetry: bool = False,
-            batch_size: int | None = None) -> RunResult:
+            batch_size: int | None = None,
+            on_worker_death: str = "fail",
+            death_grace: float = 1.0) -> RunResult:
     """Run a massively parallel stochastic simulation.
 
     Args:
@@ -85,9 +95,10 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             (0 = on every message; each sweep rewrites the result
             files).
         processors: Number of processors ``M``.
-        backend: ``"sequential"``, ``"multiprocess"`` (real OS
-            processes) or ``"simcluster"`` (discrete-event simulation in
-            virtual time).
+        backend: Any registered backend name — ``"sequential"``,
+            ``"multiprocess"`` (real OS processes) or ``"simcluster"``
+            (discrete-event simulation in virtual time) out of the box;
+            see :func:`~repro.runtime.engine.register_backend`.
         workdir: Directory for ``parmonc_data``; defaults to the current
             directory.  A ``parmonc_genparam.dat`` there overrides the
             default leap parameters, as in §3.5.
@@ -112,13 +123,22 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             attribute (see :func:`~repro.runtime.worker.batch_routine`)
             is used as-is and this argument must be None.  Estimates are
             bit-identical to the scalar path; see ``docs/performance.md``.
+        on_worker_death: ``"fail"`` (default) aborts the run when a
+            worker dies short of its final message; ``"reassign"``
+            retires the dead rank at its last delivered watermark and
+            reissues the remaining quota to a fresh worker on a fresh
+            RNG subsequence.  See ``docs/architecture.md``.
+        death_grace: Seconds a cleanly-exited worker may stay silent
+            before being declared dead (its final message may still be
+            crossing the queue).
 
     Returns:
         The session's :class:`~repro.runtime.result.RunResult`.
     """
-    if backend not in BACKENDS:
+    if backend not in available_backends():
         raise ConfigurationError(
-            f"unknown backend {backend!r}; choose from {BACKENDS}")
+            f"unknown backend {backend!r}; choose from "
+            f"{available_backends()}")
     if batch_size is not None:
         if getattr(realization, "batch_size", None) is not None:
             raise ConfigurationError(
@@ -131,12 +151,11 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
         perpass=perpass, peraver=peraver, processors=processors,
         workdir=resolved_workdir,
         leaps=_resolve_leaps(resolved_workdir, leaps),
-        time_limit=time_limit, telemetry=telemetry)
-    if backend == "sequential":
-        return run_sequential(realization, config, use_files=use_files)
-    if backend == "multiprocess":
-        return run_multiprocess(realization, config, use_files=use_files,
-                                start_method=start_method)
-    return run_simcluster(realization, config, spec=cluster_spec,
-                          use_files=use_files,
-                          execute_realizations=execute_realizations)
+        time_limit=time_limit, telemetry=telemetry,
+        on_worker_death=on_worker_death, death_grace=death_grace)
+    # create_backend keeps only the options the chosen backend's factory
+    # accepts, so simcluster-only knobs are silently ignored elsewhere.
+    backend_impl = create_backend(
+        backend, start_method=start_method, cluster_spec=cluster_spec,
+        execute_realizations=execute_realizations)
+    return Engine(backend_impl, config, use_files=use_files).run(realization)

@@ -5,12 +5,16 @@ under simulation) and ``kind``; remaining keys are the event's payload.
 Kinds emitted by the runtime:
 
 ``session_start``   config echo: backend, processors, maxsv, seqnum
-``worker_start``    rank, quota
+``worker_start``    rank, quota (+ ``recovery`` for replacement workers)
 ``worker_final``    rank, volume, messages, bytes
-``worker_died``     rank, exitcode (multiprocess dead-child detection)
+``worker_died``     rank, exitcode, volume (dead-worker detection)
+``worker_recovered`` rank, replacement, reassigned, delivered
+                    (``on_worker_death="reassign"`` fault recovery)
 ``node_failed``     rank, fail_time (simcluster fault injection)
 ``message``         rank, volume, final (one per collector ingest)
 ``stale_message``   rank, volume, kept_volume (out-of-order drop)
+``late_message``    rank, volume, kept_volume (retired-rank drop)
+``stale_worker``    rank, last_seen (silent-worker health flag)
 ``save``            volume, eps_max, duration, save_index
 ``span``            name, start, end + attributes (from the tracer)
 ``session_end``     volume, elapsed, t_comp (when virtual)

@@ -145,6 +145,7 @@ class RunTelemetry:
         self.tracer = Tracer(clock=clock, epoch=epoch)
         self.events = EventLog(clock=clock, path=events_path, epoch=epoch)
         self._workers: dict[int, dict] = {}
+        self._recoveries = 0
         self._finalized = False
 
     @property
@@ -180,6 +181,31 @@ class RunTelemetry:
                                 _SAVE_BOUNDS).observe(duration)
         self.events.append("save", ts=now, volume=volume, eps_max=eps_max,
                            duration=duration, save_index=save_index)
+        self.events.flush()
+
+    def worker_recovered(self, *, rank: int, replacement: int | None,
+                         reassigned: int, delivered: int,
+                         now: float | None = None) -> None:
+        """Account one fault-recovery: a dead rank's quota was reissued.
+
+        Args:
+            rank: The dead worker's processor index.
+            replacement: The fresh worker that inherited the quota, or
+                None when no replacement was needed.
+            reassigned: Realizations reissued to the replacement (0 when
+                the dead worker had already delivered its full quota).
+            delivered: Realizations the dead worker delivered before
+                dying (the collector keeps them — nothing re-runs).
+            now: Run-clock timestamp of the recovery decision.
+        """
+        self._recoveries += 1
+        self.registry.counter("engine.worker_recoveries").inc()
+        if reassigned:
+            self.registry.counter("engine.reassigned_realizations").inc(
+                reassigned)
+        self.events.append("worker_recovered", ts=now, rank=rank,
+                           replacement=replacement, reassigned=reassigned,
+                           delivered=delivered)
         self.events.flush()
 
     # ------------------------------------------------------------------
@@ -241,6 +267,9 @@ class RunTelemetry:
                 volume / denominator if denominator > 0 else 0.0)
             if virtual_time is not None:
                 self.registry.gauge("run.virtual_seconds").set(virtual_time)
+            if self._recoveries:
+                self.registry.gauge("run.recovered_workers").set(
+                    self._recoveries)
             for rank, stats in self.worker_stats().items():
                 prefix = f"worker.{rank}"
                 self.registry.gauge(f"{prefix}.realizations").set(

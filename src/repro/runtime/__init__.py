@@ -1,15 +1,37 @@
-"""The PARMONC runtime: configuration, backends, files and resumption."""
+"""The PARMONC runtime: configuration, engine, backends, resumption.
+
+Backends register themselves with the engine's registry
+(:func:`~repro.runtime.engine.register_backend`); importing this package
+registers the two eager backends (``sequential``, ``multiprocess``) and
+declares ``simcluster`` lazily — its module pulls in the discrete-event
+cluster simulation, which nobody should pay for on plain runs.
+"""
 
 from __future__ import annotations
 
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig, minutes
+from repro.runtime.engine import (
+    Backend,
+    Engine,
+    EngineBackend,
+    WorkerAssignment,
+    WorkerDeath,
+    available_backends,
+    create_backend,
+    register_backend,
+    register_lazy_backend,
+)
 from repro.runtime.files import DataDirectory
 from repro.runtime.messages import MomentMessage, message_bytes
-from repro.runtime.multiprocess import run_multiprocess
+
+# Backend modules register themselves; sequential first so the registry
+# (and therefore ``BACKENDS`` / the CLI choices) keeps its historical
+# order: sequential, multiprocess, simcluster.
+from repro.runtime.sequential import SequentialBackend, run_sequential
+from repro.runtime.multiprocess import MultiprocessBackend, run_multiprocess
 from repro.runtime.result import RunResult
 from repro.runtime.resume import ResumeState, finalize_session, prepare_resume
-from repro.runtime.sequential import run_sequential
 from repro.runtime.worker import (
     BatchRealizationRoutine,
     adapt_realization,
@@ -17,6 +39,8 @@ from repro.runtime.worker import (
     make_batched,
     run_worker,
 )
+
+register_lazy_backend("simcluster", "repro.runtime.simcluster")
 
 __all__ = [
     "RunConfig",
@@ -34,17 +58,17 @@ __all__ = [
     "batch_routine",
     "make_batched",
     "run_worker",
+    "Backend",
+    "Engine",
+    "EngineBackend",
+    "WorkerAssignment",
+    "WorkerDeath",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "register_lazy_backend",
+    "SequentialBackend",
+    "MultiprocessBackend",
     "run_sequential",
     "run_multiprocess",
-    "run_simcluster",
 ]
-
-
-def __getattr__(name: str):
-    # run_simcluster is imported lazily: it needs repro.cluster, which in
-    # turn uses this package's submodules — an eager import here would
-    # close an import cycle.
-    if name == "run_simcluster":
-        from repro.runtime.simcluster import run_simcluster
-        return run_simcluster
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

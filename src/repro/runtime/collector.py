@@ -69,11 +69,15 @@ class Collector:
         self._telemetry = telemetry
         self._latest: dict[int, MomentSnapshot] = {}
         self._finals: set[int] = set()
+        self._expected: set[int] = set(range(config.processors))
+        self._retired: set[int] = set()
+        self._expected_since: dict[int, float] = {}
         self._last_seen: dict[int, float] = {}
         self._epoch: float | None = None
         self._last_average_at: float | None = None
         self._receive_count = 0
         self._stale_count = 0
+        self._late_count = 0
         self._save_count = 0
         self._history: list[tuple[float, int, float]] = []
 
@@ -88,6 +92,11 @@ class Collector:
     def stale_count(self) -> int:
         """Out-of-order messages dropped because a newer snapshot won."""
         return self._stale_count
+
+    @property
+    def late_count(self) -> int:
+        """Messages dropped because their rank had already been retired."""
+        return self._late_count
 
     @property
     def save_count(self) -> int:
@@ -116,8 +125,50 @@ class Collector:
 
     @property
     def complete(self) -> bool:
-        """True when every configured worker has sent a final message."""
-        return len(self._finals) >= self._config.processors
+        """True when every expected worker has sent a final message.
+
+        The expected set starts as the configured ranks; the engine may
+        shrink it (:meth:`retire_rank`, a dead worker whose quota was
+        reassigned) or grow it (:meth:`expect_rank`, the replacement).
+        """
+        return self._expected.issubset(self._finals)
+
+    @property
+    def expected_ranks(self) -> frozenset[int]:
+        """Ranks the collector currently expects a final message from."""
+        return frozenset(self._expected)
+
+    def retire_rank(self, rank: int) -> None:
+        """Stop expecting ``rank`` while keeping everything it delivered.
+
+        Used when a dead worker's remaining quota is reassigned: its
+        latest cumulative snapshot stays in the merge (the watermark the
+        replacement's quota was computed against), but late messages
+        from it are dropped and it no longer gates completion.
+        """
+        if rank not in self._expected:
+            raise ConfigurationError(
+                f"cannot retire rank {rank}: not an expected rank")
+        self._expected.discard(rank)
+        self._finals.discard(rank)
+        self._retired.add(rank)
+
+    def expect_rank(self, rank: int, now: float | None = None) -> None:
+        """Start expecting a final message from ``rank``.
+
+        Args:
+            rank: The new worker's processor index; must not collide
+                with a live or retired rank.
+            now: Run-clock time the worker was spawned; anchors the
+                staleness judgement for a rank that has not reported
+                yet (see :meth:`stale_workers`).
+        """
+        if rank in self._expected or rank in self._retired:
+            raise ConfigurationError(
+                f"rank {rank} is already tracked by the collector")
+        self._expected.add(rank)
+        if now is not None:
+            self._expected_since[rank] = now
 
     @property
     def last_seen(self) -> dict[int, float]:
@@ -150,10 +201,11 @@ class Collector:
                 return ()
             epoch = min(self._last_seen.values())
         stale = []
-        for rank in range(self._config.processors):
+        for rank in sorted(self._expected):
             if rank in self._finals:
                 continue
-            watermark = self._last_seen.get(rank, epoch)
+            watermark = self._last_seen.get(
+                rank, self._expected_since.get(rank, epoch))
             if now - watermark > threshold:
                 stale.append(rank)
         return tuple(stale)
@@ -183,10 +235,24 @@ class Collector:
         ``peraver`` is zero (save on every message), or when the message
         completes the run.
         """
-        if not 0 <= message.rank < self._config.processors:
+        if message.rank in self._retired:
+            # A retired (dead) worker's message surfaced after its quota
+            # was reassigned; folding it in would double-count the
+            # realizations the replacement re-simulated.
+            self._late_count += 1
+            if self._telemetry is not None:
+                self._telemetry.registry.counter(
+                    "collector.late_messages").inc()
+                self._telemetry.events.append(
+                    "late_message", ts=now, rank=message.rank,
+                    volume=message.snapshot.volume,
+                    kept_volume=self.worker_volume(message.rank))
+            return False
+        if message.rank not in self._expected:
             raise ConfigurationError(
                 f"message from unknown rank {message.rank} "
-                f"(processors={self._config.processors})")
+                f"(expected ranks: "
+                f"{sorted(self._expected) or 'none'})")
         if message.snapshot.shape != self._config.shape:
             raise ConfigurationError(
                 f"message snapshot shape {message.snapshot.shape} does "
@@ -228,8 +294,16 @@ class Collector:
         return False
 
     def merged(self) -> MomentSnapshot:
-        """Formula (5): resume base plus every worker's latest snapshot."""
-        return merge_snapshots([self._base, *self._latest.values()])
+        """Formula (5): resume base plus every worker's latest snapshot.
+
+        Snapshots merge in rank order, not arrival order: float sums are
+        not associative to the last ulp, and a fixed order is what makes
+        estimates bit-identical across backends regardless of how the
+        OS interleaved message delivery.
+        """
+        return merge_snapshots(
+            [self._base,
+             *(snapshot for _, snapshot in sorted(self._latest.items()))])
 
     def estimates(self) -> Estimates:
         """Result matrices for the current merged sample."""

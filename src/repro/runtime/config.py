@@ -55,6 +55,17 @@ class RunConfig:
             event log under ``parmonc_data/telemetry/`` (see
             :mod:`repro.obs`).  Off by default; the backends skip all
             instrumentation when disabled.
+        on_worker_death: What the engine does when a backend reports a
+            worker that died short of its final message.  ``"fail"``
+            (default) aborts the run with a
+            :class:`~repro.exceptions.BackendError`; ``"reassign"``
+            keeps the dead worker's moments at its last collected
+            watermark and reissues the undelivered remainder of its
+            quota to a replacement worker on a fresh leaped
+            subsequence.
+        death_grace: Seconds a cleanly-exited worker may leave its
+            final message in flight before it is declared dead (the
+            multiprocess backend's dead-child grace period).
     """
 
     nrow: int = 1
@@ -69,6 +80,8 @@ class RunConfig:
     leaps: LeapSet = DEFAULT_LEAPS
     time_limit: float | None = None
     telemetry: bool = False
+    on_worker_death: str = "fail"
+    death_grace: float = 1.0
 
     def __post_init__(self) -> None:
         if self.nrow < 1 or self.ncol < 1:
@@ -102,6 +115,14 @@ class RunConfig:
             raise ConfigurationError(
                 f"time_limit must be positive when given, "
                 f"got {self.time_limit}")
+        if self.on_worker_death not in ("fail", "reassign"):
+            raise ConfigurationError(
+                f"on_worker_death must be 'fail' or 'reassign', "
+                f"got {self.on_worker_death!r}")
+        if self.death_grace < 0:
+            raise ConfigurationError(
+                f"death_grace must be >= 0 seconds, "
+                f"got {self.death_grace}")
         # Normalize workdir to a Path without touching the filesystem.
         object.__setattr__(self, "workdir", Path(self.workdir))
 

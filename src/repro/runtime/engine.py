@@ -1,0 +1,567 @@
+"""The unified engine: one session lifecycle, pluggable backends.
+
+Every PARMONC run follows the same master-worker script — resume the
+previous session, dispatch a work plan to ``M`` workers, drain moment
+messages into the collector, average and save periodically, finalize —
+and only the *execution strategy* differs between running workers
+inline, as OS processes, or inside the discrete-event cluster
+simulation.  This module separates the two concerns:
+
+* :class:`Engine` owns the lifecycle.  Collector wiring, telemetry,
+  resume semantics, save-points and result assembly exist exactly once,
+  here, instead of being re-implemented per backend.
+* :class:`Backend` is the strategy protocol — ``spawn(plan)`` /
+  ``poll(timeout)`` / ``reap()`` / ``shutdown()`` — implemented by
+  :class:`~repro.runtime.sequential.SequentialBackend`,
+  :class:`~repro.runtime.multiprocess.MultiprocessBackend` and
+  :class:`~repro.runtime.simcluster.SimclusterBackend`.
+* The **registry** (:func:`register_backend`) is the single source of
+  backend names: ``parmonc()`` and ``parmonc-run`` both resolve names
+  through it, and new backends plug in without touching the core.
+
+On top of the unified lifecycle the engine adds **fault-tolerant quota
+reassignment**.  When a backend reports a dead worker
+(:meth:`Backend.reap`) and the run's
+:attr:`~repro.runtime.config.RunConfig.on_worker_death` policy is
+``"reassign"``, the engine keeps the dead worker's moments at its last
+collected watermark, retires its rank, and reissues the undelivered
+remainder of its quota to a replacement worker on a *fresh* processor
+subsequence of the RNG hierarchy (an index beyond ``M``), so the
+recovered estimate stays uncorrelated with everything the dead worker
+consumed.  The default policy, ``"fail"``, preserves each backend's
+historical behaviour (the multiprocess backend raises
+:class:`~repro.exceptions.BackendError`; the simulated cluster loses
+the tail of the failed node's work, as §2.2 models).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import time
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.exceptions import BackendError, ConfigurationError
+from repro.runtime.bootstrap import start_session
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.messages import MomentMessage
+from repro.runtime.resume import finalize_session
+from repro.runtime.result import RunResult
+from repro.runtime.telemetry_support import open_run_telemetry
+
+__all__ = [
+    "Backend",
+    "EngineBackend",
+    "Engine",
+    "WorkerAssignment",
+    "WorkerDeath",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "register_lazy_backend",
+]
+
+#: Blocking-poll granularity of the drain loop, in seconds.
+_POLL_SECONDS = 0.05
+
+#: Reassignment budget: at most this many recoveries per initial worker.
+#: A routine that kills every worker it is given would otherwise respawn
+#: replacements forever; past the budget the engine fails the run.
+_RECOVERY_FACTOR = 4
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """One unit of the work plan: a worker rank and its quota.
+
+    Attributes:
+        rank: Processor index — both the collector lane the worker's
+            messages arrive on and the "processors" subsequence of the
+            RNG hierarchy it draws from.
+        quota: Realizations assigned to the rank, or None when the
+            backend self-schedules (the simulated cluster's ``dynamic``
+            mode); reassignment needs a known quota.
+        recovery: True when this assignment re-issues a dead worker's
+            remaining quota on a fresh subsequence.
+    """
+
+    rank: int
+    quota: int | None
+    recovery: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ConfigurationError(
+                f"assignment rank must be >= 0, got {self.rank}")
+        if self.quota is not None and self.quota < 0:
+            raise ConfigurationError(
+                f"assignment quota must be >= 0, got {self.quota}")
+
+
+@dataclass(frozen=True)
+class WorkerDeath:
+    """A worker that will never deliver its final message.
+
+    Attributes:
+        rank: The dead worker's rank.
+        exitcode: OS exit code when known (None for simulated nodes).
+        detail: Human-readable cause, e.g. the injected failure time.
+    """
+
+    rank: int
+    exitcode: int | None = None
+    detail: str = ""
+
+    def describe(self) -> str:
+        """The ``rank N (...)`` fragment used in error messages."""
+        cause = (self.detail if self.detail
+                 else f"exitcode {self.exitcode}")
+        return f"rank {self.rank} ({cause})"
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Execution strategy driven by the :class:`Engine`.
+
+    A backend never touches the session lifecycle: it only starts
+    workers, surfaces their messages, and reports their deaths.  The
+    engine binds itself before the first ``spawn`` via :meth:`bind`,
+    giving the backend access to the routine, config, collector and
+    telemetry it may need.
+    """
+
+    name: str
+
+    def bind(self, engine: "Engine") -> None:
+        """Receive the engine context before any other call."""
+        ...
+
+    def spawn(self, plan: Sequence[WorkerAssignment]
+              ) -> list[dict] | None:
+        """Start one worker per assignment.
+
+        May be called again mid-run with recovery assignments.  The
+        optional return value supplies per-assignment extra fields for
+        the ``worker_start`` telemetry event (e.g. the OS pid).
+        """
+        ...
+
+    def poll(self, timeout: float) -> MomentMessage | None:
+        """Return the next worker message, or None if none is ready.
+
+        Backends that deliver messages out-of-band (directly into the
+        collector via :meth:`Engine.ingest`) always return None and make
+        progress inside the call instead.
+        """
+        ...
+
+    def reap(self) -> list[WorkerDeath]:
+        """Report workers that died short of their final message.
+
+        Called when :meth:`poll` comes back empty.  Implementations must
+        drain any messages still in flight from a suspect worker before
+        declaring it dead — a delivered-but-queued final message means
+        the worker finished.
+        """
+        ...
+
+    def shutdown(self) -> None:
+        """Release resources; called exactly once, error or not."""
+        ...
+
+    @property
+    def done(self) -> bool:
+        """True when the backend can produce no further messages."""
+        ...
+
+
+class EngineBackend:
+    """Convenience base class with the defaults shared by all backends.
+
+    Subclasses implement :meth:`spawn`, :meth:`poll`, :meth:`reap` and
+    :meth:`shutdown`; everything else — the run clock, the work plan,
+    result accounting — has a sensible real-time default here.
+    """
+
+    name = "abstract"
+    #: Collector ``persist_subtotals`` override (None = collector default).
+    persist_subtotals: bool | None = None
+    #: Virtual run seconds (``T_comp``); stays None on real-time backends.
+    virtual_time: float | None = None
+    #: Whether the engine should flag silent workers with ``stale_worker``
+    #: telemetry events.  Meaningful only for backends whose workers report
+    #: asynchronously; the sequential loop and the virtual cluster opt out.
+    monitors_staleness = False
+
+    def __init__(self) -> None:
+        self.engine: Engine | None = None
+        self.routine = None
+        self.config: RunConfig | None = None
+        self.collector: Collector | None = None
+        self.deadline: float | None = None
+        self._done = False
+
+    # -- context ---------------------------------------------------------
+
+    def bind(self, engine: "Engine") -> None:
+        """Adopt the engine context (routine, config, collector, ...)."""
+        self.engine = engine
+        self.routine = engine.routine
+        self.config = engine.config
+        self.collector = engine.collector
+        if engine.config.time_limit is not None:
+            self.deadline = engine.started + engine.config.time_limit
+
+    def clock(self) -> float:
+        """The run clock; virtual backends override this."""
+        return time.monotonic()
+
+    def telemetry_epoch(self, started: float) -> float:
+        """Clock value subtracted from telemetry timestamps."""
+        return started
+
+    # -- work plan and results -------------------------------------------
+
+    def plan(self) -> list[WorkerAssignment]:
+        """The initial work plan: the config's even static split."""
+        config = self.config
+        return [WorkerAssignment(rank, config.worker_quota(rank))
+                for rank in range(config.processors)]
+
+    def per_rank_volumes(self, collector: Collector,
+                         ranks: Sequence[int]) -> dict[int, int]:
+        """Final per-worker volumes for the result (collector's view)."""
+        return {rank: collector.worker_volume(rank) for rank in ranks}
+
+    def session_volume(self, collector: Collector) -> int:
+        """Realizations this session contributed to the estimate."""
+        return collector.session_volume
+
+    def finish(self) -> None:
+        """Success-path accounting hook, before the final save."""
+
+    # -- protocol stubs ----------------------------------------------------
+
+    def reap(self) -> list[WorkerDeath]:
+        return []
+
+    def shutdown(self) -> None:
+        pass
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+
+_FACTORIES: dict[str, Callable[..., Backend]] = {}
+_LAZY: dict[str, str] = {}
+
+
+def register_backend(name: str, factory: Callable[..., Backend] | None = None):
+    """Register a backend factory under ``name``; usable as a decorator.
+
+    The registry is the single source of backend names: ``parmonc()``
+    validates against it and the CLI offers its names as choices.
+    Re-registering a name that already has a *different* eager factory
+    is an error; resolving a lazy entry (see
+    :func:`register_lazy_backend`) is not.
+
+    Example:
+        >>> @register_backend("null")                   # doctest: +SKIP
+        ... class NullBackend(EngineBackend): ...
+    """
+
+    def register(factory: Callable[..., Backend]):
+        existing = _FACTORIES.get(name)
+        if existing is not None and existing is not factory:
+            raise ConfigurationError(
+                f"backend {name!r} is already registered")
+        _FACTORIES[name] = factory
+        _LAZY.pop(name, None)
+        return factory
+
+    if factory is not None:
+        return register(factory)
+    return register
+
+
+def register_lazy_backend(name: str, module: str) -> None:
+    """Register a backend whose module is imported on first use.
+
+    This is how the simulated-cluster backend joins the registry
+    without creating an import cycle: ``repro.runtime`` records only
+    the module path; importing the module (which pulls in
+    ``repro.cluster``) happens when the backend is first requested, and
+    the module's own :func:`register_backend` call completes the entry.
+    """
+    if name in _FACTORIES or name in _LAZY:
+        return
+    _LAZY[name] = module
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every registered backend name, eager and lazy, in registration order."""
+    names = list(_FACTORIES)
+    names.extend(name for name in _LAZY if name not in _FACTORIES)
+    return tuple(names)
+
+
+def _resolve_factory(name: str) -> Callable[..., Backend]:
+    factory = _FACTORIES.get(name)
+    if factory is not None:
+        return factory
+    module = _LAZY.get(name)
+    if module is not None:
+        importlib.import_module(module)
+        factory = _FACTORIES.get(name)
+        if factory is not None:
+            return factory
+        raise ConfigurationError(
+            f"module {module!r} did not register backend {name!r}")
+    raise ConfigurationError(
+        f"unknown backend {name!r}; choose from {available_backends()}")
+
+
+def create_backend(name: str, **options) -> Backend:
+    """Instantiate a registered backend by name.
+
+    ``options`` is the union of every backend-specific knob the caller
+    carries (``start_method``, ``cluster_spec``, ...); each factory
+    receives only the keywords its signature accepts, so options that
+    belong to a different backend are ignored — matching how
+    ``parmonc()`` has always tolerated them.
+    """
+    factory = _resolve_factory(name)
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return factory(**options)
+    if any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+        return factory(**options)
+    accepted = {key: value for key, value in options.items()
+                if key in parameters}
+    return factory(**accepted)
+
+
+# ---------------------------------------------------------------------------
+# The engine
+
+class Engine:
+    """Shared session driver: resume, dispatch, collect, save, finalize.
+
+    Args:
+        backend: The execution strategy (an object satisfying
+            :class:`Backend`, usually an :class:`EngineBackend`).
+        config: The run configuration.
+        use_files: Write ``parmonc_data`` result files and save-points;
+            disable for throwaway in-memory estimation.
+    """
+
+    def __init__(self, backend: Backend, config: RunConfig,
+                 use_files: bool = True) -> None:
+        self._backend = backend
+        self.config = config
+        self._use_files = use_files
+        self.routine = None
+        self.collector: Collector | None = None
+        self.telemetry = None
+        self.started = 0.0
+        self._quotas: dict[int, int | None] = {}
+        self._assigned: list[int] = []
+        self._recovered: list[int] = []
+        self._stale_flagged: set[int] = set()
+        self._next_rank = config.processors
+        self._recovery_budget = _RECOVERY_FACTOR * config.processors
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self, routine) -> RunResult:
+        """Run one session; return its :class:`RunResult`.
+
+        Raises:
+            BackendError: When a worker dies under the ``"fail"`` policy,
+                or recovery is impossible under ``"reassign"``.
+        """
+        backend = self._backend
+        config = self.config
+        self.routine = routine
+        self.started = time.monotonic()
+        data, state = start_session(config, self._use_files)
+        telemetry = open_run_telemetry(
+            config, data, backend=backend.name, clock=backend.clock,
+            epoch=backend.telemetry_epoch(self.started))
+        self.telemetry = telemetry
+        collector = Collector(config, state.base, data,
+                              sessions=state.session_index,
+                              persist_subtotals=backend.persist_subtotals,
+                              telemetry=telemetry)
+        self.collector = collector
+        backend.bind(self)
+        collector.mark_epoch(backend.clock())
+        stale_after = (3.0 * config.perpass + 1.0
+                       if config.perpass > 0 else None)
+        flag_stale = (telemetry is not None and stale_after is not None
+                      and getattr(backend, "monitors_staleness", False))
+        self._spawn(backend.plan())
+        drain_started = backend.clock()
+        try:
+            while not (collector.complete or backend.done):
+                message = backend.poll(_POLL_SECONDS)
+                if message is not None:
+                    self.ingest(message, backend.clock())
+                    continue
+                now = backend.clock()
+                deaths = backend.reap()
+                if deaths:
+                    self._handle_deaths(deaths, now)
+                if flag_stale:
+                    self._flag_stale(now, stale_after)
+        finally:
+            backend.shutdown()
+        if telemetry is not None:
+            telemetry.tracer.record("collector.drain", drain_started,
+                                    backend.clock(),
+                                    messages=collector.receive_count)
+        backend.finish()
+        elapsed = time.monotonic() - self.started
+        collector.save(backend.clock(), elapsed=elapsed)
+        merged = collector.merged()
+        if data is not None:
+            finalize_session(data, state, merged)
+            data.clear_processor_snapshots()
+        estimates = merged.estimates() if merged.volume > 0 else None
+        summary = (telemetry.finalize(elapsed=elapsed,
+                                      volume=collector.total_volume,
+                                      virtual_time=backend.virtual_time)
+                   if telemetry is not None else None)
+        return RunResult(
+            estimates=estimates,
+            config=config,
+            per_rank_volumes=backend.per_rank_volumes(
+                collector, tuple(self._assigned)),
+            session_volume=backend.session_volume(collector),
+            total_volume=collector.total_volume,
+            elapsed=elapsed,
+            virtual_time=backend.virtual_time,
+            sessions=state.session_index,
+            data_dir=data.root if data is not None else None,
+            messages_received=collector.receive_count,
+            saves_performed=collector.save_count,
+            history=collector.history,
+            telemetry=summary,
+            recovered_ranks=tuple(self._recovered))
+
+    # -- message path --------------------------------------------------------
+
+    def ingest(self, message: MomentMessage, now: float) -> None:
+        """Deliver one worker message to the collector.
+
+        Backends that bypass :meth:`Backend.poll` (the sequential loop,
+        the cluster simulation's internal delivery) call this directly.
+        """
+        self.collector.receive(message, now)
+        if self._stale_flagged:
+            self._stale_flagged.discard(message.rank)
+        if self.telemetry is not None and message.final:
+            stats = message.metrics or {}
+            self.telemetry.events.append(
+                "worker_final", ts=now, rank=message.rank,
+                volume=message.snapshot.volume,
+                messages=stats.get("messages"),
+                bytes=stats.get("bytes"))
+
+    def _flag_stale(self, now: float, stale_after: float) -> None:
+        for rank in self.collector.stale_workers(now, stale_after):
+            if rank not in self._stale_flagged:
+                self._stale_flagged.add(rank)
+                seen = self.collector.last_seen.get(rank)
+                self.telemetry.events.append(
+                    "stale_worker", ts=now, rank=rank,
+                    last_seen=(seen - self.started
+                               if seen is not None else None))
+
+    # -- work dispatch ---------------------------------------------------------
+
+    def _spawn(self, plan: Sequence[WorkerAssignment]) -> None:
+        extras = self._backend.spawn(plan)
+        if extras is None:
+            extras = [None] * len(plan)
+        for assignment, extra in zip(plan, extras):
+            self._assigned.append(assignment.rank)
+            self._quotas[assignment.rank] = assignment.quota
+            if self.telemetry is not None:
+                fields = dict(extra) if extra else {}
+                if assignment.recovery:
+                    fields["recovery"] = True
+                self.telemetry.events.append(
+                    "worker_start", rank=assignment.rank,
+                    quota=assignment.quota, **fields)
+
+    # -- fault handling ----------------------------------------------------
+
+    def _handle_deaths(self, deaths: Sequence[WorkerDeath],
+                       now: float) -> None:
+        deaths = sorted(deaths, key=lambda death: death.rank)
+        if self.telemetry is not None:
+            for death in deaths:
+                self.telemetry.events.append(
+                    "worker_died", ts=now, rank=death.rank,
+                    exitcode=death.exitcode,
+                    volume=self.collector.worker_volume(death.rank))
+            self.telemetry.events.flush()
+        if self.config.on_worker_death != "reassign":
+            described = ", ".join(death.describe() for death in deaths)
+            raise BackendError(
+                f"worker process(es) died before delivering a final "
+                f"message: {described}")
+        for death in deaths:
+            self._reassign(death, now)
+
+    def _reassign(self, death: WorkerDeath, now: float) -> None:
+        """Reissue a dead worker's undelivered quota on a fresh stream.
+
+        The collector keeps everything the worker delivered up to its
+        last watermark; only the remainder is re-simulated, by a
+        replacement worker on the next unused "processors" subsequence,
+        so the recovered sample never overlaps the substreams the dead
+        worker consumed.
+        """
+        quota = self._quotas.get(death.rank)
+        if quota is None:
+            raise BackendError(
+                f"cannot reassign the quota of dead worker "
+                f"{death.describe()}: its assignment is dynamically "
+                f"scheduled")
+        delivered = self.collector.worker_volume(death.rank)
+        remaining = max(quota - delivered, 0)
+        self.collector.retire_rank(death.rank)
+        self._recovered.append(death.rank)
+        replacement: int | None = None
+        if remaining > 0:
+            if self._recovery_budget <= 0:
+                raise BackendError(
+                    f"worker {death.describe()} died but the recovery "
+                    f"budget ({_RECOVERY_FACTOR} per worker) is "
+                    f"exhausted; the routine appears to kill every "
+                    f"worker it is given")
+            self._recovery_budget -= 1
+            replacement = self._next_rank
+            self._next_rank += 1
+            if replacement >= self.config.leaps.processor_capacity:
+                raise BackendError(
+                    f"no fresh processor subsequence left for recovery "
+                    f"(hierarchy capacity "
+                    f"{self.config.leaps.processor_capacity})")
+            self.collector.expect_rank(replacement, now=now)
+            self._spawn([WorkerAssignment(rank=replacement,
+                                          quota=remaining,
+                                          recovery=True)])
+        if self.telemetry is not None:
+            self.telemetry.worker_recovered(
+                rank=death.rank, replacement=replacement,
+                reassigned=remaining, delivered=delivered, now=now)

@@ -9,6 +9,11 @@ averaging happens, exercising the unequal-``l_m`` branch of formula (5).
 Worker telemetry (when enabled) piggybacks on the moment messages, so
 rank 0 needs no extra IPC channel to know every worker's realization
 rate, message count and bytes shipped.
+
+Dead children are detected here and *reported* to the engine, which
+applies the run's :attr:`~repro.runtime.config.RunConfig
+.on_worker_death` policy — abort (default) or reassign the undelivered
+quota to a replacement process on a fresh subsequence.
 """
 
 from __future__ import annotations
@@ -16,25 +21,23 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import time
+from collections import deque
 
-from repro.exceptions import BackendError
-from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
-from repro.runtime.bootstrap import start_session
-from repro.runtime.collector import Collector
+from repro.obs.telemetry import WorkerTelemetry
 from repro.runtime.config import RunConfig
-from repro.runtime.resume import finalize_session
+from repro.runtime.engine import (
+    Engine,
+    EngineBackend,
+    WorkerDeath,
+    register_backend,
+)
+from repro.runtime.messages import MomentMessage
 from repro.runtime.result import RunResult
-from repro.runtime.telemetry_support import open_run_telemetry
 from repro.runtime.worker import RealizationRoutine, run_worker
 
-__all__ = ["run_multiprocess"]
+__all__ = ["MultiprocessBackend", "run_multiprocess"]
 
-_POLL_SECONDS = 0.05
 _JOIN_SECONDS = 10.0
-#: How long a cleanly-exited child may leave its final message in flight
-#: before the backend declares it dead (queue feeder threads flush fast;
-#: this only bounds the pathological case).
-_DEAD_GRACE_SECONDS = 1.0
 
 
 def _worker_entry(routine: RealizationRoutine, config: RunConfig,
@@ -46,42 +49,108 @@ def _worker_entry(routine: RealizationRoutine, config: RunConfig,
                deadline=deadline, telemetry=telemetry)
 
 
-def _scan_for_dead_workers(workers, collector, suspects: dict[int, float],
-                           now: float, telemetry: RunTelemetry | None
-                           ) -> None:
-    """Raise :class:`BackendError` for children that died short of final.
+@register_backend("multiprocess")
+class MultiprocessBackend(EngineBackend):
+    """One OS process per worker, a shared queue back to the collector.
 
-    A worker that exited with a nonzero code (or a signal) is dead on
-    sight.  A worker that exited *cleanly* but whose final message has
-    not arrived gets a short grace period — its last message may still
-    be crossing the queue's feeder thread — and is declared dead only if
-    the silence persists.
+    Args:
+        start_method: Optional multiprocessing start method override
+            ("fork" keeps closures, "spawn" requires a picklable
+            module-level routine).
     """
-    dead: dict[int, int] = {}
-    for rank, process in enumerate(workers):
-        if process.exitcode is None or rank in collector.final_ranks:
-            suspects.pop(rank, None)
-            continue
-        if process.exitcode != 0:
-            dead[rank] = process.exitcode
-        else:
-            first_seen = suspects.setdefault(rank, now)
-            if now - first_seen >= _DEAD_GRACE_SECONDS:
-                dead[rank] = process.exitcode
-    if not dead:
-        return
-    if telemetry is not None:
-        for rank, exitcode in sorted(dead.items()):
-            telemetry.events.append("worker_died", rank=rank,
-                                    exitcode=exitcode,
-                                    volume=collector.worker_volume(rank))
-        telemetry.events.flush()
-    described = ", ".join(
-        f"rank {rank} (exitcode {exitcode})"
-        for rank, exitcode in sorted(dead.items()))
-    raise BackendError(
-        f"worker process(es) died before delivering a final message: "
-        f"{described}")
+
+    name = "multiprocess"
+    monitors_staleness = True
+
+    def __init__(self, start_method: str | None = None) -> None:
+        super().__init__()
+        self._start_method = start_method
+        self._context = None
+        self._outbox = None
+        self._processes: list = []
+        self._live: dict[int, object] = {}
+        self._suspects: dict[int, float] = {}
+        self._drained: deque[MomentMessage] = deque()
+
+    def spawn(self, assignments) -> list[dict]:
+        if self._context is None:
+            self._context = (
+                multiprocessing.get_context(self._start_method)
+                if self._start_method else multiprocessing.get_context())
+            self._outbox = self._context.Queue()
+        extras = []
+        for assignment in assignments:
+            process = self._context.Process(
+                target=_worker_entry,
+                args=(self.routine, self.config, assignment.rank,
+                      assignment.quota, self._outbox, self.deadline),
+                daemon=True)
+            process.start()
+            self._processes.append(process)
+            self._live[assignment.rank] = process
+            extras.append({"pid": process.pid})
+        return extras
+
+    def poll(self, timeout: float) -> MomentMessage | None:
+        if self._drained:
+            return self._drained.popleft()
+        try:
+            return self._outbox.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def reap(self) -> list[WorkerDeath]:
+        """Report children that died short of their final message.
+
+        A worker that exited with a nonzero code (or a signal) is dead
+        on sight.  A worker that exited *cleanly* but whose final
+        message has not arrived gets ``config.death_grace`` seconds —
+        its last message may still be crossing the queue's feeder
+        thread — and is declared dead only if the silence persists.
+
+        Before judging anyone, the outbox is drained into a local
+        buffer: a slow-but-delivered message must reach the collector
+        before its sender can be declared dead, and must never burn
+        grace time while it sits in the queue.
+        """
+        drained = False
+        while True:
+            try:
+                self._drained.append(self._outbox.get_nowait())
+            except queue_module.Empty:
+                break
+            drained = True
+        if drained:
+            # Let the engine ingest the buffered messages first; death
+            # verdicts resume on the next empty poll.
+            return []
+        now = self.clock()
+        final_ranks = self.collector.final_ranks
+        dead: list[WorkerDeath] = []
+        for rank, process in list(self._live.items()):
+            if process.exitcode is None or rank in final_ranks:
+                self._suspects.pop(rank, None)
+                if process.exitcode is not None:
+                    del self._live[rank]  # finalized and exited: done
+                continue
+            if process.exitcode != 0:
+                dead.append(WorkerDeath(rank, process.exitcode))
+            else:
+                first_seen = self._suspects.setdefault(rank, now)
+                if now - first_seen >= self.config.death_grace:
+                    dead.append(WorkerDeath(rank, process.exitcode))
+        for death in dead:
+            self._live.pop(death.rank, None)
+            self._suspects.pop(death.rank, None)
+        return dead
+
+    def shutdown(self) -> None:
+        for process in self._processes:
+            process.join(timeout=_JOIN_SECONDS)
+            if process.is_alive():
+                process.terminate()
+        if self._outbox is not None:
+            self._outbox.close()
 
 
 def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
@@ -99,99 +168,9 @@ def run_multiprocess(routine: RealizationRoutine, config: RunConfig,
 
     Raises:
         BackendError: If a worker dies without delivering its final
-            message — whether it crashed (nonzero exit, signal) or
-            exited cleanly without finishing its quota.
+            message and ``config.on_worker_death`` is ``"fail"`` —
+            whether it crashed (nonzero exit, signal) or exited cleanly
+            without finishing its quota.
     """
-    started = time.monotonic()
-    data, state = start_session(config, use_files)
-    telemetry = open_run_telemetry(config, data, backend="multiprocess",
-                                   epoch=started)
-    collector = Collector(config, state.base, data,
-                          sessions=state.session_index,
-                          telemetry=telemetry)
-    collector.mark_epoch(started)
-    context = (multiprocessing.get_context(start_method)
-               if start_method else multiprocessing.get_context())
-    outbox = context.Queue()
-    deadline = (started + config.time_limit
-                if config.time_limit is not None else None)
-    workers = []
-    for rank in range(config.processors):
-        process = context.Process(
-            target=_worker_entry,
-            args=(routine, config, rank, config.worker_quota(rank),
-                  outbox, deadline),
-            daemon=True)
-        process.start()
-        workers.append(process)
-        if telemetry is not None:
-            telemetry.events.append("worker_start", rank=rank,
-                                    quota=config.worker_quota(rank),
-                                    pid=process.pid)
-    suspects: dict[int, float] = {}
-    stale_flagged: set[int] = set()
-    stale_after = (3.0 * config.perpass + 1.0
-                   if config.perpass > 0 else None)
-    drain_started = time.monotonic()
-    try:
-        while not collector.complete:
-            try:
-                message = outbox.get(timeout=_POLL_SECONDS)
-            except queue_module.Empty:
-                now = time.monotonic()
-                _scan_for_dead_workers(workers, collector, suspects, now,
-                                       telemetry)
-                if telemetry is not None and stale_after is not None:
-                    for rank in collector.stale_workers(now, stale_after):
-                        if rank not in stale_flagged:
-                            stale_flagged.add(rank)
-                            seen = collector.last_seen.get(rank)
-                            telemetry.events.append(
-                                "stale_worker", ts=now, rank=rank,
-                                last_seen=(seen - started
-                                           if seen is not None else None))
-                continue
-            now = time.monotonic()
-            collector.receive(message, now)
-            stale_flagged.discard(message.rank)
-            if telemetry is not None and message.final:
-                stats = message.metrics or {}
-                telemetry.events.append(
-                    "worker_final", ts=now, rank=message.rank,
-                    volume=message.snapshot.volume,
-                    messages=stats.get("messages"),
-                    bytes=stats.get("bytes"))
-    finally:
-        for process in workers:
-            process.join(timeout=_JOIN_SECONDS)
-            if process.is_alive():
-                process.terminate()
-        outbox.close()
-    if telemetry is not None:
-        telemetry.tracer.record("collector.drain", drain_started,
-                                time.monotonic(),
-                                messages=collector.receive_count)
-    elapsed = time.monotonic() - started
-    collector.save(time.monotonic(), elapsed=elapsed)
-    merged = collector.merged()
-    if data is not None:
-        finalize_session(data, state, merged)
-        data.clear_processor_snapshots()
-    per_rank = {rank: collector.worker_volume(rank)
-                for rank in range(config.processors)}
-    summary = (telemetry.finalize(elapsed=elapsed,
-                                  volume=collector.total_volume)
-               if telemetry is not None else None)
-    return RunResult(
-        estimates=merged.estimates(),
-        config=config,
-        per_rank_volumes=per_rank,
-        session_volume=collector.session_volume,
-        total_volume=collector.total_volume,
-        elapsed=elapsed,
-        sessions=state.session_index,
-        data_dir=data.root if data is not None else None,
-        messages_received=collector.receive_count,
-        saves_performed=collector.save_count,
-        history=collector.history,
-        telemetry=summary)
+    return Engine(MultiprocessBackend(start_method=start_method), config,
+                  use_files=use_files).run(routine)

@@ -38,6 +38,9 @@ class RunResult:
             messages, bytes, compute vs idle seconds, artifact
             directory); None unless the run enabled telemetry.  The full
             record lives under ``parmonc_data/telemetry/``.
+        recovered_ranks: Ranks that died mid-run and had their remaining
+            quota reassigned to a replacement worker (empty unless
+            ``config.on_worker_death == "reassign"`` kicked in).
     """
 
     estimates: Estimates | None
@@ -53,6 +56,7 @@ class RunResult:
     saves_performed: int = 0
     history: tuple[tuple[float, int, float], ...] = ()
     telemetry: dict | None = None
+    recovered_ranks: tuple[int, ...] = ()
 
     def __str__(self) -> str:
         timing = (f"T_comp={self.virtual_time:.3f}s (virtual)"

@@ -10,17 +10,67 @@ the same configuration.
 from __future__ import annotations
 
 import time
+from collections import deque
 
-from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
-from repro.runtime.bootstrap import start_session
-from repro.runtime.collector import Collector
+from repro.obs.telemetry import WorkerTelemetry
 from repro.runtime.config import RunConfig
-from repro.runtime.resume import finalize_session
+from repro.runtime.engine import (
+    Engine,
+    EngineBackend,
+    WorkerAssignment,
+    register_backend,
+)
+from repro.runtime.messages import MomentMessage
 from repro.runtime.result import RunResult
-from repro.runtime.telemetry_support import open_run_telemetry
 from repro.runtime.worker import RealizationRoutine, run_worker
 
-__all__ = ["run_sequential"]
+__all__ = ["SequentialBackend", "run_sequential"]
+
+
+@register_backend("sequential")
+class SequentialBackend(EngineBackend):
+    """Run every worker inline, one after another, on this thread.
+
+    Messages bypass :meth:`poll` entirely: the worker's ``send`` feeds
+    :meth:`Engine.ingest` directly, so the collector sees each data
+    pass the instant it is shipped and the hot loop pays no queueing.
+    """
+
+    name = "sequential"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: deque[WorkerAssignment] = deque()
+
+    def spawn(self, assignments) -> None:
+        self._pending.extend(assignments)
+        return None
+
+    def poll(self, timeout: float) -> MomentMessage | None:
+        """Run the next queued worker to completion; always returns None."""
+        if not self._pending:
+            self._done = True
+            return None
+        assignment = self._pending.popleft()
+        engine = self.engine
+        telemetry = engine.telemetry
+        worker_telemetry = (WorkerTelemetry(assignment.rank)
+                            if telemetry is not None else None)
+        worker_started = time.monotonic()
+        accumulator = run_worker(
+            self.routine, self.config, assignment.rank, assignment.quota,
+            send=lambda message: engine.ingest(message, time.monotonic()),
+            deadline=self.deadline, telemetry=worker_telemetry)
+        if telemetry is not None:
+            telemetry.tracer.record("worker.run", worker_started,
+                                    time.monotonic(), rank=assignment.rank,
+                                    volume=accumulator.volume)
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            # Job time limit: drop the not-yet-started workers, exactly
+            # like the batch system would cancel the remaining ranks.
+            self._pending.clear()
+            self._done = True
+        return None
 
 
 def run_sequential(routine: RealizationRoutine, config: RunConfig,
@@ -36,58 +86,5 @@ def run_sequential(routine: RealizationRoutine, config: RunConfig,
     Returns:
         The session's :class:`~repro.runtime.result.RunResult`.
     """
-    started = time.monotonic()
-    data, state = start_session(config, use_files)
-    telemetry: RunTelemetry | None = open_run_telemetry(
-        config, data, backend="sequential", epoch=started)
-    collector = Collector(config, state.base, data,
-                          sessions=state.session_index,
-                          telemetry=telemetry)
-    deadline = (started + config.time_limit
-                if config.time_limit is not None else None)
-    per_rank: dict[int, int] = {}
-    for rank in range(config.processors):
-        worker_telemetry = (WorkerTelemetry(rank)
-                            if telemetry is not None else None)
-        if telemetry is not None:
-            telemetry.events.append("worker_start", rank=rank,
-                                    quota=config.worker_quota(rank))
-        worker_started = time.monotonic()
-        accumulator = run_worker(
-            routine, config, rank, config.worker_quota(rank),
-            send=lambda message: collector.receive(message,
-                                                   time.monotonic()),
-            deadline=deadline, telemetry=worker_telemetry)
-        per_rank[rank] = accumulator.volume
-        if telemetry is not None:
-            telemetry.tracer.record("worker.run", worker_started,
-                                    time.monotonic(), rank=rank,
-                                    volume=accumulator.volume)
-            telemetry.events.append(
-                "worker_final", rank=rank, volume=accumulator.volume,
-                messages=worker_telemetry.messages,
-                bytes=worker_telemetry.bytes_sent)
-        if deadline is not None and time.monotonic() >= deadline:
-            break
-    elapsed = time.monotonic() - started
-    collector.save(time.monotonic(), elapsed=elapsed)
-    merged = collector.merged()
-    if data is not None:
-        finalize_session(data, state, merged)
-        data.clear_processor_snapshots()
-    summary = (telemetry.finalize(elapsed=elapsed,
-                                  volume=collector.total_volume)
-               if telemetry is not None else None)
-    return RunResult(
-        estimates=merged.estimates(),
-        config=config,
-        per_rank_volumes=per_rank,
-        session_volume=collector.session_volume,
-        total_volume=collector.total_volume,
-        elapsed=elapsed,
-        sessions=state.session_index,
-        data_dir=data.root if data is not None else None,
-        messages_received=collector.receive_count,
-        saves_performed=collector.save_count,
-        history=collector.history,
-        telemetry=summary)
+    return Engine(SequentialBackend(), config, use_files=use_files) \
+        .run(routine)

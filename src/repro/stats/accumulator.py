@@ -9,7 +9,7 @@ collector is an exact sum — no precision is lost by averaging averages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from repro.apps.sde import (
     simulate_general_trajectory,
 )
 from repro.exceptions import ConfigurationError
-from repro.rng.streams import StreamTree
 
 
 @pytest.fixture

@@ -12,7 +12,6 @@ from repro import parmonc
 from repro.apps import finance, integration, ising, population, queueing, \
     transport
 from repro.exceptions import ConfigurationError
-from repro.rng.streams import StreamTree
 
 
 def estimate(realization, nrow=1, ncol=1, maxsv=4000, processors=2):

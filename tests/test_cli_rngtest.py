@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cli.rngtest import certify, main as rngtest_main
 from repro.rng.multiplier import LeapSet

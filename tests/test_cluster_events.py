@@ -22,7 +22,7 @@ class TestEventQueue:
         queue = EventQueue()
         fired = []
         for label in "abcde":
-            queue.schedule(1.0, lambda t, l=label: fired.append(l))
+            queue.schedule(1.0, lambda t, name=label: fired.append(name))
         queue.run()
         assert fired == list("abcde")
 

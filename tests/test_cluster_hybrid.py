@@ -104,7 +104,8 @@ class TestHybridSimulation:
         assert weighted.virtual_time < even.virtual_time / 5
 
     def test_estimates_unaffected_by_hardware(self):
-        routine = lambda rng: rng.random()
+        def routine(rng):
+            return rng.random()
         cpu = simulate(128, 2, tau=1.0, routine=routine, execute=True)
         gpu = simulate(128, 2, tau=1.0, routine=routine, execute=True,
                        accelerators=(Accelerator(batch=16),

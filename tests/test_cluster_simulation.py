@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.cluster.machine import DurationModel
-from repro.cluster.network import NetworkModel
 from repro.cluster.simulation import ClusterSimulation, ClusterSpec
 from repro.exceptions import ConfigurationError
 from repro.runtime.collector import Collector

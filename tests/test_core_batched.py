@@ -8,7 +8,6 @@ import pytest
 from repro import parmonc
 from repro.core import batched_realization
 from repro.exceptions import ConfigurationError
-from repro.rng.streams import StreamTree
 
 
 class TestBatchedRealization:
@@ -29,7 +28,8 @@ class TestBatchedRealization:
         assert ratio == pytest.approx(20.0, rel=0.3)
 
     def test_batch_of_one_is_identity(self, tree):
-        routine = lambda rng: rng.random()
+        def routine(rng):
+            return rng.random()
         wrapped = batched_realization(routine, 1)
         assert wrapped(tree.rng(0, 0, 3)) \
             == routine(tree.rng(0, 0, 3))

@@ -11,7 +11,6 @@ import re
 import tomllib
 from pathlib import Path
 
-import pytest
 
 ROOT = Path(__file__).parent.parent
 

@@ -18,7 +18,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.rng.lcg128 import Lcg128
-from repro.rng.multiplier import MODULUS, STATE_MASK
+from repro.rng.multiplier import STATE_MASK
 from repro.rng.streams import StreamTree
 from repro.rng.vectorized import generate_block
 from repro.runtime.collector import Collector

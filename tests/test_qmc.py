@@ -22,7 +22,6 @@ from repro.qmc import (
     rqmc_lattice_realization,
     shifted_batch_mean,
 )
-from repro.rng.streams import StreamTree
 
 
 class TestRadicalInverse:

@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.exceptions import ConfigurationError
 from repro.rng.multiplier import BASE_MULTIPLIER, MODULUS
 from repro.rng.spectral import (
-    HERMITE_CONSTANTS,
     dual_lattice_basis,
     gauss_reduce,
     lll_reduce,

@@ -1,0 +1,440 @@
+"""Tests for the unified engine: registry, parity, fault recovery.
+
+The engine owns the session lifecycle for every backend, so the
+headline properties are (a) the registry is the single source of
+backend names, (b) all three backends stay bit-identical through the
+shared driver, and (c) ``on_worker_death="reassign"`` completes a run
+whose worker died mid-flight, with the estimate intact.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from collections import deque
+
+import pytest
+
+from repro.cluster.machine import DurationModel
+from repro.cluster.simulation import ClusterSpec
+from repro.core.parmonc import parmonc
+from repro.exceptions import BackendError, ConfigurationError
+from repro.obs.events import read_events
+from repro.obs.telemetry import RunTelemetry
+from repro.runtime import engine as engine_module
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.engine import (
+    EngineBackend,
+    WorkerAssignment,
+    WorkerDeath,
+    available_backends,
+    create_backend,
+    register_backend,
+    register_lazy_backend,
+)
+from repro.runtime.messages import MomentMessage
+from repro.runtime.multiprocess import MultiprocessBackend
+from repro.runtime.sequential import SequentialBackend
+from repro.stats.accumulator import MomentAccumulator, MomentSnapshot
+
+
+def square(rng):
+    return rng.random() ** 2
+
+
+def make_crasher(flag_path):
+    """A routine whose 5th call hard-kills its process — once, run-wide.
+
+    The flag file is created with ``O_EXCL``, so across every worker
+    process exactly one wins the race and dies; replacements (and the
+    surviving workers) see the flag and keep computing.  Requires the
+    ``fork`` start method (closure over the path).
+    """
+    calls = {"n": 0}
+
+    def routine(rng):
+        calls["n"] += 1
+        if calls["n"] == 5:
+            try:
+                flag_path.touch(exist_ok=False)
+            except FileExistsError:
+                pass
+            else:
+                os._exit(5)
+        return rng.random()
+
+    return routine
+
+
+def make_clean_quitter(flag_path):
+    """Like :func:`make_crasher` but exits with code 0 (no final message)."""
+    calls = {"n": 0}
+
+    def routine(rng):
+        calls["n"] += 1
+        if calls["n"] == 3:
+            try:
+                flag_path.touch(exist_ok=False)
+            except FileExistsError:
+                pass
+            else:
+                os._exit(0)
+        return rng.random()
+
+    return routine
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+class TestRegistry:
+    def test_builtin_backends_registered_in_order(self):
+        assert available_backends() == ("sequential", "multiprocess",
+                                        "simcluster")
+
+    def test_parmonc_backends_mirror_registry(self):
+        from repro.core.parmonc import BACKENDS
+        assert BACKENDS == available_backends()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("sequential", lambda: None)
+        # The failed attempt must not corrupt the registry.
+        assert isinstance(create_backend("sequential"), SequentialBackend)
+
+    def test_reregistering_same_factory_is_noop(self):
+        assert register_backend("sequential",
+                                SequentialBackend) is SequentialBackend
+
+    def test_lazy_registration_never_shadows(self):
+        register_lazy_backend("sequential", "no.such.module")
+        assert isinstance(create_backend("sequential"), SequentialBackend)
+
+    def test_unknown_backend_rejected_with_choices(self):
+        with pytest.raises(ConfigurationError, match="sequential"):
+            create_backend("quantum")
+
+    def test_parmonc_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            parmonc(square, maxsv=4, workdir=tmp_path, backend="quantum")
+
+    def test_third_party_backend_plugs_in(self):
+        class ToyBackend(EngineBackend):
+            name = "toy"
+
+            def __init__(self, knob: int = 0) -> None:
+                super().__init__()
+                self.knob = knob
+
+        register_backend("toy", ToyBackend)
+        try:
+            assert "toy" in available_backends()
+            # Foreign options are filtered; its own knob passes through.
+            backend = create_backend("toy", knob=7, start_method="fork")
+            assert backend.knob == 7
+        finally:
+            engine_module._FACTORIES.pop("toy", None)
+
+    def test_option_filtering(self):
+        backend = create_backend("multiprocess", start_method="fork",
+                                 cluster_spec=ClusterSpec())
+        assert isinstance(backend, MultiprocessBackend)
+
+    def test_assignment_validation(self):
+        with pytest.raises(ConfigurationError, match="rank"):
+            WorkerAssignment(-1, 5)
+        with pytest.raises(ConfigurationError, match="quota"):
+            WorkerAssignment(0, -5)
+
+    def test_death_describes_detail_over_exitcode(self):
+        assert WorkerDeath(1, 3).describe() == "rank 1 (exitcode 3)"
+        assert WorkerDeath(2, None, detail="node lost").describe() \
+            == "rank 2 (node lost)"
+
+
+# ---------------------------------------------------------------------------
+# Backend parity through the shared engine
+
+
+class TestBackendParity:
+    def _run(self, backend, tmp_path, **kwargs):
+        return parmonc(square, maxsv=60, perpass=0.0, peraver=0.0,
+                       processors=3, backend=backend,
+                       workdir=tmp_path / backend, **kwargs)
+
+    def test_estimates_bit_identical(self, tmp_path):
+        results = {name: self._run(name, tmp_path)
+                   for name in available_backends()}
+        reference = results["sequential"].estimates
+        for name, result in results.items():
+            assert result.total_volume == 60, name
+            assert result.estimates.mean[0, 0] == reference.mean[0, 0], name
+            assert (result.estimates.variance[0, 0]
+                    == reference.variance[0, 0]), name
+
+    def test_resumed_sessions_bit_identical(self, tmp_path):
+        merged = {}
+        for name in available_backends():
+            self._run(name, tmp_path)
+            resumed = parmonc(square, maxsv=60, res=1, seqnum=1,
+                              perpass=0.0, peraver=0.0, processors=3,
+                              backend=name, workdir=tmp_path / name)
+            assert resumed.sessions == 2
+            assert resumed.total_volume == 120
+            merged[name] = resumed.estimates.mean[0, 0]
+        assert len(set(merged.values())) == 1
+
+    def test_batched_runs_bit_identical(self, tmp_path):
+        scalar = self._run("sequential", tmp_path / "scalar")
+        for name in available_backends():
+            batched = parmonc(square, maxsv=60, perpass=0.0, peraver=0.0,
+                              processors=3, backend=name, batch_size=8,
+                              workdir=tmp_path / "batched" / name)
+            assert (batched.estimates.mean[0, 0]
+                    == scalar.estimates.mean[0, 0]), name
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant quota reassignment
+
+
+class TestMultiprocessReassignment:
+    def test_crashed_worker_quota_is_reassigned(self, tmp_path):
+        routine = make_crasher(tmp_path / "crashed.flag")
+        result = parmonc(routine, maxsv=40, perpass=0.0, peraver=0.0,
+                         processors=2, backend="multiprocess",
+                         start_method="fork", telemetry=True,
+                         on_worker_death="reassign", workdir=tmp_path)
+        # Full realization count despite the mid-run crash.
+        assert result.total_volume == 40
+        assert len(result.recovered_ranks) == 1
+        # The estimate stays a genuine uniform mean.
+        assert abs(result.estimates.mean[0, 0] - 0.5) \
+            < 5 * result.estimates.abs_error_max
+        events = list(read_events(tmp_path / "parmonc_data" / "telemetry"
+                                  / "events.jsonl"))
+        kinds = {event.kind for event in events}
+        assert {"worker_died", "worker_recovered"} <= kinds
+        recovered = [e for e in events if e.kind == "worker_recovered"]
+        assert recovered[0].fields["rank"] == result.recovered_ranks[0]
+        assert recovered[0].fields["reassigned"] > 0
+        # The replacement runs on a rank beyond the configured M.
+        starts = [e for e in events if e.kind == "worker_start"
+                  and e.fields.get("recovery")]
+        assert starts and starts[0].fields["rank"] >= 2
+
+    def test_default_policy_still_fails(self, tmp_path):
+        routine = make_crasher(tmp_path / "crashed.flag")
+        with pytest.raises(BackendError, match="exitcode 5"):
+            parmonc(routine, maxsv=40, perpass=0.0, peraver=0.0,
+                    processors=2, backend="multiprocess",
+                    start_method="fork", workdir=tmp_path)
+
+    def test_clean_exit_without_final_honours_death_grace(self, tmp_path):
+        routine = make_clean_quitter(tmp_path / "quit.flag")
+        with pytest.raises(BackendError, match="exitcode 0"):
+            parmonc(routine, maxsv=4000, perpass=0.5, peraver=0.0,
+                    processors=2, backend="multiprocess",
+                    start_method="fork", death_grace=0.2,
+                    workdir=tmp_path)
+
+
+class TestSimclusterReassignment:
+    def _spec(self):
+        return ClusterSpec(duration_model=DurationModel(mean=1.0),
+                           failures={1: 2.5})
+
+    def test_injected_failure_recovers_deterministically(self, tmp_path):
+        result = parmonc(square, maxsv=30, perpass=0.0, peraver=0.0,
+                         processors=3, backend="simcluster",
+                         cluster_spec=self._spec(),
+                         on_worker_death="reassign", workdir=tmp_path)
+        assert result.recovered_ranks == (1,)
+        # Rank 1 delivered 2 realizations before t=2.5; the remaining 8
+        # of its 10-realization quota ran on replacement rank 3.
+        assert result.total_volume == 30
+        assert result.per_rank_volumes[1] == 2
+        assert result.per_rank_volumes[3] == 8
+        assert result.virtual_time > 2.5
+
+    def test_default_policy_loses_the_tail(self, tmp_path):
+        result = parmonc(square, maxsv=30, perpass=0.0, peraver=0.0,
+                         processors=3, backend="simcluster",
+                         cluster_spec=self._spec(), workdir=tmp_path)
+        assert result.recovered_ranks == ()
+        assert result.total_volume < 30
+
+    def test_dynamic_scheduling_cannot_reassign(self, tmp_path):
+        from repro.runtime.simcluster import run_simcluster
+        config = RunConfig(maxsv=30, processors=3, perpass=0.0,
+                           peraver=0.0, workdir=tmp_path,
+                           on_worker_death="reassign")
+        with pytest.raises(BackendError, match="dynamically scheduled"):
+            run_simcluster(square, config, spec=self._spec(),
+                           scheduling="dynamic")
+
+
+# ---------------------------------------------------------------------------
+# Dead-worker detection details
+
+
+class _FakeOutbox:
+    def __init__(self, items):
+        self._items = deque(items)
+
+    def get_nowait(self):
+        if not self._items:
+            raise queue.Empty
+        return self._items.popleft()
+
+
+class _FakeProcess:
+    exitcode = 0
+
+
+def _snapshot(volume: int) -> MomentSnapshot:
+    accumulator = MomentAccumulator(1, 1)
+    for _ in range(volume):
+        accumulator.add(0.5)
+    return accumulator.snapshot()
+
+
+class TestDeadWorkerDetection:
+    def _backend(self, queued, death_grace=0.0):
+        config = RunConfig(maxsv=4, processors=1,
+                           death_grace=death_grace)
+        backend = MultiprocessBackend()
+        backend.config = config
+        backend.collector = Collector(config, _snapshot(0), data=None)
+        backend._outbox = _FakeOutbox(queued)
+        backend._live = {0: _FakeProcess()}
+        return backend
+
+    def test_reap_drains_queued_messages_before_verdict(self):
+        message = MomentMessage(rank=0, snapshot=_snapshot(4),
+                                sent_at=0.0, final=True)
+        backend = self._backend([message])
+        # First reap only drains: the exited process gets no verdict
+        # while its delivered message is still in flight.
+        assert backend.reap() == []
+        assert backend.poll(0.0) is message
+
+    def test_reap_declares_silent_exited_worker_dead(self):
+        backend = self._backend([])
+        deaths = backend.reap()
+        assert [death.rank for death in deaths] == [0]
+        assert deaths[0].exitcode == 0
+
+    def test_finalized_worker_is_never_a_suspect(self):
+        message = MomentMessage(rank=0, snapshot=_snapshot(4),
+                                sent_at=0.0, final=True)
+        backend = self._backend([message])
+        backend.reap()
+        backend.collector.receive(backend.poll(0.0), now=0.0)
+        assert backend.reap() == []
+
+
+# ---------------------------------------------------------------------------
+# Configuration and CLI plumbing
+
+
+class TestPolicyConfiguration:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="on_worker_death"):
+            RunConfig(maxsv=1, on_worker_death="retry")
+
+    def test_negative_death_grace_rejected(self):
+        with pytest.raises(ConfigurationError, match="death_grace"):
+            RunConfig(maxsv=1, death_grace=-0.1)
+
+    def test_cli_accepts_fault_flags(self):
+        from repro.cli.run import build_parser
+        args = build_parser().parse_args(
+            ["mod:fn", "--maxsv", "10", "--on-worker-death", "reassign",
+             "--death-grace", "0.5"])
+        assert args.on_worker_death == "reassign"
+        assert args.death_grace == 0.5
+
+    def test_cli_rejects_unknown_policy(self, capsys):
+        from repro.cli.run import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mod:fn", "--maxsv", "10", "--on-worker-death", "retry"])
+
+
+# ---------------------------------------------------------------------------
+# Collector retire/expect semantics
+
+
+class TestCollectorRetirement:
+    def _collector(self, processors=2):
+        config = RunConfig(maxsv=8, processors=processors)
+        return Collector(config, _snapshot(0), data=None)
+
+    def test_retire_unknown_rank_rejected(self):
+        with pytest.raises(ConfigurationError, match="retire"):
+            self._collector().retire_rank(7)
+
+    def test_late_message_from_retired_rank_dropped(self):
+        collector = self._collector()
+        collector.receive(MomentMessage(rank=1, snapshot=_snapshot(2),
+                                        sent_at=0.0, final=False), now=0.0)
+        collector.retire_rank(1)
+        kept = collector.worker_volume(1)
+        accepted = collector.receive(
+            MomentMessage(rank=1, snapshot=_snapshot(3), sent_at=1.0,
+                          final=True), now=1.0)
+        assert accepted is False
+        assert collector.late_count == 1
+        # The pre-death watermark survives; the late update does not.
+        assert collector.worker_volume(1) == kept == 2
+
+    def test_completion_follows_expected_set(self):
+        collector = self._collector()
+        collector.receive(MomentMessage(rank=0, snapshot=_snapshot(4),
+                                        sent_at=0.0, final=True), now=0.0)
+        assert not collector.complete
+        collector.retire_rank(1)
+        collector.expect_rank(5, now=0.0)
+        assert not collector.complete
+        collector.receive(MomentMessage(rank=5, snapshot=_snapshot(4),
+                                        sent_at=1.0, final=True), now=1.0)
+        assert collector.complete
+        assert collector.expected_ranks == frozenset({0, 5})
+
+    def test_expect_duplicate_rank_rejected(self):
+        collector = self._collector()
+        with pytest.raises(ConfigurationError, match="already tracked"):
+            collector.expect_rank(0)
+        collector.retire_rank(1)
+        with pytest.raises(ConfigurationError, match="already tracked"):
+            collector.expect_rank(1)
+
+    def test_replacement_staleness_anchored_at_spawn_time(self):
+        collector = self._collector()
+        collector.mark_epoch(0.0)
+        collector.retire_rank(1)
+        collector.expect_rank(5, now=100.0)
+        # Judged from its spawn time, not the session epoch.
+        assert 5 not in collector.stale_workers(now=100.5, threshold=1.0)
+        assert 5 in collector.stale_workers(now=102.0, threshold=1.0)
+
+
+class TestRecoveryTelemetry:
+    def test_worker_recovered_event_and_counters(self):
+        telemetry = RunTelemetry(clock=lambda: 3.0)
+        telemetry.worker_recovered(rank=1, replacement=4, reassigned=8,
+                                   delivered=2, now=3.0)
+        events = [e for e in telemetry.events.events
+                  if e.kind == "worker_recovered"]
+        assert events[0].fields == {"rank": 1, "replacement": 4,
+                                    "reassigned": 8, "delivered": 2}
+        snapshot = telemetry.registry.snapshot().to_dict()
+        assert snapshot["counters"]["engine.worker_recoveries"] == 1
+        assert snapshot["counters"]["engine.reassigned_realizations"] == 8
+        summary = telemetry.finalize(elapsed=1.0, volume=10)
+        assert summary is not None
+        assert (telemetry.registry.snapshot().to_dict()["gauges"]
+                ["run.recovered_workers"]) == 1

@@ -5,7 +5,6 @@ from __future__ import annotations
 import time
 
 import numpy as np
-import pytest
 
 from repro import parmonc
 from repro.runtime.config import RunConfig

@@ -9,7 +9,6 @@ import pytest
 
 from repro.apps.finance import EuropeanOption, make_realization
 from repro.exceptions import ConfigurationError
-from repro.rng.streams import StreamTree
 from repro.stats import CovarianceAccumulator
 
 

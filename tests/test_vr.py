@@ -86,7 +86,8 @@ class TestControlVariate:
         assert 1.0 < beta < 2.5
 
     def test_adjusted_estimator_unbiased_and_tighter(self):
-        control = lambda rng: rng.random()
+        def control(rng):
+            return rng.random()
         beta, _ = fit_control_coefficient(exp_realization, control)
         adjusted = control_variate_realization(
             exp_realization, control, 0.5, beta)
@@ -169,7 +170,8 @@ class TestImportance:
     def test_perfectly_matched_proposal_zero_variance(self):
         # Integrand proportional to the proposal density => constant
         # weights => zero variance.
-        integrand = lambda x: 3.0 * x * x
+        def integrand(x):
+            return 3.0 * x * x
         wrapped = importance_realization(integrand,
                                          polynomial_proposal(2.0))
         estimates = estimate(wrapped, maxsv=500)
@@ -184,7 +186,8 @@ class TestImportance:
             <= 3 * estimates.abs_error[0, 0] + 1e-9
 
     def test_exponential_proposal_reduces_variance_for_decaying_f(self):
-        integrand = lambda x: math.exp(-8.0 * x)
+        def integrand(x):
+            return math.exp(-8.0 * x)
         plain = estimate(lambda rng: integrand(rng.random()),
                          maxsv=10_000)
         weighted = estimate(
