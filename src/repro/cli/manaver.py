@@ -6,6 +6,11 @@ per-processor save-points (plus the previous sessions' merged
 save-point, if any) and rewrites the result files so that no simulated
 realization is lost.
 
+Recovery is best-effort by design: a torn or checksum-failing artifact
+is quarantined (renamed ``*.corrupt``) and skipped with a warning, so
+one bad file never costs the realizations every other file still
+holds.  Stale ``*.tmp`` files stranded by the crash are swept first.
+
 Usage::
 
     $ manaver [--workdir DIR]
@@ -14,12 +19,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 
-import re
-
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ResumeError
 from repro.runtime.files import DataDirectory
 from repro.stats.merging import merge_snapshots
 
@@ -46,30 +50,53 @@ def _registry_seqnums(data: DataDirectory) -> set[int]:
 def manual_average(workdir: Path) -> dict:
     """Merge save-points under ``workdir`` and rewrite result files.
 
-    Returns a summary dict: total volume, processors recovered, and
-    whether a previous-session base was included.
+    Returns a summary dict: total volume, processors recovered, whether
+    a previous-session base was included, quarantined artifacts, and
+    any recovery warnings.
 
     Raises:
-        ReproError: When no save-points exist at all.
+        ReproError: When no usable save-points exist at all.
     """
     data = DataDirectory(workdir)
+    data.sweep_temp_files()
+    quarantined_before = len(data.quarantined_files())
+    warnings: list[str] = []
     snapshots = []
     base_included = False
-    sessions = 1
+    meta = None
     if data.has_savepoint():
-        base, meta = data.load_savepoint()
-        snapshots.append(base)
-        base_included = True
-        sessions = meta.sessions
-    processor_snapshots = data.load_processor_snapshots()
-    snapshots.extend(processor_snapshots.values())
+        try:
+            base, meta = data.load_savepoint()
+        except ResumeError as exc:
+            # The merged base is torn (load_savepoint quarantined it);
+            # the per-processor subtotals are still recoverable.
+            warnings.append(f"merged save-point unusable, skipped: {exc}")
+        else:
+            snapshots.append(base)
+            base_included = True
+    # Subtotals already folded into the merged base (crash between the
+    # save-point rename and the subtotal cleanup) must not be merged a
+    # second time — their session tag says who absorbed them.
+    absorbed = meta.sessions if base_included else None
+    processor_snapshots = data.load_processor_snapshots(
+        absorbed_sessions=absorbed)
+    snapshots.extend(snapshot for _, snapshot
+                     in sorted(processor_snapshots.items()))
+    quarantined = len(data.quarantined_files()) - quarantined_before
+    if quarantined:
+        warnings.append(
+            f"{quarantined} corrupt artifact(s) quarantined as *.corrupt "
+            f"and excluded from the recovered sample")
     if not snapshots:
         raise ReproError(
             f"no save-points found under {data.root}; nothing to average")
-    if processor_snapshots:
-        # The subtotals belong to a session that never finalized;
-        # count it.
-        sessions += 1 if base_included else 0
+    # Session accounting: finalized sessions live in the save-point
+    # meta; subtotals belong to a session that never finalized; and the
+    # registry has one line per *started* experiment, which also covers
+    # crashed sessions that left neither a base nor subtotals.
+    sessions = (meta.sessions if base_included else 0)
+    sessions += 1 if processor_snapshots else 0
+    sessions = max(sessions, len(data.read_registry()), 1)
     merged = merge_snapshots(snapshots)
     if merged.volume == 0:
         raise ReproError(
@@ -79,18 +106,29 @@ def manual_average(workdir: Path) -> dict:
     used = set(meta.used_seqnums) if base_included else set()
     used |= _registry_seqnums(data)
     seqnum = max(used) if used else -1
+    # Processor count: the crashed session's subtotals when present,
+    # else the count the save-point manifest recorded for its session —
+    # never a misleading 0 just because every subtotal was absorbed.
+    manifest = meta.manifest if meta is not None else None
+    processors = len(processor_snapshots)
+    if processors == 0 and meta is not None and meta.processors:
+        processors = meta.processors
     data.write_results(merged.estimates(), seqnum=seqnum,
-                       processors=len(processor_snapshots),
+                       processors=processors,
                        sessions=sessions)
     # Persist the recovered total so a later res=1 session resumes from
-    # the *full* sample, then drop the now-absorbed subtotals.
+    # the *full* sample, then drop the now-absorbed subtotals.  The
+    # previous manifest rides along so the leap-parameter guard keeps
+    # protecting future resumes.
     data.save_savepoint(merged, used_seqnums=tuple(sorted(used)),
-                        sessions=sessions)
+                        sessions=sessions, manifest=manifest)
     data.clear_processor_snapshots()
     return {
         "volume": merged.volume,
         "processors_recovered": len(processor_snapshots),
         "base_included": base_included,
+        "quarantined": quarantined,
+        "warnings": warnings,
         "results_dir": data.results_dir,
     }
 
@@ -116,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"manaver: error: {exc}", file=sys.stderr)
         return 2
+    for warning in summary["warnings"]:
+        print(f"manaver: warning: {warning}", file=sys.stderr)
     print(f"recovered {summary['volume']} realizations from "
           f"{summary['processors_recovered']} processor save-point(s)"
           + (" plus the previous sessions' base"

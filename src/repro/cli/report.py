@@ -81,21 +81,37 @@ def render_report(workdir: Path, rows: int = 5,
         if len(registry) > 5:
             lines.append(f"  ... ({len(registry) - 5} earlier entries)")
     lines.append("")
+    absorbed = None
     if data.has_savepoint():
-        snapshot, meta = data.load_savepoint()
-        lines.append(
-            f"resumable: yes — merged save-point holds "
-            f"{snapshot.volume} realizations over {meta.sessions} "
-            f"session(s); next free seqnum is "
-            f"{max(meta.used_seqnums) + 1 if meta.used_seqnums else 0}")
+        try:
+            snapshot, meta = data.load_savepoint()
+        except ResumeError as exc:
+            lines.append(f"resumable: no — merged save-point is corrupt "
+                         f"and was quarantined ({exc})")
+        else:
+            absorbed = meta.sessions
+            lines.append(
+                f"resumable: yes — merged save-point holds "
+                f"{snapshot.volume} realizations over {meta.sessions} "
+                f"session(s); next free seqnum is "
+                f"{max(meta.used_seqnums) + 1 if meta.used_seqnums else 0}")
     else:
         lines.append("resumable: no merged save-point present")
-    pending = data.load_processor_snapshots()
+    pending = data.load_processor_snapshots(absorbed_sessions=absorbed)
     if pending:
         recoverable = sum(s.volume for s in pending.values())
         lines.append(
             f"NOTE: {len(pending)} processor save-point(s) with "
             f"{recoverable} realizations await `manaver` recovery")
+    quarantined = data.quarantined_files()
+    if quarantined:
+        lines.append(
+            f"WARNING: {len(quarantined)} quarantined artifact(s) "
+            f"(*.corrupt) under {data.root}:")
+        for path in quarantined[:5]:
+            lines.append(f"  {path.relative_to(data.root)}")
+        if len(quarantined) > 5:
+            lines.append(f"  ... ({len(quarantined) - 5} more)")
     if telemetry:
         lines.append("")
         try:

@@ -12,10 +12,13 @@ __all__ = [
     "ConfigurationError",
     "CapacityError",
     "ResumeError",
+    "CorruptArtifactError",
+    "ArtifactVersionError",
     "BackendError",
     "RealizationError",
     "ReproWarning",
     "PeriodWarning",
+    "SupersededSampleWarning",
 ]
 
 
@@ -50,6 +53,24 @@ class ResumeError(ReproError, RuntimeError):
     """
 
 
+class CorruptArtifactError(ReproError, RuntimeError):
+    """An on-disk artifact is torn, truncated or fails its checksum.
+
+    Raised by :mod:`repro.runtime.storage` when a save-point, subtotal
+    or result file cannot be trusted.  The persistence layer reacts by
+    *quarantining* the file (renaming it ``*.corrupt``) rather than
+    aborting recovery outright.
+    """
+
+
+class ArtifactVersionError(ReproError, RuntimeError):
+    """An artifact's format version is newer than this installation.
+
+    Unlike :class:`CorruptArtifactError` the file itself is healthy —
+    it must not be quarantined; the reader needs upgrading instead.
+    """
+
+
 class BackendError(ReproError, RuntimeError):
     """A runtime backend failed to start, communicate or shut down."""
 
@@ -81,4 +102,14 @@ class PeriodWarning(ReproWarning):
     PARMONC recommends using only the first half of the generator period
     (the first 2**125 numbers of the 2**126 period); the same rule is
     applied per leaped subsequence.
+    """
+
+
+class SupersededSampleWarning(ReproWarning):
+    """A fresh ``res=0`` session is discarding an existing save-point.
+
+    The burnt ``seqnum`` history of the discarded sample is carried
+    forward so later ``res=1`` sessions cannot reuse an experiments
+    subsequence that any earlier session — even a superseded one —
+    already consumed.
     """

@@ -15,6 +15,8 @@ Kinds emitted by the runtime:
 ``stale_message``   rank, volume, kept_volume (out-of-order drop)
 ``late_message``    rank, volume, kept_volume (retired-rank drop)
 ``stale_worker``    rank, last_seen (silent-worker health flag)
+``storage.quarantined``  path, quarantined, reason (a torn/corrupt
+                    artifact renamed ``*.corrupt`` and skipped)
 ``save``            volume, eps_max, duration, save_index
 ``span``            name, start, end + attributes (from the tracer)
 ``session_end``     volume, elapsed, t_comp (when virtual)

@@ -37,15 +37,20 @@ def start_session(config: RunConfig, use_files: bool = True
             raise ResumeError(
                 "res=1 requires result files; in-memory sessions cannot "
                 "resume a previous simulation")
-        return None, prepare_resume(config, DataDirectory(config.workdir))
+        return None, prepare_resume(config, DataDirectory(config.workdir),
+                                    carry_history=False)
     data = DataDirectory(config.workdir).ensure()
+    data.sweep_temp_files()
+    # prepare_resume runs first even on res=0: it reads the burnt-seqnum
+    # history out of any existing save-point before that save-point is
+    # discarded below.
+    state = prepare_resume(config, data)
     if config.res == 0:
         # "In case of a new simulation the parmonc creates brand new
         # files with results" — drop anything a previous run left behind.
         if data.savepoint_path.exists():
             data.savepoint_path.unlink()
         data.clear_processor_snapshots()
-    state = prepare_resume(config, data)
     data.register_experiment(seqnum=config.seqnum,
                              processors=config.processors,
                              maxsv=config.maxsv, res=config.res)

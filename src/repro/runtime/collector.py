@@ -283,7 +283,8 @@ class Collector:
                 volume=message.snapshot.volume, final=message.final)
         if self._persist and self._data is not None:
             self._data.save_processor_snapshot(message.rank,
-                                               message.snapshot)
+                                               message.snapshot,
+                                               session=self._sessions)
         due = (self._config.peraver == 0.0
                or self._last_average_at is None
                or now - self._last_average_at >= self._config.peraver

@@ -396,6 +396,9 @@ class Engine:
             config, data, backend=backend.name, clock=backend.clock,
             epoch=backend.telemetry_epoch(self.started))
         self.telemetry = telemetry
+        if data is not None and telemetry is not None:
+            # Quarantined artifacts surface as storage.quarantined events.
+            data.attach_events(telemetry.events)
         collector = Collector(config, state.base, data,
                               sessions=state.session_index,
                               persist_subtotals=backend.persist_subtotals,

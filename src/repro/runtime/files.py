@@ -17,34 +17,60 @@ Layout under the user's working directory::
 
 The per-processor save-points exist so that ``manaver`` can recover the
 full sample after an abrupt job termination, exactly as in §3.4.
+
+Every artifact is written through :mod:`repro.runtime.storage` — atomic
+write-temp → fsync → rename, with JSON payloads carried in a versioned,
+checksummed envelope — so a kill at any instruction leaves either the
+old or the new file, never a torn one.  A file that *does* fail its
+checksum (bit rot, manual tampering) is quarantined as ``*.corrupt``
+and skipped with a warning instead of aborting the whole recovery; see
+``docs/protocol.md``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+import logging
+import os
+from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError, ResumeError
+from repro.exceptions import (
+    ArtifactVersionError,
+    ConfigurationError,
+    CorruptArtifactError,
+    ResumeError,
+)
+from repro.runtime import storage
 from repro.stats.accumulator import MomentSnapshot
 from repro.stats.estimators import Estimates
 
 __all__ = [
     "DataDirectory",
+    "SavepointMeta",
     "render_mean_matrix",
     "render_ci_table",
     "render_log",
     "GENPARAM_FILENAME",
+    "genparam_fingerprint",
     "read_genparam_file",
     "write_genparam_file",
 ]
 
+_logger = logging.getLogger(__name__)
+
 GENPARAM_FILENAME = "parmonc_genparam.dat"
 
-_SAVEPOINT_VERSION = 1
+#: Current save-point envelope version.  Version 1 was the bare JSON
+#: document without checksum or manifest; version 2 moved to the
+#: checksummed :func:`repro.runtime.storage.write_artifact` envelope.
+SAVEPOINT_VERSION = 2
+SAVEPOINT_FORMAT = "parmonc/savepoint"
+PROCESSOR_FORMAT = "parmonc/processor-savepoint"
 
 
 def _timestamp() -> str:
@@ -99,12 +125,35 @@ def render_log(estimates: Estimates, *, seqnum: int, processors: int,
 
 
 @dataclass(frozen=True)
-class _SavepointMeta:
-    """Metadata stored beside the merged snapshot."""
+class SavepointMeta:
+    """Metadata stored beside the merged snapshot.
+
+    Attributes:
+        shape: Matrix shape of the stored sample.
+        used_seqnums: Every experiments subsequence any session — live
+            or superseded — ever consumed.
+        sessions: Number of sessions folded into the snapshot.
+        manifest: Session manifest of the writing session (processor
+            count, leap exponents, ``parmonc_genparam.dat``
+            fingerprint); None for pre-manifest save-points.
+    """
 
     shape: tuple[int, int]
     used_seqnums: tuple[int, ...]
     sessions: int
+    manifest: dict | None = field(default=None)
+
+    @property
+    def processors(self) -> int | None:
+        """Processor count of the writing session, when recorded."""
+        if self.manifest is None:
+            return None
+        value = self.manifest.get("processors")
+        return int(value) if value is not None else None
+
+
+# Backwards-compatible alias for the pre-PR-4 private name.
+_SavepointMeta = SavepointMeta
 
 
 class DataDirectory:
@@ -117,6 +166,23 @@ class DataDirectory:
 
     def __init__(self, workdir: Path | str) -> None:
         self._root = Path(workdir) / "parmonc_data"
+        self._events = None
+
+    def attach_events(self, events) -> None:
+        """Forward quarantines to an :class:`~repro.obs.events.EventLog`.
+
+        The engine attaches the session's telemetry event log here so
+        every quarantined artifact shows up as a ``storage.quarantined``
+        event; without an attachment quarantines are logged only.
+        """
+        self._events = events
+
+    def _quarantine(self, path: Path, reason: str) -> Path:
+        target = storage.quarantine(path, reason)
+        if self._events is not None:
+            self._events.append("storage.quarantined", path=str(path),
+                                quarantined=str(target), reason=reason)
+        return target
 
     @property
     def root(self) -> Path:
@@ -149,11 +215,22 @@ class DataDirectory:
             self.telemetry_dir.iterdir())
 
     def clear_telemetry(self) -> None:
-        """Remove telemetry artifacts (fresh runs start a fresh record)."""
-        if self.telemetry_dir.exists():
-            for path in self.telemetry_dir.iterdir():
-                if path.is_file():
-                    path.unlink()
+        """Remove telemetry artifacts (fresh runs start a fresh record).
+
+        Handles nested directories: files anywhere under ``telemetry/``
+        are removed and emptied subdirectories are dropped, leaving the
+        ``telemetry`` directory itself in place.
+        """
+        if not self.telemetry_dir.exists():
+            return
+        for path in sorted(self.telemetry_dir.rglob("*"), reverse=True):
+            if path.is_dir():
+                try:
+                    path.rmdir()
+                except OSError:  # pragma: no cover - non-empty race
+                    pass
+            else:
+                path.unlink()
 
     @property
     def savepoint_path(self) -> Path:
@@ -171,21 +248,42 @@ class DataDirectory:
         self.savepoints_dir.mkdir(parents=True, exist_ok=True)
         return self
 
+    def sweep_temp_files(self) -> list[Path]:
+        """Remove stale ``*.tmp`` files a crashed writer left behind.
+
+        Called at session start and by ``manaver``; a temp file only
+        survives a crash between write and rename, and by then it is
+        garbage by definition (the rename never happened).
+        """
+        return storage.sweep_temp_files(self._root)
+
+    def quarantined_files(self) -> list[Path]:
+        """Every ``*.corrupt`` artifact set aside under this directory."""
+        return storage.quarantined_files(self._root)
+
     # ------------------------------------------------------------------
     # Results
 
     def write_results(self, estimates: Estimates, *, seqnum: int,
                       processors: int, sessions: int,
                       elapsed: float | None = None) -> None:
-        """Write ``func.dat``, ``func_ci.dat`` and ``func_log.dat``."""
+        """Write ``func.dat``, ``func_ci.dat`` and ``func_log.dat``.
+
+        Each file is written atomically, so a kill mid-save can never
+        leave a torn matrix for :meth:`read_mean_matrix` to load.
+        """
         self.ensure()
-        (self.results_dir / "func.dat").write_text(
-            render_mean_matrix(estimates))
-        (self.results_dir / "func_ci.dat").write_text(
-            render_ci_table(estimates))
-        (self.results_dir / "func_log.dat").write_text(
+        storage.atomic_write_text(self.results_dir / "func.dat",
+                                  render_mean_matrix(estimates),
+                                  label="results.func")
+        storage.atomic_write_text(self.results_dir / "func_ci.dat",
+                                  render_ci_table(estimates),
+                                  label="results.func_ci")
+        storage.atomic_write_text(
+            self.results_dir / "func_log.dat",
             render_log(estimates, seqnum=seqnum, processors=processors,
-                       sessions=sessions, elapsed=elapsed))
+                       sessions=sessions, elapsed=elapsed),
+            label="results.func_log")
 
     def read_mean_matrix(self) -> np.ndarray:
         """Read back the matrix of sample means from ``func.dat``."""
@@ -211,43 +309,73 @@ class DataDirectory:
 
     def save_savepoint(self, snapshot: MomentSnapshot, *,
                        used_seqnums: tuple[int, ...],
-                       sessions: int) -> None:
-        """Persist the merged snapshot and session metadata atomically."""
+                       sessions: int,
+                       manifest: dict | None = None) -> None:
+        """Persist the merged snapshot and session metadata durably.
+
+        The save-point goes through the atomic, checksummed artifact
+        writer; ``manifest`` (see
+        :func:`repro.runtime.resume.build_manifest`) records the
+        writing session's processor count and RNG leap parameters so a
+        later resume can refuse a mismatched generator hierarchy.
+        """
         self.ensure()
         payload = {
-            "version": _SAVEPOINT_VERSION,
             "snapshot": snapshot.to_dict(),
             "shape": list(snapshot.shape),
             "used_seqnums": sorted(set(int(s) for s in used_seqnums)),
             "sessions": int(sessions),
-            "written_at": _timestamp(),
         }
-        temp = self.savepoint_path.with_suffix(".json.tmp")
-        temp.write_text(json.dumps(payload))
-        temp.replace(self.savepoint_path)
+        if manifest is not None:
+            payload["manifest"] = manifest
+        storage.write_artifact(self.savepoint_path, SAVEPOINT_FORMAT,
+                               payload, version=SAVEPOINT_VERSION,
+                               label="savepoint")
 
-    def load_savepoint(self) -> tuple[MomentSnapshot, _SavepointMeta]:
+    def load_savepoint(self) -> tuple[MomentSnapshot, SavepointMeta]:
         """Load the merged snapshot saved by a previous session.
 
+        A save-point that fails its checksum (or cannot be parsed) is
+        quarantined as ``savepoint.json.corrupt`` before the error is
+        raised, so the next attempt is not poisoned by the same file.
+
         Raises:
-            ResumeError: If no save-point exists or it is malformed.
+            ResumeError: If no save-point exists, it is corrupt (now
+                quarantined), or it was written by a newer format
+                version.
         """
         if not self.savepoint_path.exists():
             raise ResumeError(
                 f"no previous simulation found at {self.savepoint_path}; "
                 f"start with res=0")
         try:
-            payload = json.loads(self.savepoint_path.read_text())
+            payload, _version = storage.read_artifact(
+                self.savepoint_path, SAVEPOINT_FORMAT,
+                max_version=SAVEPOINT_VERSION)
+        except ArtifactVersionError as exc:
+            raise ResumeError(str(exc)) from exc
+        except CorruptArtifactError as exc:
+            target = self._quarantine(self.savepoint_path, str(exc))
+            raise ResumeError(
+                f"corrupted save-point at {self.savepoint_path}: {exc} "
+                f"(quarantined as {target.name}; recover the per-"
+                f"processor subtotals with manaver)") from exc
+        try:
             snapshot = MomentSnapshot.from_dict(payload["snapshot"])
-            meta = _SavepointMeta(
+            manifest = payload.get("manifest")
+            if manifest is not None and not isinstance(manifest, dict):
+                raise ValueError("manifest is not an object")
+            meta = SavepointMeta(
                 shape=tuple(payload["shape"]),
                 used_seqnums=tuple(payload["used_seqnums"]),
-                sessions=int(payload["sessions"]))
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                sessions=int(payload["sessions"]),
+                manifest=manifest)
+        except (KeyError, TypeError, ValueError,
                 ConfigurationError) as exc:
+            target = self._quarantine(self.savepoint_path, str(exc))
             raise ResumeError(
-                f"corrupted save-point at {self.savepoint_path}: "
-                f"{exc}") from exc
+                f"corrupted save-point at {self.savepoint_path}: {exc} "
+                f"(quarantined as {target.name})") from exc
         return snapshot, meta
 
     def has_savepoint(self) -> bool:
@@ -261,33 +389,67 @@ class DataDirectory:
         """Path of processor ``rank``'s subtotal file."""
         return self.savepoints_dir / f"processor_{rank:05d}.json"
 
-    def save_processor_snapshot(self, rank: int,
-                                snapshot: MomentSnapshot) -> None:
-        """Persist one processor's latest subtotal snapshot atomically."""
-        self.ensure()
-        path = self.processor_savepoint_path(rank)
-        temp = path.with_suffix(".json.tmp")
-        temp.write_text(json.dumps({
-            "rank": rank,
-            "snapshot": snapshot.to_dict(),
-            "written_at": _timestamp(),
-        }))
-        temp.replace(path)
+    def save_processor_snapshot(self, rank: int, snapshot: MomentSnapshot,
+                                *, session: int | None = None) -> None:
+        """Persist one processor's latest subtotal snapshot durably.
 
-    def load_processor_snapshots(self) -> dict[int, MomentSnapshot]:
-        """Load every per-processor subtotal present on disk."""
+        ``session`` tags the subtotal with the session index that
+        produced it.  The tag is what lets ``manaver`` tell a subtotal
+        that is *already folded into* the merged save-point (a crash
+        hit between the save-point rename and the subtotal cleanup)
+        from one that still needs recovering — without it, that crash
+        window would double-count every realization of the session.
+        """
+        self.ensure()
+        payload: dict = {"rank": rank, "snapshot": snapshot.to_dict()}
+        if session is not None:
+            payload["session"] = int(session)
+        storage.write_artifact(
+            self.processor_savepoint_path(rank), PROCESSOR_FORMAT,
+            payload, version=SAVEPOINT_VERSION, label="processor")
+
+    def load_processor_snapshots(self, *, absorbed_sessions: int | None
+                                 = None) -> dict[int, MomentSnapshot]:
+        """Load every healthy per-processor subtotal present on disk.
+
+        A torn or checksum-failing subtotal is quarantined and *skipped*
+        with a warning — one bad processor file must not make the whole
+        ``manaver`` recovery abort and lose every other processor's
+        realizations.  Callers can inspect :meth:`quarantined_files`
+        afterwards.
+
+        Args:
+            absorbed_sessions: When given, subtotals tagged with a
+                session index ``<=`` this value are skipped: the merged
+                save-point with ``sessions == absorbed_sessions``
+                already contains them (the writing session finalized
+                but crashed before cleaning its subtotals up).
+                Untagged (legacy) subtotals are always returned.
+        """
         snapshots: dict[int, MomentSnapshot] = {}
         if not self.savepoints_dir.exists():
             return snapshots
         for path in sorted(self.savepoints_dir.glob("processor_*.json")):
             try:
-                payload = json.loads(path.read_text())
+                payload, _version = storage.read_artifact(
+                    path, PROCESSOR_FORMAT, max_version=SAVEPOINT_VERSION)
+                session = payload.get("session")
+                if (absorbed_sessions is not None and session is not None
+                        and int(session) <= absorbed_sessions):
+                    _logger.debug(
+                        "subtotal %s already absorbed by the merged "
+                        "save-point (session %s)", path.name, session)
+                    continue
                 snapshots[int(payload["rank"])] = MomentSnapshot.from_dict(
                     payload["snapshot"])
-            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+            except ArtifactVersionError:
+                raise
+            except (CorruptArtifactError, KeyError, TypeError, ValueError,
                     ConfigurationError) as exc:
-                raise ResumeError(
-                    f"corrupted processor save-point {path}: {exc}") from exc
+                self._quarantine(path, str(exc))
+                _logger.warning(
+                    "skipping corrupt processor save-point %s: %s",
+                    path.name, exc)
         return snapshots
 
     def clear_processor_snapshots(self) -> None:
@@ -301,12 +463,24 @@ class DataDirectory:
 
     def register_experiment(self, *, seqnum: int, processors: int,
                             maxsv: int, res: int) -> None:
-        """Append one line per started experiment to ``parmonc_exp.dat``."""
+        """Append one line per started experiment to ``parmonc_exp.dat``.
+
+        The registry is append-only (each line is self-contained, and
+        readers tolerate a truncated final line), so it does not go
+        through the rename-based writer; the appended line is fsynced
+        because it is the one record of a burnt ``seqnum`` that must
+        survive a crash *before* the first save-point.
+        """
         self.ensure()
         line = (f"{_timestamp()} seqnum={seqnum} processors={processors} "
                 f"maxsv={maxsv} res={res}\n")
         with self.registry_path.open("a") as handle:
             handle.write(line)
+            handle.flush()
+            try:
+                os.fsync(handle.fileno())
+            except OSError:  # pragma: no cover - exotic filesystem
+                pass
 
     def read_registry(self) -> list[str]:
         """Return the experiment registry lines (empty if none)."""
@@ -333,7 +507,7 @@ def write_genparam_file(workdir: Path | str, experiment_exponent: int,
         f"A_ne: {multipliers[0]}\n"
         f"A_np: {multipliers[1]}\n"
         f"A_nr: {multipliers[2]}\n")
-    path.write_text(content)
+    storage.atomic_write_text(path, content, label="genparam")
     return path
 
 
@@ -363,3 +537,15 @@ def read_genparam_file(workdir: Path | str) -> dict[str, int] | None:
         raise ConfigurationError(
             f"{GENPARAM_FILENAME} is missing keys: {sorted(missing)}")
     return values
+
+
+def genparam_fingerprint(workdir: Path | str) -> str | None:
+    """SHA-256 fingerprint of ``parmonc_genparam.dat``; None when absent.
+
+    Recorded in the session manifest so a resumed session can tell
+    whether the generator-parameter file changed between sessions.
+    """
+    path = Path(workdir) / GENPARAM_FILENAME
+    if not path.exists():
+        return None
+    return hashlib.sha256(path.read_bytes()).hexdigest()

@@ -96,11 +96,15 @@ class TestCorruptionRecovery:
                     workdir=tmp_path)
 
     def test_resume_from_wrong_typed_savepoint(self, tmp_path):
+        from repro.runtime.storage import payload_checksum
+
         parmonc(lambda rng: rng.random(), maxsv=10, workdir=tmp_path)
         savepoint = DataDirectory(tmp_path).savepoint_path
-        payload = json.loads(savepoint.read_text())
-        payload["snapshot"]["volume"] = "many"
-        savepoint.write_text(json.dumps(payload))
+        document = json.loads(savepoint.read_text())
+        # Valid JSON, valid checksum — but a field of the wrong type.
+        document["payload"]["snapshot"]["volume"] = "many"
+        document["checksum"] = payload_checksum(document["payload"])
+        savepoint.write_text(json.dumps(document))
         with pytest.raises(ResumeError):
             parmonc(lambda rng: rng.random(), maxsv=10, res=1, seqnum=1,
                     workdir=tmp_path)

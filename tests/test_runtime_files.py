@@ -129,6 +129,23 @@ class TestSavepoint:
         _, meta = data.load_savepoint()
         assert meta.used_seqnums == (1, 3)
 
+    def test_legacy_v1_savepoint_still_loads(self, tmp_path):
+        # Pre-envelope save-points (no format/checksum wrapper) must
+        # keep resuming: the bare document is treated as the payload.
+        data = DataDirectory(tmp_path).ensure()
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(5.0)
+        legacy = {"version": 1,
+                  "snapshot": accumulator.snapshot().to_dict(),
+                  "shape": [1, 1], "used_seqnums": [0, 2], "sessions": 2}
+        data.savepoint_path.write_text(json.dumps(legacy))
+        snapshot, meta = data.load_savepoint()
+        assert snapshot.volume == 1
+        assert meta.used_seqnums == (0, 2)
+        assert meta.sessions == 2
+        assert meta.manifest is None
+        assert meta.processors is None
+
 
 class TestProcessorSnapshots:
     def test_roundtrip(self, tmp_path):
@@ -150,11 +167,20 @@ class TestProcessorSnapshots:
         data.clear_processor_snapshots()
         assert data.load_processor_snapshots() == {}
 
-    def test_corrupted_processor_file(self, tmp_path):
+    def test_corrupted_processor_file_quarantined(self, tmp_path):
+        # A torn subtotal is set aside and skipped; the healthy ones
+        # still load (manaver must not lose them over one bad file).
         data = DataDirectory(tmp_path).ensure()
+        good = MomentAccumulator(1, 1)
+        good.add(2.0)
+        data.save_processor_snapshot(1, good.snapshot())
         data.processor_savepoint_path(0).write_text("garbage")
-        with pytest.raises(ResumeError):
-            data.load_processor_snapshots()
+        snapshots = data.load_processor_snapshots()
+        assert set(snapshots) == {1}
+        assert not data.processor_savepoint_path(0).exists()
+        quarantined = data.quarantined_files()
+        assert len(quarantined) == 1
+        assert quarantined[0].name == "processor_00000.json.corrupt"
 
     def test_overwrite_keeps_latest(self, tmp_path):
         data = DataDirectory(tmp_path)

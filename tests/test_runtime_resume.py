@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ResumeError
+from repro.exceptions import ResumeError, SupersededSampleWarning
 from repro.runtime.config import RunConfig
 from repro.runtime.files import DataDirectory
 from repro.runtime.resume import finalize_session, prepare_resume
@@ -34,8 +34,20 @@ class TestFreshRun:
     def test_res0_ignores_existing_savepoint(self, tmp_path):
         saved_session(tmp_path)
         config = RunConfig(maxsv=10, res=0, workdir=tmp_path)
-        state = prepare_resume(config, DataDirectory(tmp_path))
+        with pytest.warns(SupersededSampleWarning):
+            state = prepare_resume(config, DataDirectory(tmp_path))
         assert state.base.volume == 0
+
+    def test_res0_carries_burnt_seqnums_forward(self, tmp_path):
+        # Regression: a fresh res=0 session used to drop the previous
+        # sample's seqnum history, letting a later res=1 session reuse
+        # a burnt experiments subsequence and correlate substreams.
+        saved_session(tmp_path, seqnums=(0, 3))
+        config = RunConfig(maxsv=10, res=0, seqnum=1, workdir=tmp_path)
+        with pytest.warns(SupersededSampleWarning):
+            state = prepare_resume(config, DataDirectory(tmp_path))
+        assert state.used_seqnums == (0, 1, 3)
+        assert state.session_index == 1
 
 
 class TestResumedRun:
@@ -66,6 +78,44 @@ class TestResumedRun:
                            workdir=tmp_path)
         with pytest.raises(ResumeError, match="shape"):
             prepare_resume(config, data)
+
+    def test_res1_rejects_changed_leap_parameters(self, tmp_path):
+        # A resumed session running on a different subsequence hierarchy
+        # would place its "fresh" substreams on top of consumed ones.
+        from repro.rng.multiplier import LeapSet
+        from repro.runtime.resume import build_manifest
+        old_config = RunConfig(maxsv=10, workdir=tmp_path,
+                               leaps=LeapSet(110, 90, 40))
+        data = DataDirectory(tmp_path)
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(1.0)
+        data.save_savepoint(accumulator.snapshot(), used_seqnums=(0,),
+                            sessions=1, manifest=build_manifest(old_config))
+        config = RunConfig(maxsv=10, res=1, seqnum=1, workdir=tmp_path)
+        with pytest.raises(ResumeError, match="leap"):
+            prepare_resume(config, data)
+
+    def test_res1_accepts_matching_leap_parameters(self, tmp_path):
+        from repro.rng.multiplier import LeapSet
+        from repro.runtime.resume import build_manifest
+        leaps = LeapSet(110, 90, 40)
+        old_config = RunConfig(maxsv=10, workdir=tmp_path, leaps=leaps)
+        data = DataDirectory(tmp_path)
+        accumulator = MomentAccumulator(1, 1)
+        accumulator.add(1.0)
+        data.save_savepoint(accumulator.snapshot(), used_seqnums=(0,),
+                            sessions=1, manifest=build_manifest(old_config))
+        config = RunConfig(maxsv=10, res=1, seqnum=1, workdir=tmp_path,
+                           leaps=leaps)
+        state = prepare_resume(config, data)
+        assert state.base.volume == 1
+
+    def test_legacy_savepoint_without_manifest_still_resumes(self, tmp_path):
+        # Pre-manifest save-points carry no leap record; tolerate them.
+        data = saved_session(tmp_path)
+        config = RunConfig(maxsv=10, res=1, seqnum=1, workdir=tmp_path)
+        state = prepare_resume(config, data)
+        assert state.base.volume == 5
 
     def test_multiple_sessions_accumulate_seqnums(self, tmp_path):
         data = saved_session(tmp_path, seqnums=(0, 1, 2), sessions=3)

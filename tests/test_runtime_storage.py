@@ -1,0 +1,242 @@
+"""Tests for repro.runtime.storage: atomic I/O, checksums, crashpoints."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import ArtifactVersionError, CorruptArtifactError
+from repro.runtime import storage
+from repro.runtime.storage import (
+    CrashInjected,
+    atomic_write_text,
+    crashpoint,
+    crashpoint_installed,
+    payload_checksum,
+    quarantine,
+    read_artifact,
+    sweep_temp_files,
+    trace_crashpoints,
+    write_artifact,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_crashpoints():
+    yield
+    storage.clear_crashpoints()
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "sub" / "file.txt"
+        atomic_write_text(path, "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_no_temp_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "f.txt", "x")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_overwrite_replaces_whole_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "a long first version\n")
+        atomic_write_text(path, "v2\n")
+        assert path.read_text() == "v2\n"
+
+    @pytest.mark.parametrize("point", ["before_write", "after_write",
+                                       "before_rename"])
+    def test_crash_before_rename_keeps_old_content(self, tmp_path, point):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "old", label="lbl")
+        with crashpoint_installed(f"lbl.{point}"):
+            with pytest.raises(CrashInjected):
+                atomic_write_text(path, "new", label="lbl")
+        assert path.read_text() == "old"
+
+    def test_crash_after_rename_shows_new_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        atomic_write_text(path, "old", label="lbl")
+        with crashpoint_installed("lbl.after_rename"):
+            with pytest.raises(CrashInjected):
+                atomic_write_text(path, "new", label="lbl")
+        assert path.read_text() == "new"
+
+    def test_crash_leaves_sweepable_temp(self, tmp_path):
+        path = tmp_path / "f.txt"
+        with crashpoint_installed("f.txt.before_rename"):
+            with pytest.raises(CrashInjected):
+                atomic_write_text(path, "content")
+        assert not path.exists()
+        removed = sweep_temp_files(tmp_path)
+        assert [p.name for p in removed] == ["f.txt.tmp"]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_durable_writes_toggle(self, tmp_path):
+        with storage.durable_writes(False):
+            atomic_write_text(tmp_path / "f.txt", "x")
+        with storage.durable_writes(True):
+            atomic_write_text(tmp_path / "f.txt", "y")
+        assert (tmp_path / "f.txt").read_text() == "y"
+
+
+class TestArtifactEnvelope:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, "kind/x", {"value": [1, 2.5, "s"]}, version=3)
+        payload, version = read_artifact(path, "kind/x", max_version=3)
+        assert payload == {"value": [1, 2.5, "s"]}
+        assert version == 3
+
+    def test_checksum_is_canonical(self):
+        assert (payload_checksum({"a": 1, "b": 2})
+                == payload_checksum({"b": 2, "a": 1}))
+
+    def test_truncated_file_detected(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, "kind/x", {"value": list(range(100))},
+                       version=1)
+        text = path.read_text()
+        path.write_text(text[:len(text) // 2])
+        with pytest.raises(CorruptArtifactError, match="truncated"):
+            read_artifact(path, "kind/x", max_version=1)
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, "kind/x", {"volume": 10}, version=1)
+        document = json.loads(path.read_text())
+        document["payload"]["volume"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            read_artifact(path, "kind/x", max_version=1)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, "kind/x", {}, version=1)
+        with pytest.raises(CorruptArtifactError, match="format"):
+            read_artifact(path, "kind/y", max_version=1)
+
+    def test_newer_version_raises_version_error(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, "kind/x", {"v": 1}, version=9)
+        with pytest.raises(ArtifactVersionError, match="newer"):
+            read_artifact(path, "kind/x", max_version=2)
+        # The file must be left untouched — it is healthy.
+        assert path.exists()
+
+    def test_legacy_document_returned_whole(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps({"version": 1, "snapshot": {"x": 1}}))
+        payload, version = read_artifact(path, "kind/x", max_version=2)
+        assert version == 0
+        assert payload["snapshot"] == {"x": 1}
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CorruptArtifactError):
+            read_artifact(path, "kind/x", max_version=1)
+
+
+class TestQuarantine:
+    def test_renames_and_keeps_evidence(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("garbage")
+        target = quarantine(path, "test")
+        assert not path.exists()
+        assert target.name == "bad.json.corrupt"
+        assert target.read_text() == "garbage"
+
+    def test_serial_suffix_on_collision(self, tmp_path):
+        for expected in ("bad.json.corrupt", "bad.json.corrupt.1",
+                         "bad.json.corrupt.2"):
+            path = tmp_path / "bad.json"
+            path.write_text("garbage")
+            assert quarantine(path, "test").name == expected
+
+    def test_listeners_observe(self, tmp_path):
+        seen = []
+        listener = lambda *args: seen.append(args)  # noqa: E731
+        storage.add_quarantine_listener(listener)
+        try:
+            path = tmp_path / "bad.json"
+            path.write_text("garbage")
+            target = quarantine(path, "why")
+        finally:
+            storage.remove_quarantine_listener(listener)
+        assert seen == [(path, target, "why")]
+
+    def test_quarantined_files_listing(self, tmp_path):
+        (tmp_path / "deep").mkdir()
+        (tmp_path / "deep" / "x.json").write_text("bad")
+        quarantine(tmp_path / "deep" / "x.json", "test")
+        found = storage.quarantined_files(tmp_path)
+        assert [p.name for p in found] == ["x.json.corrupt"]
+
+
+class TestCrashpoints:
+    def test_noop_without_trigger(self):
+        crashpoint("nothing.installed")  # must not raise
+
+    def test_install_and_clear(self):
+        storage.install_crashpoint("p")
+        with pytest.raises(CrashInjected) as err:
+            crashpoint("p")
+        assert err.value.crashpoint == "p"
+        storage.clear_crashpoints()
+        crashpoint("p")
+
+    def test_custom_trigger(self):
+        hits = []
+        storage.install_crashpoint("p", hits.append)
+        crashpoint("p")
+        assert hits == ["p"]
+
+    def test_crash_injected_is_base_exception(self):
+        # A simulated kill must rip through `except Exception` blocks.
+        assert not issubclass(CrashInjected, Exception)
+
+    def test_trace_records_order(self, tmp_path):
+        with trace_crashpoints() as trace:
+            atomic_write_text(tmp_path / "f.txt", "x", label="one")
+            atomic_write_text(tmp_path / "g.txt", "y", label="two")
+        assert trace[:4] == ["one.before_write", "one.after_write",
+                             "one.before_rename", "one.after_rename"]
+        assert trace[4].startswith("two.")
+
+    def test_env_crashpoint_kills_subprocess(self, tmp_path):
+        # PARMONC_CRASHPOINT makes the process die mid-write like a
+        # SIGKILL: exit 137, target untouched, temp stranded.
+        program = (
+            "import sys; sys.path.insert(0, sys.argv[1])\n"
+            "from pathlib import Path\n"
+            "from repro.runtime.storage import atomic_write_text\n"
+            "atomic_write_text(Path(sys.argv[2]) / 'f.txt', 'new',"
+            " label='lbl')\n")
+        env = dict(os.environ, PARMONC_CRASHPOINT="lbl.before_rename")
+        repo_src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        result = subprocess.run(
+            [sys.executable, "-c", program, repo_src, str(tmp_path)],
+            env=env, capture_output=True)
+        assert result.returncode == storage.CRASH_EXIT_CODE, result.stderr
+        assert not (tmp_path / "f.txt").exists()
+        assert (tmp_path / "f.txt.tmp").exists()
+
+
+class TestSweep:
+    def test_sweeps_recursively(self, tmp_path):
+        (tmp_path / "savepoints").mkdir()
+        (tmp_path / "savepoint.json.tmp").write_text("x")
+        (tmp_path / "savepoints" / "processor_00000.json.tmp").write_text("y")
+        (tmp_path / "keep.json").write_text("z")
+        removed = sweep_temp_files(tmp_path)
+        assert len(removed) == 2
+        assert (tmp_path / "keep.json").exists()
+        assert sweep_temp_files(tmp_path) == []
+
+    def test_missing_root(self, tmp_path):
+        assert sweep_temp_files(tmp_path / "absent") == []
