@@ -59,9 +59,18 @@ from repro.runtime import (  # noqa: E402
     minutes,
 )
 from repro.stats import (  # noqa: E402
+    Counter,
+    Covariance,
     Estimates,
+    Extrema,
+    Histogram,
     MomentAccumulator,
     MomentSnapshot,
+    Moments,
+    Statistic,
+    StatisticSet,
+    register_statistic,
+    statistic_kinds,
 )
 
 __version__ = "1.0.0"
@@ -86,6 +95,15 @@ __all__ = [
     "Estimates",
     "MomentAccumulator",
     "MomentSnapshot",
+    "Statistic",
+    "StatisticSet",
+    "Moments",
+    "Covariance",
+    "Histogram",
+    "Extrema",
+    "Counter",
+    "register_statistic",
+    "statistic_kinds",
     "ReproError",
     "ConfigurationError",
     "CapacityError",

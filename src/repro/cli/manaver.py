@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.exceptions import ReproError, ResumeError
 from repro.runtime.files import DataDirectory
-from repro.stats.merging import merge_snapshots
+from repro.stats.merging import merge_snapshots, merge_statistic_maps
 
 __all__ = ["main", "manual_average"]
 
@@ -51,8 +51,9 @@ def manual_average(workdir: Path) -> dict:
     """Merge save-points under ``workdir`` and rewrite result files.
 
     Returns a summary dict: total volume, processors recovered, whether
-    a previous-session base was included, quarantined artifacts, and
-    any recovery warnings.
+    a previous-session base was included, quarantined artifacts, any
+    recovery warnings, and the merged extra-statistic map (recovered
+    from the same subtotals and persisted with the save-point).
 
     Raises:
         ReproError: When no usable save-points exist at all.
@@ -78,10 +79,24 @@ def manual_average(workdir: Path) -> dict:
     # save-point rename and the subtotal cleanup) must not be merged a
     # second time — their session tag says who absorbed them.
     absorbed = meta.sessions if base_included else None
-    processor_snapshots = data.load_processor_snapshots(
-        absorbed_sessions=absorbed)
+    subtotals = data.load_processor_subtotals(absorbed_sessions=absorbed)
+    processor_snapshots = {rank: subtotal.snapshot
+                           for rank, subtotal in subtotals.items()}
     snapshots.extend(snapshot for _, snapshot
                      in sorted(processor_snapshots.items()))
+    # Extra statistics merge exactly like the moments: the previous
+    # sessions' merged map first, then each rank's latest subtotal in
+    # rank order — the same fixed fold the collector uses.
+    statistic_maps = [dict(meta.statistics)] if base_included else []
+    statistic_maps.extend(subtotal.statistics for _, subtotal
+                          in sorted(subtotals.items()))
+    statistics = merge_statistic_maps(statistic_maps)
+    unknown_payloads = dict(meta.unknown_payloads) if base_included else {}
+    if base_included and meta.unknown_statistics:
+        warnings.append(
+            "save-point carries statistics of unregistered kind(s) "
+            + ", ".join(meta.unknown_statistics)
+            + "; their payloads are preserved verbatim but not merged")
     quarantined = len(data.quarantined_files()) - quarantined_before
     if quarantined:
         warnings.append(
@@ -121,7 +136,9 @@ def manual_average(workdir: Path) -> dict:
     # previous manifest rides along so the leap-parameter guard keeps
     # protecting future resumes.
     data.save_savepoint(merged, used_seqnums=tuple(sorted(used)),
-                        sessions=sessions, manifest=manifest)
+                        sessions=sessions, manifest=manifest,
+                        statistics=statistics,
+                        extra_payloads=unknown_payloads)
     data.clear_processor_snapshots()
     return {
         "volume": merged.volume,
@@ -130,6 +147,7 @@ def manual_average(workdir: Path) -> dict:
         "quarantined": quarantined,
         "warnings": warnings,
         "results_dir": data.results_dir,
+        "statistics": statistics,
     }
 
 
@@ -160,6 +178,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{summary['processors_recovered']} processor save-point(s)"
           + (" plus the previous sessions' base"
              if summary["base_included"] else ""))
+    for kind in sorted(summary["statistics"]):
+        statistic = summary["statistics"][kind]
+        print(f"recovered statistic {kind}: L={statistic.volume}")
     print(f"results written under {summary['results_dir']}")
     return 0
 

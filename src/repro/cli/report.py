@@ -22,8 +22,55 @@ from pathlib import Path
 from repro.exceptions import ConfigurationError, ReproError, ResumeError
 from repro.obs.render import render_telemetry
 from repro.runtime.files import DataDirectory
+from repro.stats.statistic import Covariance, Histogram, Statistic
 
 __all__ = ["main", "render_report"]
+
+#: Glyph ramp for the histogram sparkline (space = empty bin).
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(counts) -> str:
+    """Render bin counts as a one-line unicode sparkline."""
+    counts = [int(count) for count in counts]
+    peak = max(counts, default=0)
+    if peak <= 0:
+        return "(no in-range samples)"
+    glyphs = []
+    for count in counts:
+        if count == 0:
+            glyphs.append(" ")
+            continue
+        level = int(count * (len(_SPARK_LEVELS) - 1) / peak)
+        glyphs.append(_SPARK_LEVELS[level])
+    return "".join(glyphs)
+
+
+def _render_statistic(kind: str, statistic: Statistic) -> list[str]:
+    """Lines for one merged extra statistic of the save-point."""
+    description = statistic.describe()
+    if not description.startswith(kind):
+        description = f"{kind}: {description}"
+    lines = [f"  {description}"]
+    if isinstance(statistic, Histogram):
+        edges = statistic.bin_edges
+        lines.append("    " + _sparkline(statistic.bin_counts))
+        lines.append(
+            f"    range [{edges[0]:g}, {edges[-1]:g}) over "
+            f"{statistic.bins} bins; underflow={statistic.underflow}, "
+            f"overflow={statistic.overflow}")
+    elif isinstance(statistic, Covariance) and statistic.volume >= 2:
+        matrix = statistic.accumulator.covariance()
+        preview = min(4, matrix.shape[0])
+        lines.append(f"    covariance matrix "
+                     f"{matrix.shape[0]}x{matrix.shape[1]}"
+                     + (f", first {preview}x{preview}:"
+                        if matrix.shape[0] > preview else ":"))
+        for row in matrix[:preview]:
+            lines.append("      " + " ".join(f"{value: .4e}"
+                                             for value in row[:preview])
+                         + (" ..." if matrix.shape[1] > preview else ""))
+    return lines
 
 
 def render_report(workdir: Path, rows: int = 5,
@@ -95,6 +142,18 @@ def render_report(workdir: Path, rows: int = 5,
                 f"{snapshot.volume} realizations over {meta.sessions} "
                 f"session(s); next free seqnum is "
                 f"{max(meta.used_seqnums) + 1 if meta.used_seqnums else 0}")
+            if meta.statistics:
+                lines.append("")
+                lines.append("extra statistics (merged):")
+                for kind in sorted(meta.statistics):
+                    lines.extend(_render_statistic(kind,
+                                                   meta.statistics[kind]))
+            if meta.unknown_statistics:
+                lines.append(
+                    "NOTE: save-point carries statistics of unregistered "
+                    "kind(s) " + ", ".join(meta.unknown_statistics)
+                    + " — payloads preserved but not rendered (register "
+                    "the kind to see them)")
     else:
         lines.append("resumable: no merged save-point present")
     pending = data.load_processor_snapshots(absorbed_sessions=absorbed)

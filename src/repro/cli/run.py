@@ -92,6 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--death-grace", type=float, default=1.0,
                         help="seconds a cleanly-exited worker may stay "
                              "silent before being declared dead")
+    parser.add_argument("--statistics", default=None,
+                        help="comma-separated extra statistics to "
+                             "accumulate alongside the moments "
+                             "(e.g. 'covariance,histogram,extrema'; "
+                             "'moments' is always included)")
     return parser
 
 
@@ -111,7 +116,8 @@ def main(argv: list[str] | None = None) -> int:
             time_limit=args.time_limit, telemetry=args.telemetry,
             batch_size=args.batch_size,
             on_worker_death=args.on_worker_death,
-            death_grace=args.death_grace)
+            death_grace=args.death_grace,
+            statistics=args.statistics)
     except ReproError as exc:
         print(f"parmonc-run: error: {exc}", file=sys.stderr)
         return 2
@@ -121,6 +127,9 @@ def main(argv: list[str] | None = None) -> int:
     if estimates is not None:
         print(f"abs error upper bound: {estimates.abs_error_max:.6e}")
         print(f"rel error upper bound: {estimates.rel_error_max:.4f}%")
+    for kind in sorted(result.statistics):
+        print(f"statistic {kind}: "
+              f"{result.statistics[kind].describe()}")
     if result.data_dir is not None:
         print(f"results under: {result.data_dir}")
     if result.telemetry is not None and result.telemetry["directory"]:

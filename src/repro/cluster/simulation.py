@@ -31,7 +31,7 @@ from repro.runtime.config import RunConfig
 from repro.runtime.messages import MomentMessage, message_bytes
 from repro.runtime.worker import RealizationRoutine, adapt_realization
 from repro.rng.streams import StreamTree
-from repro.stats.accumulator import MomentAccumulator
+from repro.stats.statistic import StatisticSet
 
 __all__ = ["ClusterSpec", "ClusterResult", "ClusterSimulation",
            "proportional_quotas"]
@@ -205,14 +205,23 @@ class ClusterSimulation:
         self._duration_rng = np.random.default_rng(spec.seed)
         self._processors = spec.processors_for(config.processors)
         self._service = CollectorService(spec.collector_service_time)
-        self._nbytes = (spec.message_bytes if spec.message_bytes is not None
-                        else message_bytes(config.nrow, config.ncol))
         tree = StreamTree(config.leaps)
         self._experiment = tree.experiment(config.seqnum)
         self._streams = [self._experiment.processor(rank)
                          for rank in range(config.processors)]
-        self._accumulators = [MomentAccumulator(config.nrow, config.ncol)
-                              for _ in range(config.processors)]
+        self._statistics = [
+            StatisticSet.for_run(config.statistics, config.nrow,
+                                 config.ncol)
+            for _ in range(config.processors)]
+        self._accumulators = [statistics.moments
+                              for statistics in self._statistics]
+        # The cost model charges what a pass actually carries: the
+        # moment payload plus every declared extra statistic.  For the
+        # default moments-only run this is exactly the paper's Fig. 2
+        # accounting.
+        self._nbytes = (spec.message_bytes if spec.message_bytes is not None
+                        else message_bytes(config.nrow, config.ncol,
+                                           self._statistics[0].extras))
         self._next_index = [0] * config.processors
         self._scheduling = scheduling
         self._total_started = 0
@@ -324,7 +333,7 @@ class ClusterSimulation:
                 width = min(self._batch_size, chunk - done)
                 streams = self._streams[rank].realization_block(
                     start + done, width)
-                self._accumulators[rank].add_batch(self._adapted(streams))
+                self._statistics[rank].update_batch(self._adapted(streams))
                 widths.append(width)
                 done += width
         else:
@@ -336,7 +345,7 @@ class ClusterSimulation:
                     result = self._adapted(rng)
                 else:
                     result = self._zero
-                self._accumulators[rank].add(result)
+                self._statistics[rank].update(result)
         self._last_compute = max(self._last_compute, now)
         if self._worker_stats is not None:
             begun = started if started is not None else now
@@ -365,7 +374,8 @@ class ClusterSimulation:
             metrics = stats.as_dict(now=now)
         message = MomentMessage(
             rank=rank, snapshot=self._accumulators[rank].snapshot(),
-            sent_at=now, final=final, metrics=metrics)
+            sent_at=now, final=final, metrics=metrics,
+            statistics=self._statistics[rank].extras_snapshot())
         self._messages_sent += 1
         self._last_send[rank] = now
         arrival = now + self._spec.network.transfer_time(
@@ -429,8 +439,10 @@ class ClusterSimulation:
         now = self._events.now
         self._processors.append(Processor(rank, 1.0, None))
         self._streams.append(self._experiment.processor(rank))
-        self._accumulators.append(
-            MomentAccumulator(self._config.nrow, self._config.ncol))
+        self._statistics.append(
+            StatisticSet.for_run(self._config.statistics,
+                                 self._config.nrow, self._config.ncol))
+        self._accumulators.append(self._statistics[-1].moments)
         self._next_index.append(0)
         self._last_send.append(now)
         self._quotas.append(quota)

@@ -25,7 +25,7 @@ same way for all of them.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.rng.multiplier import DEFAULT_LEAPS, LeapSet
@@ -34,6 +34,7 @@ from repro.runtime.engine import Engine, available_backends, create_backend
 from repro.runtime.files import read_genparam_file
 from repro.runtime.result import RunResult
 from repro.runtime.worker import RealizationRoutine, make_batched
+from repro.stats.statistic import normalize_statistics
 
 if TYPE_CHECKING:
     from repro.cluster.simulation import ClusterSpec
@@ -72,7 +73,8 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             telemetry: bool = False,
             batch_size: int | None = None,
             on_worker_death: str = "fail",
-            death_grace: float = 1.0) -> RunResult:
+            death_grace: float = 1.0,
+            statistics: Sequence[str] | str | None = None) -> RunResult:
     """Run a massively parallel stochastic simulation.
 
     Args:
@@ -131,6 +133,16 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
         death_grace: Seconds a cleanly-exited worker may stay silent
             before being declared dead (its final message may still be
             crossing the queue).
+        statistics: Mergeable statistics to accumulate alongside the
+            moments — a sequence of registered kinds or a
+            comma-separated string (``"moments"`` is always included
+            and always first).  Built-ins: ``"moments"``,
+            ``"covariance"``, ``"histogram"``, ``"extrema"``,
+            ``"counter"``; user kinds register via
+            :func:`repro.stats.register_statistic`.  Extra statistics
+            piggyback on every data pass, merge under formula (5) and
+            survive save-points; the merged result lands on
+            ``RunResult.statistics``.  Default: moments only.
 
     Returns:
         The session's :class:`~repro.runtime.result.RunResult`.
@@ -152,7 +164,8 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
         workdir=resolved_workdir,
         leaps=_resolve_leaps(resolved_workdir, leaps),
         time_limit=time_limit, telemetry=telemetry,
-        on_worker_death=on_worker_death, death_grace=death_grace)
+        on_worker_death=on_worker_death, death_grace=death_grace,
+        statistics=normalize_statistics(statistics))
     # create_backend keeps only the options the chosen backend's factory
     # accepts, so simcluster-only knobs are silently ignored elsewhere.
     backend_impl = create_backend(

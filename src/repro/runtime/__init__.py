@@ -22,7 +22,7 @@ from repro.runtime.engine import (
     register_backend,
     register_lazy_backend,
 )
-from repro.runtime.files import DataDirectory
+from repro.runtime.files import DataDirectory, ProcessorSubtotal
 from repro.runtime.messages import MomentMessage, message_bytes
 
 # Backend modules register themselves; sequential first so the registry
@@ -48,6 +48,7 @@ __all__ = [
     "RunResult",
     "Collector",
     "DataDirectory",
+    "ProcessorSubtotal",
     "MomentMessage",
     "message_bytes",
     "ResumeState",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import logging
 import time
+from typing import Mapping
 
 from repro.exceptions import ConfigurationError
 from repro.obs.telemetry import RunTelemetry
@@ -25,7 +26,8 @@ from repro.runtime.files import DataDirectory
 from repro.runtime.messages import MomentMessage
 from repro.stats.accumulator import MomentSnapshot
 from repro.stats.estimators import Estimates
-from repro.stats.merging import merge_snapshots
+from repro.stats.merging import merge_snapshots, merge_statistic_maps
+from repro.stats.statistic import Statistic
 
 __all__ = ["Collector"]
 
@@ -50,24 +52,37 @@ class Collector:
         telemetry: Optional :class:`~repro.obs.telemetry.RunTelemetry`
             to instrument against; None (the default) keeps the hot
             path free of any telemetry work.
+        base_statistics: Extra statistics inherited from resumed
+            sessions, keyed by kind; they merge under the session's
+            incoming extras exactly like ``base`` merges under the
+            moments.
     """
 
     def __init__(self, config: RunConfig, base: MomentSnapshot,
                  data: DataDirectory | None = None, *, sessions: int = 1,
                  persist_subtotals: bool | None = None,
-                 telemetry: RunTelemetry | None = None) -> None:
+                 telemetry: RunTelemetry | None = None,
+                 base_statistics: Mapping[str, Statistic] | None = None
+                 ) -> None:
         if base.shape != config.shape:
             raise ConfigurationError(
                 f"resume base shape {base.shape} does not match the "
                 f"configured {config.shape}")
+        for kind, statistic in (base_statistics or {}).items():
+            if statistic.shape != config.shape:
+                raise ConfigurationError(
+                    f"resume base statistic {kind!r} has shape "
+                    f"{statistic.shape}, expected {config.shape}")
         self._config = config
         self._base = base
+        self._base_statistics = dict(base_statistics or {})
         self._data = data
         self._sessions = sessions
         self._persist = (persist_subtotals if persist_subtotals is not None
                          else data is not None)
         self._telemetry = telemetry
         self._latest: dict[int, MomentSnapshot] = {}
+        self._latest_extras: dict[int, Mapping[str, Statistic]] = {}
         self._finals: set[int] = set()
         self._expected: set[int] = set(range(config.processors))
         self._retired: set[int] = set()
@@ -270,6 +285,8 @@ class Collector:
                     kept_volume=previous.volume)
             return False
         self._latest[message.rank] = message.snapshot
+        if message.statistics is not None:
+            self._latest_extras[message.rank] = message.statistics
         self._last_seen[message.rank] = now
         self._receive_count += 1
         if message.final:
@@ -282,9 +299,9 @@ class Collector:
                 "message", ts=now, rank=message.rank,
                 volume=message.snapshot.volume, final=message.final)
         if self._persist and self._data is not None:
-            self._data.save_processor_snapshot(message.rank,
-                                               message.snapshot,
-                                               session=self._sessions)
+            self._data.save_processor_snapshot(
+                message.rank, message.snapshot, session=self._sessions,
+                statistics=message.statistics)
         due = (self._config.peraver == 0.0
                or self._last_average_at is None
                or now - self._last_average_at >= self._config.peraver
@@ -305,6 +322,21 @@ class Collector:
         return merge_snapshots(
             [self._base,
              *(snapshot for _, snapshot in sorted(self._latest.items()))])
+
+    def merged_statistics(self) -> dict[str, Statistic]:
+        """The extra statistics merged across base and workers.
+
+        Same discipline as :meth:`merged`: the resume base first, then
+        every rank's latest extras in rank order — the fixed
+        association that keeps float-summed statistics bit-identical
+        across backends.  Kinds are the union of what the base and the
+        workers delivered, so a resumed run never drops a statistic an
+        earlier session collected.
+        """
+        return merge_statistic_maps(
+            [self._base_statistics,
+             *(extras for _, extras
+               in sorted(self._latest_extras.items()))])
 
     def estimates(self) -> Estimates:
         """Result matrices for the current merged sample."""

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.exceptions import ConfigurationError
 from repro.rng.multiplier import DEFAULT_LEAPS, LeapSet
+from repro.stats.statistic import DEFAULT_STATISTICS, normalize_statistics
 
 __all__ = ["RunConfig", "minutes"]
 
@@ -66,6 +67,13 @@ class RunConfig:
         death_grace: Seconds a cleanly-exited worker may leave its
             final message in flight before it is declared dead (the
             multiprocess backend's dead-child grace period).
+        statistics: Registered statistic kinds every worker accumulates
+            and ships (see :mod:`repro.stats.statistic`).  Accepts a
+            sequence or a comma-separated string; normalized so
+            ``"moments"`` — mandatory, it drives estimates and
+            completion accounting — always comes first.  The default
+            moments-only selection reproduces the historical pipeline
+            bit-for-bit.
     """
 
     nrow: int = 1
@@ -82,6 +90,7 @@ class RunConfig:
     telemetry: bool = False
     on_worker_death: str = "fail"
     death_grace: float = 1.0
+    statistics: tuple[str, ...] = DEFAULT_STATISTICS
 
     def __post_init__(self) -> None:
         if self.nrow < 1 or self.ncol < 1:
@@ -125,6 +134,15 @@ class RunConfig:
                 f"got {self.death_grace}")
         # Normalize workdir to a Path without touching the filesystem.
         object.__setattr__(self, "workdir", Path(self.workdir))
+        # Canonicalize the statistics selection (moments first, known
+        # kinds only) so every layer sees the same tuple.
+        object.__setattr__(self, "statistics",
+                           normalize_statistics(self.statistics))
+
+    @property
+    def extra_statistics(self) -> tuple[str, ...]:
+        """The declared kinds beyond the mandatory moments."""
+        return self.statistics[1:]
 
     @property
     def shape(self) -> tuple[int, int]:

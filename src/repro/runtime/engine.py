@@ -402,7 +402,8 @@ class Engine:
         collector = Collector(config, state.base, data,
                               sessions=state.session_index,
                               persist_subtotals=backend.persist_subtotals,
-                              telemetry=telemetry)
+                              telemetry=telemetry,
+                              base_statistics=state.base_statistics)
         self.collector = collector
         backend.bind(self)
         collector.mark_epoch(backend.clock())
@@ -434,8 +435,10 @@ class Engine:
         elapsed = time.monotonic() - self.started
         collector.save(backend.clock(), elapsed=elapsed)
         merged = collector.merged()
+        merged_statistics = collector.merged_statistics()
         if data is not None:
-            finalize_session(data, state, merged)
+            finalize_session(data, state, merged,
+                             statistics=merged_statistics)
             data.clear_processor_snapshots()
         estimates = merged.estimates() if merged.volume > 0 else None
         summary = (telemetry.finalize(elapsed=elapsed,
@@ -457,7 +460,8 @@ class Engine:
             saves_performed=collector.save_count,
             history=collector.history,
             telemetry=summary,
-            recovered_ranks=tuple(self._recovered))
+            recovered_ranks=tuple(self._recovered),
+            statistics=merged_statistics)
 
     # -- message path --------------------------------------------------------
 

@@ -48,9 +48,15 @@ from repro.exceptions import (
 from repro.runtime import storage
 from repro.stats.accumulator import MomentSnapshot
 from repro.stats.estimators import Estimates
+from repro.stats.statistic import (
+    Statistic,
+    payload_map,
+    statistics_from_payload_map,
+)
 
 __all__ = [
     "DataDirectory",
+    "ProcessorSubtotal",
     "SavepointMeta",
     "render_mean_matrix",
     "render_ci_table",
@@ -67,8 +73,11 @@ GENPARAM_FILENAME = "parmonc_genparam.dat"
 
 #: Current save-point envelope version.  Version 1 was the bare JSON
 #: document without checksum or manifest; version 2 moved to the
-#: checksummed :func:`repro.runtime.storage.write_artifact` envelope.
-SAVEPOINT_VERSION = 2
+#: checksummed :func:`repro.runtime.storage.write_artifact` envelope;
+#: version 3 added the optional ``statistics`` map of serialized
+#: :class:`~repro.stats.statistic.Statistic` payloads (moment-only
+#: version-2 artifacts still load).
+SAVEPOINT_VERSION = 3
 SAVEPOINT_FORMAT = "parmonc/savepoint"
 PROCESSOR_FORMAT = "parmonc/processor-savepoint"
 
@@ -136,12 +145,28 @@ class SavepointMeta:
         manifest: Session manifest of the writing session (processor
             count, leap exponents, ``parmonc_genparam.dat``
             fingerprint); None for pre-manifest save-points.
+        statistics: Extra cumulative statistics stored beside the
+            moment snapshot, keyed by kind (empty for legacy
+            moment-only save-points).
+        unknown_payloads: Raw payloads whose kinds are not registered
+            in this process — written by a newer version or an
+            un-imported custom statistic.  Kept verbatim so a rewrite
+            (``manaver``) carries them forward instead of silently
+            dropping them; callers surface the kinds via
+            :attr:`unknown_statistics`.
     """
 
     shape: tuple[int, int]
     used_seqnums: tuple[int, ...]
     sessions: int
     manifest: dict | None = field(default=None)
+    statistics: dict[str, Statistic] = field(default_factory=dict)
+    unknown_payloads: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def unknown_statistics(self) -> tuple[str, ...]:
+        """Kinds stored in the artifact but not registered here."""
+        return tuple(sorted(self.unknown_payloads))
 
     @property
     def processors(self) -> int | None:
@@ -154,6 +179,49 @@ class SavepointMeta:
 
 # Backwards-compatible alias for the pre-PR-4 private name.
 _SavepointMeta = SavepointMeta
+
+
+@dataclass(frozen=True)
+class ProcessorSubtotal:
+    """One processor's persisted subtotal (the ``manaver`` input).
+
+    Attributes:
+        rank: The writing processor's index.
+        snapshot: Its latest cumulative moment snapshot.
+        statistics: The extra statistics that rode the same message,
+            keyed by kind (empty for moment-only runs and legacy
+            files).
+        session: Session tag, or None for untagged legacy files.
+    """
+
+    rank: int
+    snapshot: MomentSnapshot
+    statistics: dict[str, Statistic] = field(default_factory=dict)
+    session: int | None = None
+
+
+def _parse_statistics(payload: dict, path: Path
+                      ) -> tuple[dict[str, Statistic], dict[str, dict]]:
+    """Deserialize an artifact's optional ``statistics`` map.
+
+    Returns the registered statistics plus the raw payloads of
+    unregistered kinds.  A missing map (legacy moment-only artifact)
+    yields two empty dicts; a malformed one raises ``ValueError`` so
+    the caller's quarantine path handles it like any other corruption.
+    """
+    raw = payload.get("statistics")
+    if raw is None:
+        return {}, {}
+    if not isinstance(raw, dict):
+        raise ValueError("statistics map is not an object")
+    statistics, unknown = statistics_from_payload_map(raw)
+    unknown_payloads = {kind: raw[kind] for kind in unknown}
+    if unknown:
+        _logger.warning(
+            "%s carries unregistered statistic kind(s) %s; payloads "
+            "kept but not merged (import/register the statistic to "
+            "use them)", path.name, sorted(unknown))
+    return statistics, unknown_payloads
 
 
 class DataDirectory:
@@ -310,7 +378,10 @@ class DataDirectory:
     def save_savepoint(self, snapshot: MomentSnapshot, *,
                        used_seqnums: tuple[int, ...],
                        sessions: int,
-                       manifest: dict | None = None) -> None:
+                       manifest: dict | None = None,
+                       statistics: dict[str, Statistic] | None = None,
+                       extra_payloads: dict[str, dict] | None = None
+                       ) -> None:
         """Persist the merged snapshot and session metadata durably.
 
         The save-point goes through the atomic, checksummed artifact
@@ -318,6 +389,17 @@ class DataDirectory:
         :func:`repro.runtime.resume.build_manifest`) records the
         writing session's processor count and RNG leap parameters so a
         later resume can refuse a mismatched generator hierarchy.
+
+        Args:
+            snapshot: The merged moment snapshot.
+            used_seqnums: Every burnt experiments subsequence.
+            sessions: Sessions folded into the snapshot.
+            manifest: The writing session's manifest.
+            statistics: Extra merged statistics to store beside the
+                moments, keyed by kind.
+            extra_payloads: Already-serialized statistic payloads to
+                carry forward verbatim — how unknown kinds loaded from
+                an older save-point survive a rewrite untouched.
         """
         self.ensure()
         payload = {
@@ -328,6 +410,10 @@ class DataDirectory:
         }
         if manifest is not None:
             payload["manifest"] = manifest
+        serialized = dict(extra_payloads or {})
+        serialized.update(payload_map(statistics or {}))
+        if serialized:
+            payload["statistics"] = serialized
         storage.write_artifact(self.savepoint_path, SAVEPOINT_FORMAT,
                                payload, version=SAVEPOINT_VERSION,
                                label="savepoint")
@@ -365,11 +451,15 @@ class DataDirectory:
             manifest = payload.get("manifest")
             if manifest is not None and not isinstance(manifest, dict):
                 raise ValueError("manifest is not an object")
+            statistics, unknown_payloads = _parse_statistics(
+                payload, self.savepoint_path)
             meta = SavepointMeta(
                 shape=tuple(payload["shape"]),
                 used_seqnums=tuple(payload["used_seqnums"]),
                 sessions=int(payload["sessions"]),
-                manifest=manifest)
+                manifest=manifest,
+                statistics=statistics,
+                unknown_payloads=unknown_payloads)
         except (KeyError, TypeError, ValueError,
                 ConfigurationError) as exc:
             target = self._quarantine(self.savepoint_path, str(exc))
@@ -390,7 +480,9 @@ class DataDirectory:
         return self.savepoints_dir / f"processor_{rank:05d}.json"
 
     def save_processor_snapshot(self, rank: int, snapshot: MomentSnapshot,
-                                *, session: int | None = None) -> None:
+                                *, session: int | None = None,
+                                statistics: dict[str, Statistic] | None
+                                = None) -> None:
         """Persist one processor's latest subtotal snapshot durably.
 
         ``session`` tags the subtotal with the session index that
@@ -399,17 +491,23 @@ class DataDirectory:
         hit between the save-point rename and the subtotal cleanup)
         from one that still needs recovering — without it, that crash
         window would double-count every realization of the session.
+
+        ``statistics`` mirrors the extra cumulative statistics the
+        worker's latest message carried, so ``manaver`` recovers every
+        declared statistic, not just the moments.
         """
         self.ensure()
         payload: dict = {"rank": rank, "snapshot": snapshot.to_dict()}
         if session is not None:
             payload["session"] = int(session)
+        if statistics:
+            payload["statistics"] = payload_map(statistics)
         storage.write_artifact(
             self.processor_savepoint_path(rank), PROCESSOR_FORMAT,
             payload, version=SAVEPOINT_VERSION, label="processor")
 
-    def load_processor_snapshots(self, *, absorbed_sessions: int | None
-                                 = None) -> dict[int, MomentSnapshot]:
+    def load_processor_subtotals(self, *, absorbed_sessions: int | None
+                                 = None) -> dict[int, ProcessorSubtotal]:
         """Load every healthy per-processor subtotal present on disk.
 
         A torn or checksum-failing subtotal is quarantined and *skipped*
@@ -426,9 +524,9 @@ class DataDirectory:
                 but crashed before cleaning its subtotals up).
                 Untagged (legacy) subtotals are always returned.
         """
-        snapshots: dict[int, MomentSnapshot] = {}
+        subtotals: dict[int, ProcessorSubtotal] = {}
         if not self.savepoints_dir.exists():
-            return snapshots
+            return subtotals
         for path in sorted(self.savepoints_dir.glob("processor_*.json")):
             try:
                 payload, _version = storage.read_artifact(
@@ -440,8 +538,13 @@ class DataDirectory:
                         "subtotal %s already absorbed by the merged "
                         "save-point (session %s)", path.name, session)
                     continue
-                snapshots[int(payload["rank"])] = MomentSnapshot.from_dict(
-                    payload["snapshot"])
+                statistics, _unknown = _parse_statistics(payload, path)
+                rank = int(payload["rank"])
+                subtotals[rank] = ProcessorSubtotal(
+                    rank=rank,
+                    snapshot=MomentSnapshot.from_dict(payload["snapshot"]),
+                    statistics=statistics,
+                    session=int(session) if session is not None else None)
             except ArtifactVersionError:
                 raise
             except (CorruptArtifactError, KeyError, TypeError, ValueError,
@@ -450,7 +553,14 @@ class DataDirectory:
                 _logger.warning(
                     "skipping corrupt processor save-point %s: %s",
                     path.name, exc)
-        return snapshots
+        return subtotals
+
+    def load_processor_snapshots(self, *, absorbed_sessions: int | None
+                                 = None) -> dict[int, MomentSnapshot]:
+        """Moment-snapshot view of :meth:`load_processor_subtotals`."""
+        return {rank: subtotal.snapshot for rank, subtotal
+                in self.load_processor_subtotals(
+                    absorbed_sessions=absorbed_sessions).items()}
 
     def clear_processor_snapshots(self) -> None:
         """Remove per-processor subtotals (on a clean run completion)."""

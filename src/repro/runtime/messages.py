@@ -1,18 +1,30 @@
 """Worker-to-collector messages and their cost model.
 
-Workers ship *cumulative* moment snapshots: each message carries the
-entire ``(sum1, sum2, l_m)`` the worker has accumulated so far.  The
-collector keeps the latest snapshot per rank, so a lost or reordered
-message costs freshness but never correctness — the same robustness the
-asynchronous PARMONC exchange relies on.
+Workers ship *cumulative* statistic snapshots: each message carries the
+entire summary the worker has accumulated so far — always the moment
+pair ``(sum1, sum2, l_m)``, plus whatever extra
+:class:`~repro.stats.statistic.Statistic` payloads the run declared.
+The collector keeps the latest snapshot per rank, so a lost or
+reordered message costs freshness but never correctness — the same
+robustness the asynchronous PARMONC exchange relies on.
+
+The wire-size model is derived from the statistics actually on the
+message, not from an assumed moment-only shape: every statistic
+reports its own ``nbytes`` and the message adds a fixed framing
+header.  For the default moments-only configuration this reproduces
+the paper's Fig. 2 accounting exactly (eight 8-byte words per matrix
+entry; 128,064 bytes for the 1000 x 2 performance test — the reported
+"approximately 120 Kbytes" per pass).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.exceptions import ConfigurationError
-from repro.stats.accumulator import MomentSnapshot
+from repro.stats.accumulator import MOMENT_WORDS_PER_ENTRY, MomentSnapshot
+from repro.stats.statistic import Statistic
 
 __all__ = ["MomentMessage", "message_bytes"]
 
@@ -36,6 +48,12 @@ class MomentMessage:
             :meth:`repro.obs.telemetry.WorkerTelemetry.as_dict`.  Like
             the moment snapshot it is cumulative, so the collector
             keeps the latest per rank and loses nothing to reordering.
+        statistics: Extra cumulative statistics riding the pass, keyed
+            by kind (``None`` — not an empty mapping — for the default
+            moments-only run, keeping its messages byte-identical to
+            the historical format).  Each value is a frozen
+            :class:`~repro.stats.statistic.Statistic` snapshot with
+            the same latest-per-rank semantics as the moments.
     """
 
     rank: int
@@ -43,6 +61,7 @@ class MomentMessage:
     sent_at: float
     final: bool = False
     metrics: dict | None = None
+    statistics: Mapping[str, Statistic] | None = field(default=None)
 
     def __post_init__(self) -> None:
         if self.rank < 0:
@@ -54,20 +73,32 @@ class MomentMessage:
 
     @property
     def nbytes(self) -> int:
-        """Modelled wire size of this message."""
-        return message_bytes(*self.snapshot.shape)
+        """Modelled wire size, derived from the payloads on board."""
+        extras = (self.statistics.values()
+                  if self.statistics is not None else ())
+        return (_HEADER_BYTES + self.snapshot.nbytes
+                + sum(statistic.nbytes for statistic in extras))
 
 
-def message_bytes(nrow: int, ncol: int) -> int:
-    """Modelled size of a moment message for an ``nrow x ncol`` problem.
+def message_bytes(nrow: int, ncol: int,
+                  statistics: Iterable[Statistic] = ()) -> int:
+    """Modelled size of one data pass for an ``nrow x ncol`` problem.
 
-    The model charges eight 8-byte words per matrix entry (the two
-    moment matrices plus the derived mean/error/variance set the
-    original library ships).  For the paper's 1000 x 2 performance test
-    this gives 64 * 2000 + 64 = 128,064 bytes, matching the reported
-    "approximately 120 Kbytes" per pass.
+    The moment payload charges eight 8-byte words per matrix entry
+    (the two moment matrices plus the derived mean/error/variance set
+    the original library ships); each extra statistic contributes its
+    own ``nbytes``.  With no extras this gives ``64 * nrow * ncol +
+    64`` — 128,064 bytes for the paper's 1000 x 2 performance test,
+    matching the reported "approximately 120 Kbytes" per pass.
+
+    Args:
+        nrow: Rows of the realization matrix.
+        ncol: Columns of the realization matrix.
+        statistics: Extra :class:`Statistic` payloads riding each
+            pass (the non-moment members of the run's set).
     """
     if nrow < 1 or ncol < 1:
         raise ConfigurationError(
             f"matrix dimensions must be >= 1, got {nrow}x{ncol}")
-    return 64 * nrow * ncol + _HEADER_BYTES
+    return (8 * MOMENT_WORDS_PER_ENTRY * nrow * ncol + _HEADER_BYTES
+            + sum(statistic.nbytes for statistic in statistics))

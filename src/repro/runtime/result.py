@@ -7,6 +7,7 @@ from pathlib import Path
 
 from repro.runtime.config import RunConfig
 from repro.stats.estimators import Estimates
+from repro.stats.statistic import Statistic
 
 __all__ = ["RunResult"]
 
@@ -41,6 +42,11 @@ class RunResult:
         recovered_ranks: Ranks that died mid-run and had their remaining
             quota reassigned to a replacement worker (empty unless
             ``config.on_worker_death == "reassign"`` kicked in).
+        statistics: The extra merged statistics of the run, keyed by
+            kind — covariance, histogram, ... as declared via
+            ``config.statistics`` (plus any inherited from resumed
+            sessions).  Empty for the default moments-only run; the
+            moment statistic itself is exposed as :attr:`estimates`.
     """
 
     estimates: Estimates | None
@@ -57,6 +63,7 @@ class RunResult:
     history: tuple[tuple[float, int, float], ...] = ()
     telemetry: dict | None = None
     recovered_ranks: tuple[int, ...] = ()
+    statistics: dict[str, Statistic] = field(default_factory=dict)
 
     def __str__(self) -> str:
         timing = (f"T_comp={self.virtual_time:.3f}s (virtual)"
@@ -84,6 +91,10 @@ class RunResult:
                              f"{self.estimates.mean_time:.3e} s")
         lines.append(f"collector: {self.messages_received} messages, "
                      f"{self.saves_performed} save sweeps")
+        if self.statistics:
+            lines.append("extra statistics: " + ", ".join(
+                f"{kind} (L={statistic.volume})" for kind, statistic
+                in sorted(self.statistics.items())))
         if self.data_dir is not None:
             lines.append(f"results under {self.data_dir}")
         return "\n".join(lines)

@@ -24,6 +24,7 @@ from repro.exceptions import ResumeError, SupersededSampleWarning
 from repro.runtime.config import RunConfig
 from repro.runtime.files import DataDirectory, genparam_fingerprint
 from repro.stats.accumulator import MomentSnapshot
+from repro.stats.statistic import Statistic
 
 __all__ = ["ResumeState", "build_manifest", "prepare_resume",
            "finalize_session"]
@@ -63,12 +64,21 @@ class ResumeState:
             resuming.
         manifest: The current session's manifest, persisted with the
             save-point at finalize time.
+        base_statistics: Extra statistics inherited from previous
+            sessions, keyed by kind (empty for a new simulation) —
+            they merge under the new session's extras exactly like
+            ``base`` merges under the moments.
+        unknown_payloads: Raw statistic payloads of unregistered kinds
+            found in the loaded save-point; carried forward verbatim
+            at finalize time so resuming never destroys them.
     """
 
     base: MomentSnapshot
     used_seqnums: tuple[int, ...]
     session_index: int
     manifest: dict | None = field(default=None)
+    base_statistics: dict[str, Statistic] = field(default_factory=dict)
+    unknown_payloads: dict[str, dict] = field(default_factory=dict)
 
 
 def _previous_seqnums(data: DataDirectory) -> tuple[int, ...]:
@@ -145,16 +155,28 @@ def prepare_resume(config: RunConfig, data: DataDirectory, *,
         base=snapshot,
         used_seqnums=tuple(meta.used_seqnums) + (config.seqnum,),
         session_index=meta.sessions + 1,
-        manifest=manifest)
+        manifest=manifest,
+        base_statistics=dict(meta.statistics),
+        unknown_payloads=dict(meta.unknown_payloads))
 
 
 def finalize_session(data: DataDirectory, state: ResumeState,
-                     merged: MomentSnapshot) -> None:
-    """Persist the merged result as the save-point for future sessions."""
+                     merged: MomentSnapshot,
+                     statistics: dict[str, Statistic] | None = None
+                     ) -> None:
+    """Persist the merged result as the save-point for future sessions.
+
+    ``statistics`` is the session's merged extra-statistic map (the
+    collector's :meth:`~repro.runtime.collector.Collector
+    .merged_statistics`); unknown-kind payloads inherited from the
+    previous save-point are rewritten verbatim beside them.
+    """
     if merged.shape != state.base.shape:
         raise ResumeError(
             f"merged snapshot shape {merged.shape} does not match the "
             f"session base shape {state.base.shape}")
     data.save_savepoint(merged, used_seqnums=state.used_seqnums,
                         sessions=state.session_index,
-                        manifest=state.manifest)
+                        manifest=state.manifest,
+                        statistics=statistics,
+                        extra_payloads=state.unknown_payloads)

@@ -3,9 +3,16 @@
 A worker owns one "processors" subsequence of the RNG hierarchy.  For
 its ``r``-th realization it positions a fresh generator at realization
 substream ``r``, runs the user routine, accumulates the returned matrix,
-and every ``perpass`` seconds ships its cumulative moments to the
+and every ``perpass`` seconds ships its cumulative statistics to the
 collector.  ``perpass = 0`` reproduces the paper's strictest performance
 test: a data pass after *every* realization.
+
+The worker accumulates the run's declared
+:class:`~repro.stats.statistic.StatisticSet`: always the moment pair,
+plus any extra mergeable statistics from ``config.statistics``
+(covariance, histogram, ...), whose frozen snapshots ride each data
+pass on the message's ``statistics`` field.  A moments-only run takes
+exactly the historical code path.
 
 Routines carrying a ``batch_size`` attribute (see :func:`batch_routine`
 and :func:`make_batched`) take the batched fast path instead: the worker
@@ -33,6 +40,7 @@ from repro.rng.streams import StreamTree
 from repro.runtime.config import RunConfig
 from repro.runtime.messages import MomentMessage, message_bytes
 from repro.stats.accumulator import MomentAccumulator
+from repro.stats.statistic import StatisticSet
 
 __all__ = ["RealizationRoutine", "BatchRealizationRoutine",
            "adapt_realization", "batch_routine", "make_batched",
@@ -197,8 +205,10 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
     adapted = adapt_realization(routine)
     stream = StreamTree(config.leaps).experiment(config.seqnum) \
                                      .processor(rank)
-    accumulator = MomentAccumulator(config.nrow, config.ncol)
-    nbytes = message_bytes(config.nrow, config.ncol)
+    statistics = StatisticSet.for_run(config.statistics, config.nrow,
+                                      config.ncol)
+    accumulator = statistics.moments
+    nbytes = message_bytes(config.nrow, config.ncol, statistics.extras)
 
     def ship(sent_at: float, final: bool) -> None:
         metrics = None
@@ -206,7 +216,8 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
             telemetry.message(nbytes)
             metrics = telemetry.as_dict(now=sent_at)
         send(MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
-                           sent_at=sent_at, final=final, metrics=metrics))
+                           sent_at=sent_at, final=final, metrics=metrics,
+                           statistics=statistics.extras_snapshot()))
 
     batch_size = getattr(adapted, "batch_size", None)
     last_send = clock()
@@ -235,8 +246,8 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
                     f"experiment={config.seqnum} processor={rank}",
                     experiment=config.seqnum, processor=rank,
                     realization=index)
-            accumulator.add_batch(results,
-                                  compute_time=finished - started)
+            statistics.update_batch(results,
+                                    compute_time=finished - started)
             if telemetry is not None:
                 telemetry.batch(width, finished - started)
             index += width
@@ -260,7 +271,7 @@ def run_worker(routine: RealizationRoutine, config: RunConfig, rank: int,
                 f"{exc}", experiment=config.seqnum, processor=rank,
                 realization=index) from exc
         finished = clock()
-        accumulator.add(result, compute_time=finished - started)
+        statistics.update(result, compute_time=finished - started)
         if telemetry is not None:
             telemetry.realization(finished - started)
         if config.perpass == 0.0 or finished - last_send >= config.perpass:

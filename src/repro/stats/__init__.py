@@ -1,8 +1,12 @@
-"""Estimators, moment accumulation and formula-(5) merging."""
+"""Estimators, mergeable statistics and formula-(5) merging."""
 
 from __future__ import annotations
 
-from repro.stats.accumulator import MomentAccumulator, MomentSnapshot
+from repro.stats.accumulator import (
+    MOMENT_WORDS_PER_ENTRY,
+    MomentAccumulator,
+    MomentSnapshot,
+)
 from repro.stats.compare import (
     ComparisonResult,
     compare_means,
@@ -19,14 +23,40 @@ from repro.stats.estimators import (
     estimates_from_moments,
     required_sample_volume,
 )
-from repro.stats.merging import combine_estimates, merge_snapshots
+from repro.stats.merging import (
+    combine_estimates,
+    merge_snapshots,
+    merge_statistic_maps,
+    merge_statistics,
+)
+from repro.stats.statistic import (
+    DEFAULT_STATISTICS,
+    Counter,
+    Covariance,
+    Extrema,
+    Histogram,
+    Moments,
+    Statistic,
+    StatisticSet,
+    create_statistic,
+    normalize_statistics,
+    payload_map,
+    register_statistic,
+    statistic_class,
+    statistic_from_payload,
+    statistic_kinds,
+    statistics_from_payload_map,
+)
 
 __all__ = [
     "MomentAccumulator",
     "MomentSnapshot",
+    "MOMENT_WORDS_PER_ENTRY",
     "Estimates",
     "estimates_from_moments",
     "merge_snapshots",
+    "merge_statistics",
+    "merge_statistic_maps",
     "combine_estimates",
     "computational_cost",
     "confidence_factor",
@@ -38,4 +68,20 @@ __all__ = [
     "compare_variances",
     "efficiency_gain",
     "CovarianceAccumulator",
+    "DEFAULT_STATISTICS",
+    "Statistic",
+    "StatisticSet",
+    "Moments",
+    "Covariance",
+    "Histogram",
+    "Extrema",
+    "Counter",
+    "register_statistic",
+    "statistic_class",
+    "statistic_kinds",
+    "statistic_from_payload",
+    "statistics_from_payload_map",
+    "payload_map",
+    "create_statistic",
+    "normalize_statistics",
 ]

@@ -16,7 +16,12 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.stats.estimators import Estimates, estimates_from_moments
 
-__all__ = ["MomentSnapshot", "MomentAccumulator"]
+__all__ = ["MOMENT_WORDS_PER_ENTRY", "MomentSnapshot", "MomentAccumulator"]
+
+#: Eight-byte state words shipped per matrix entry in a moment
+#: snapshot — the §2.2 accounting behind the paper's "120 Kbytes for a
+#: 1000 x 2 matrix" figure and the simulated cluster's cost model.
+MOMENT_WORDS_PER_ENTRY = 8
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,11 @@ class MomentSnapshot:
     def shape(self) -> tuple[int, int]:
         """``(nrow, ncol)`` of the realization matrix."""
         return self.sum1.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled wire size of the snapshot (cost-model bytes)."""
+        return 8 * MOMENT_WORDS_PER_ENTRY * self.sum1.size
 
     def estimates(self) -> Estimates:
         """Turn the snapshot into result matrices (requires volume > 0)."""

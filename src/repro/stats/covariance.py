@@ -54,6 +54,51 @@ class CovarianceAccumulator:
         self._sum = np.zeros(size, dtype=np.float64)
         self._outer = np.zeros((size, size), dtype=np.float64)
         self._volume = 0
+        # Realizations are staged in fixed blocks of _block rows before
+        # folding (see _settle_block); the width depends only on the
+        # matrix size, so block boundaries — and therefore the folded
+        # bit pattern — are a pure function of the realization
+        # sequence, never of how callers segment their batches.
+        span = size + size * size
+        self._block = max(1, min(self._BLOCK_ROWS,
+                                 self._SCRATCH_BUDGET // (span * 8)))
+        self._fill = 0
+        self._buffer: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+
+    @classmethod
+    def from_state(cls, nrow: int, ncol: int, sum_vector, outer_matrix,
+                   volume: int) -> "CovarianceAccumulator":
+        """Rebuild an accumulator from persisted state sums.
+
+        Args:
+            nrow: Rows of the realization matrix.
+            ncol: Columns of the realization matrix.
+            sum_vector: Flat entry sums, length ``nrow * ncol``.
+            outer_matrix: Cross-moment sums, ``(n*m, n*m)``.
+            volume: Realizations behind the sums.
+        """
+        accumulator = cls(nrow, ncol)
+        size = nrow * ncol
+        sum_vector = np.asarray(sum_vector, dtype=np.float64)
+        outer_matrix = np.asarray(outer_matrix, dtype=np.float64)
+        if sum_vector.shape != (size,) \
+                or outer_matrix.shape != (size, size):
+            raise ConfigurationError(
+                f"covariance state arrays have shapes {sum_vector.shape} "
+                f"and {outer_matrix.shape}, expected ({size},) and "
+                f"({size}, {size})")
+        if not (np.isfinite(sum_vector).all()
+                and np.isfinite(outer_matrix).all()):
+            raise ConfigurationError(
+                "covariance state contains non-finite values")
+        if volume < 0:
+            raise ConfigurationError(
+                f"volume must be >= 0, got {volume}")
+        accumulator._sum = sum_vector.copy()
+        accumulator._outer = outer_matrix.copy()
+        accumulator._volume = int(volume)
+        return accumulator
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -65,6 +110,18 @@ class CovarianceAccumulator:
         """Realizations accumulated so far."""
         return self._volume
 
+    @property
+    def sum_vector(self) -> np.ndarray:
+        """Copy of the flat entry sums (persistence state)."""
+        total, _outer = self._effective()
+        return total.copy()
+
+    @property
+    def outer_matrix(self) -> np.ndarray:
+        """Copy of the cross-moment sums (persistence state)."""
+        _total, outer = self._effective()
+        return outer.copy()
+
     def add(self, realization) -> None:
         """Accumulate one realization matrix."""
         matrix = np.asarray(realization, dtype=np.float64)
@@ -75,30 +132,140 @@ class CovarianceAccumulator:
         if not np.all(np.isfinite(matrix)):
             raise ConfigurationError(
                 "realization contains non-finite values")
-        flat = matrix.ravel()
-        self._sum += flat
-        self._outer += np.outer(flat, flat)
-        self._volume += 1
+        self._fold(matrix.reshape(1, -1), 1)
+
+    # Rows per staging block, shrunk so the (span, block) product
+    # scratch stays about a megabyte even for wide matrices (a block
+    # of 1 falls back to plain outer-product adds — same bits, since a
+    # one-row fold is the row itself).
+    _BLOCK_ROWS = 1_024
+    _SCRATCH_BUDGET = 1 << 20
+
+    def add_batch(self, realizations) -> None:
+        """Accumulate a batch of realizations in one vectorized fold.
+
+        Bit-identical to calling :meth:`add` once per batch row, in
+        order: rows land in the staging buffer at positions fixed by
+        their arrival index, and complete blocks fold with the same
+        contiguous-axis reduction either way — the resulting bit
+        pattern is a pure function of the realization sequence (on a
+        fixed NumPy build), so batched and scalar runs, and backends
+        with different batch widths, agree to the last bit.
+
+        Args:
+            realizations: ``(B, nrow, ncol)`` array-like (a 1-D
+                length-B vector is accepted for 1x1 problems).  Any
+                non-finite entry rejects the entire batch, leaving the
+                accumulator unchanged.
+        """
+        matrices = np.asarray(realizations, dtype=np.float64)
+        if matrices.ndim == 1 and self._shape == (1, 1):
+            matrices = matrices.reshape(-1, 1, 1)
+        if matrices.ndim != 3 or matrices.shape[1:] != self._shape:
+            raise ConfigurationError(
+                f"batch shape {matrices.shape} does not match the "
+                f"declared (B, {self._shape[0]}, {self._shape[1]})")
+        count = matrices.shape[0]
+        if not count:
+            return
+        if not np.isfinite(matrices).all():
+            raise ConfigurationError(
+                "batch contains non-finite realization values")
+        size = self._sum.size
+        self._fold(matrices.reshape(count, size), count)
+
+    def _fold(self, flat: np.ndarray, count: int) -> None:
+        """Stage validated ``(count, size)`` rows, folding full blocks.
+
+        Trusted fast path: callers guarantee ``flat`` is finite and
+        correctly shaped (``add_batch`` validates;
+        :class:`~repro.stats.statistic.StatisticSet` validates once via
+        the moment accumulator and feeds every statistic directly).
+        """
+        if self._buffer is None:
+            self._buffer = np.empty((self._block, self._sum.size),
+                                    dtype=np.float64)
+        size = self._sum.size
+        done = 0
+        while done < count:
+            if self._fill == 0 and count - done >= self._block:
+                # Aligned full block: fold straight from the caller's
+                # rows — same positions, same fold, no staging copy.
+                totals = self._fold_rows(flat[done:done + self._block])
+                done += self._block
+            else:
+                width = min(self._block - self._fill, count - done)
+                self._buffer[self._fill:self._fill + width] = \
+                    flat[done:done + width]
+                self._fill += width
+                done += width
+                if self._fill != self._block:
+                    continue
+                totals = self._fold_rows(self._buffer)
+                self._fill = 0
+            self._sum += totals[:size]
+            self._outer += totals[size:].reshape(size, size)
+        self._volume += count
+
+    def _fold_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Deterministic ``[sum(x), vec(sum(x xᵀ))]`` of staged rows.
+
+        The products live in a ``(span, n)`` scratch so every
+        reduction runs over the contiguous axis — NumPy's pairwise
+        summation there is a fixed algorithm of ``n`` alone, making
+        the result independent of how the rows arrived.
+        """
+        n, size = rows.shape
+        if self._block == 1:
+            row = rows[0]
+            return np.concatenate([row, np.outer(row, row).ravel()])
+        span = size + size * size
+        if self._scratch is None:
+            self._scratch = np.empty((span, self._block),
+                                     dtype=np.float64)
+        scratch = self._scratch[:, :n]
+        scratch[:size] = rows.T
+        for i in range(size):
+            for j in range(i, size):
+                out = scratch[size + i * size + j]
+                np.multiply(scratch[i], scratch[j], out=out)
+                if j > i:
+                    scratch[size + j * size + i] = out
+        return np.add.reduce(scratch, axis=1)
+
+    def _effective(self) -> tuple[np.ndarray, np.ndarray]:
+        """Totals including any partially filled staging block."""
+        if not self._fill:
+            return self._sum, self._outer
+        totals = self._fold_rows(self._buffer[:self._fill])
+        size = self._sum.size
+        return (self._sum + totals[:size],
+                self._outer + totals[size:].reshape(size, size))
 
     def merge(self, other: "CovarianceAccumulator") -> None:
         """Fold another accumulator in (exact, formula-(5) style)."""
         if other.shape != self._shape:
             raise ConfigurationError(
                 f"cannot merge shapes {self._shape} and {other.shape}")
-        self._sum += other._sum
-        self._outer += other._outer
+        mine = self._effective()
+        theirs = other._effective()
+        self._sum = mine[0] + theirs[0]
+        self._outer = mine[1] + theirs[1]
+        self._fill = 0
         self._volume += other._volume
 
     def mean(self) -> np.ndarray:
         """Mean matrix, shape ``(nrow, ncol)``."""
         self._require_volume(1)
-        return (self._sum / self._volume).reshape(self._shape)
+        total, _outer = self._effective()
+        return (total / self._volume).reshape(self._shape)
 
     def covariance(self) -> np.ndarray:
         """Sample covariance of the flattened entries (biased, /L)."""
         self._require_volume(2)
-        mean = self._sum / self._volume
-        return self._outer / self._volume - np.outer(mean, mean)
+        total, outer = self._effective()
+        mean = total / self._volume
+        return outer / self._volume - np.outer(mean, mean)
 
     def correlation(self) -> np.ndarray:
         """Correlation matrix; entries with zero variance yield 0."""

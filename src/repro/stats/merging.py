@@ -1,4 +1,4 @@
-"""Formula (5): merging per-processor sample moments.
+"""Formula (5): merging per-processor sample summaries.
 
 The collector receives snapshots ``(sum1_m, sum2_m, l_m)`` from the
 ``M`` processors (sample volumes may differ — slower processors simply
@@ -9,11 +9,17 @@ contribute less) and forms
 and likewise for the second moments.  Because snapshots carry *sums*,
 merging is exact and associative: merging two sessions of a resumed
 simulation is the same arithmetic as merging two processors.
+
+This module is the single source of truth for those pairwise folds —
+the collector, ``manaver`` recovery and session resumption all merge
+through it, for plain moment snapshots (:func:`merge_snapshots`) and
+for the generalized :class:`~repro.stats.statistic.Statistic` payloads
+(:func:`merge_statistics`, :func:`merge_statistic_maps`) alike.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence, TYPE_CHECKING
 
 import numpy as np
 
@@ -21,7 +27,11 @@ from repro.exceptions import ConfigurationError
 from repro.stats.accumulator import MomentSnapshot
 from repro.stats.estimators import Estimates, estimates_from_moments
 
-__all__ = ["merge_snapshots", "combine_estimates"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stats.statistic import Statistic
+
+__all__ = ["merge_snapshots", "merge_statistics", "merge_statistic_maps",
+           "combine_estimates"]
 
 
 def merge_snapshots(snapshots: Iterable[MomentSnapshot]) -> MomentSnapshot:
@@ -60,6 +70,51 @@ def merge_snapshots(snapshots: Iterable[MomentSnapshot]) -> MomentSnapshot:
         raise ConfigurationError("merge_snapshots needs at least one snapshot")
     return MomentSnapshot(sum1=merged_sum1, sum2=merged_sum2,
                           volume=volume, compute_time=compute_time)
+
+
+def merge_statistics(statistics: Iterable["Statistic"]) -> "Statistic":
+    """Merge statistics of one kind into a fresh cumulative total.
+
+    The inputs are never mutated: the first statistic is snapshotted
+    and the rest are folded into the copy, strictly in iteration
+    order — the generalized formula-(5) fold, so rank-ordered inputs
+    give bit-identical totals on every backend.
+
+    Raises:
+        ConfigurationError: If no statistic is supplied, or kinds or
+            shapes differ.
+    """
+    merged = None
+    for statistic in statistics:
+        if merged is None:
+            merged = statistic.snapshot()
+        else:
+            merged.merge(statistic)
+    if merged is None:
+        raise ConfigurationError(
+            "merge_statistics needs at least one statistic")
+    return merged
+
+
+def merge_statistic_maps(
+        maps: Sequence[Mapping[str, "Statistic"]]
+        ) -> dict[str, "Statistic"]:
+    """Merge ``{kind: statistic}`` maps from processors or sessions.
+
+    Kinds form the union of all maps — a statistic only some sources
+    carry (a resumed run that dropped a kind, a partially-delivered
+    subtotal) still survives with whatever sample it covers.  Within a
+    kind the merge order is the order of ``maps``, so callers pass
+    rank- or session-ordered sequences for reproducible totals.
+    """
+    merged: dict[str, "Statistic"] = {}
+    for statistics in maps:
+        for kind, statistic in statistics.items():
+            if kind in merged:
+                merged[kind].merge(statistic)
+            else:
+                merged[kind] = statistic.snapshot()
+    return merged
 
 
 def combine_estimates(snapshots: Sequence[MomentSnapshot]) -> Estimates:
