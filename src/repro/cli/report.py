@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.exceptions import ConfigurationError, ReproError, ResumeError
 from repro.obs.render import render_telemetry
+from repro.runtime.engine import available_backends
 from repro.runtime.files import DataDirectory
 from repro.stats.statistic import Covariance, Histogram, Statistic
 
@@ -89,7 +90,8 @@ def render_report(workdir: Path, rows: int = 5,
     data = DataDirectory(workdir)
     if not data.root.exists():
         raise ReproError(f"no parmonc_data directory under {workdir}")
-    lines = [f"PARMONC run summary — {data.root}", "=" * 60]
+    lines = [f"PARMONC run summary — {data.root}", "=" * 60,
+             "registered backends: " + ", ".join(available_backends())]
     try:
         log = data.read_log()
     except ResumeError:

@@ -18,8 +18,9 @@ import importlib
 import sys
 from pathlib import Path
 
-from repro.core.parmonc import BACKENDS, parmonc
+from repro.core.parmonc import parmonc
 from repro.exceptions import ConfigurationError, ReproError
+from repro.runtime.engine import available_backends
 
 __all__ = ["main", "load_routine"]
 
@@ -54,12 +55,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="parmonc-run",
         description="Run a parallel stochastic simulation for a "
                     "user-supplied realization routine.")
-    parser.add_argument("routine",
+    parser.add_argument("routine", nargs="?", default=None,
                         help="realization routine as module:function")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list every registered backend (including "
+                             "lazily-registered ones) and exit")
     parser.add_argument("--nrow", type=int, default=1)
     parser.add_argument("--ncol", type=int, default=1)
-    parser.add_argument("--maxsv", type=int, required=True,
-                        help="maximal total sample volume")
+    parser.add_argument("--maxsv", type=int, default=None,
+                        help="maximal total sample volume (required "
+                             "unless --list-backends)")
     parser.add_argument("--res", type=int, choices=(0, 1), default=0,
                         help="0 = new simulation, 1 = resume previous")
     parser.add_argument("--seqnum", type=int, default=0,
@@ -69,8 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--peraver", type=float, default=5.0,
                         help="seconds between collector saves")
     parser.add_argument("--processors", "-M", type=int, default=1)
-    parser.add_argument("--backend", choices=BACKENDS,
+    parser.add_argument("--backend", choices=available_backends(),
                         default="sequential")
+    parser.add_argument("--connect", default=None,
+                        help="distributed backend: comma-separated "
+                             "parmonc-pool addresses (host:port[,...]); "
+                             "unreachable pools are retried and may "
+                             "join mid-run")
     parser.add_argument("--workdir", type=Path, default=Path.cwd())
     parser.add_argument("--time-limit", type=float, default=None,
                         help="job time limit in seconds")
@@ -102,7 +112,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_backends:
+        for name in available_backends():
+            print(name)
+        return 0
+    if args.routine is None:
+        parser.error("the routine argument is required "
+                     "(unless --list-backends)")
+    if args.maxsv is None:
+        parser.error("--maxsv is required (unless --list-backends)")
     # Allow module:function specs relative to the working directory, the
     # way a user naturally runs `parmonc-run mymodel:f` next to mymodel.py.
     sys.path.insert(0, str(args.workdir))
@@ -117,7 +137,10 @@ def main(argv: list[str] | None = None) -> int:
             batch_size=args.batch_size,
             on_worker_death=args.on_worker_death,
             death_grace=args.death_grace,
-            statistics=args.statistics)
+            statistics=args.statistics,
+            connect=args.connect,
+            # Pools import the routine by name instead of unpickling it.
+            backend_options={"routine_spec": args.routine})
     except ReproError as exc:
         print(f"parmonc-run: error: {exc}", file=sys.stderr)
         return 2

@@ -25,7 +25,7 @@ same way for all of them.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.rng.multiplier import DEFAULT_LEAPS, LeapSet
@@ -70,6 +70,8 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             cluster_spec: ClusterSpec | None = None,
             execute_realizations: bool = True,
             start_method: str | None = None,
+            connect: str | Sequence | None = None,
+            backend_options: Mapping | None = None,
             telemetry: bool = False,
             batch_size: int | None = None,
             on_worker_death: str = "fail",
@@ -98,9 +100,11 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             files).
         processors: Number of processors ``M``.
         backend: Any registered backend name — ``"sequential"``,
-            ``"multiprocess"`` (real OS processes) or ``"simcluster"``
-            (discrete-event simulation in virtual time) out of the box;
-            see :func:`~repro.runtime.engine.register_backend`.
+            ``"multiprocess"`` (real OS processes), ``"simcluster"``
+            (discrete-event simulation in virtual time) or
+            ``"distributed"`` (TCP ``parmonc-pool`` worker daemons)
+            out of the box; see
+            :func:`~repro.runtime.engine.register_backend`.
         workdir: Directory for ``parmonc_data``; defaults to the current
             directory.  A ``parmonc_genparam.dat`` there overrides the
             default leap parameters, as in §3.5.
@@ -113,6 +117,15 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             into a pure timing study.
         start_method: ``multiprocess`` only — multiprocessing start
             method override.
+        connect: ``distributed`` only — ``parmonc-pool`` address(es)
+            to dispatch quota to: ``"host:port"``, a comma-separated
+            list, or an iterable of addresses.  See
+            ``docs/protocol.md``.
+        backend_options: Extra keyword options forwarded to the chosen
+            backend's factory (each backend keeps only what its
+            signature accepts), for backends whose knobs have no
+            dedicated ``parmonc()`` argument — e.g. the distributed
+            backend's ``routine_spec`` or ``heartbeat_timeout``.
         telemetry: Record metrics, spans and a JSONL event log under
             ``parmonc_data/telemetry/`` (virtual-clock timestamps under
             ``simcluster``); summarized on ``RunResult.telemetry`` and
@@ -168,7 +181,10 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
         statistics=normalize_statistics(statistics))
     # create_backend keeps only the options the chosen backend's factory
     # accepts, so simcluster-only knobs are silently ignored elsewhere.
-    backend_impl = create_backend(
-        backend, start_method=start_method, cluster_spec=cluster_spec,
-        execute_realizations=execute_realizations)
+    options = dict(backend_options) if backend_options else {}
+    options.setdefault("start_method", start_method)
+    options.setdefault("cluster_spec", cluster_spec)
+    options.setdefault("execute_realizations", execute_realizations)
+    options.setdefault("connect", connect)
+    backend_impl = create_backend(backend, **options)
     return Engine(backend_impl, config, use_files=use_files).run(realization)

@@ -15,6 +15,7 @@ __all__ = [
     "CorruptArtifactError",
     "ArtifactVersionError",
     "BackendError",
+    "WireError",
     "RealizationError",
     "ReproWarning",
     "PeriodWarning",
@@ -73,6 +74,16 @@ class ArtifactVersionError(ReproError, RuntimeError):
 
 class BackendError(ReproError, RuntimeError):
     """A runtime backend failed to start, communicate or shut down."""
+
+
+class WireError(ReproError, RuntimeError):
+    """A distributed-protocol frame is malformed or incompatible.
+
+    Raised by :mod:`repro.runtime.wire` on bad magic, a checksum
+    failure, a version mismatch between a run and a ``parmonc-pool``
+    daemon, or an undeserializable payload.  The receiving side treats
+    the connection as poisoned and drops it.
+    """
 
 
 class RealizationError(ReproError, RuntimeError):

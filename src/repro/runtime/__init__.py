@@ -3,8 +3,9 @@
 Backends register themselves with the engine's registry
 (:func:`~repro.runtime.engine.register_backend`); importing this package
 registers the two eager backends (``sequential``, ``multiprocess``) and
-declares ``simcluster`` lazily — its module pulls in the discrete-event
-cluster simulation, which nobody should pay for on plain runs.
+declares ``simcluster`` and ``distributed`` lazily — the former pulls in
+the discrete-event cluster simulation, the latter the TCP wire layer,
+and nobody should pay for either on plain runs.
 """
 
 from __future__ import annotations
@@ -27,7 +28,7 @@ from repro.runtime.messages import MomentMessage, message_bytes
 
 # Backend modules register themselves; sequential first so the registry
 # (and therefore ``BACKENDS`` / the CLI choices) keeps its historical
-# order: sequential, multiprocess, simcluster.
+# order: sequential, multiprocess, simcluster, distributed.
 from repro.runtime.sequential import SequentialBackend, run_sequential
 from repro.runtime.multiprocess import MultiprocessBackend, run_multiprocess
 from repro.runtime.result import RunResult
@@ -41,6 +42,7 @@ from repro.runtime.worker import (
 )
 
 register_lazy_backend("simcluster", "repro.runtime.simcluster")
+register_lazy_backend("distributed", "repro.runtime.distributed")
 
 __all__ = [
     "RunConfig",

@@ -1,0 +1,516 @@
+"""Distributed backend: quota dispatched to TCP worker pools.
+
+The run side of the distributed deployment.  Where the multiprocess
+backend forks workers locally, this backend connects to one or more
+``parmonc-pool`` daemons (:mod:`repro.runtime.pool`) and dispatches the
+work plan over the wire protocol of :mod:`repro.runtime.wire`.  From the
+:class:`~repro.runtime.engine.Engine`'s point of view it is just another
+:class:`~repro.runtime.engine.Backend` — same ``spawn/poll/reap``
+contract, same collector, bit-identical estimates — which is the
+ParaMonte-style promise: serial, multicore and multi-node runs share one
+user-facing API.
+
+Elasticity falls out of two existing mechanisms:
+
+* **late joiners** — every configured address is retried in the
+  background, so a pool that comes up mid-run starts a session and
+  immediately receives whatever assignments are still pending
+  (including recovery assignments for other pools' dead workers);
+* **departures** — a worker crash surfaces as an EXIT frame with a
+  nonzero code, and a vanished pool (socket close, missed heartbeats,
+  ``kill -9`` of the daemon) marks all its unfinished ranks dead.  Both
+  route through the engine's ``on_worker_death`` policy, so with
+  ``"reassign"`` the undelivered quota is reissued on fresh
+  subsequences — possibly to a different pool.
+
+All socket work happens on an asyncio loop in a private daemon thread;
+the engine-facing methods communicate with it through thread-safe
+queues, and dead-worker verdicts reuse the engine's shared
+:class:`~repro.runtime.engine.DrainBuffer` drain-before-verdict helper
+and ``config.death_grace`` window, so the semantics cannot diverge from
+the multiprocess backend's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import queue as queue_module
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import BackendError, ConfigurationError, WireError
+from repro.runtime.engine import (
+    DrainBuffer,
+    EngineBackend,
+    WorkerDeath,
+    register_backend,
+)
+from repro.runtime.messages import MomentMessage
+from repro.runtime.wire import (
+    FrameKind,
+    config_to_payload,
+    message_from_payload,
+    read_frame,
+    routine_to_payload,
+    write_frame,
+)
+
+__all__ = ["DistributedBackend", "parse_connect"]
+
+_logger = logging.getLogger(__name__)
+
+
+def parse_connect(connect) -> tuple[tuple[str, int], ...]:
+    """Normalize ``--connect`` input to ``((host, port), ...)``.
+
+    Accepts a comma-separated string (``"host:9737,other:9737"``), an
+    iterable of such strings, or an iterable of ``(host, port)`` pairs.
+    """
+    if connect is None:
+        raise ConfigurationError(
+            "the distributed backend needs at least one parmonc-pool "
+            "address; pass connect='host:port[,host:port...]'")
+    if isinstance(connect, str):
+        items = [part.strip() for part in connect.split(",")]
+    else:
+        items = list(connect)
+    addresses: list[tuple[str, int]] = []
+    for item in items:
+        if isinstance(item, str):
+            if not item:
+                continue
+            host, _, port = item.rpartition(":")
+            if not host:
+                raise ConfigurationError(
+                    f"pool address {item!r} is not host:port")
+            try:
+                addresses.append((host, int(port)))
+            except ValueError:
+                raise ConfigurationError(
+                    f"pool address {item!r} has a non-numeric port"
+                ) from None
+        else:
+            host, port = item
+            addresses.append((str(host), int(port)))
+    if not addresses:
+        raise ConfigurationError(
+            "the distributed backend needs at least one parmonc-pool "
+            "address")
+    return tuple(dict.fromkeys(addresses))
+
+
+@dataclass
+class _PoolLink:
+    """One live pool connection (asyncio-thread state only)."""
+
+    address: tuple[str, int]
+    reader: asyncio.StreamReader
+    writer: asyncio.StreamWriter
+    capacity: int = 1
+    label: str = ""
+    active: set = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class _ExitRecord:
+    """An EXIT frame or a lost connection, queued for the reap thread."""
+
+    rank: int
+    exitcode: int | None
+    detail: str
+    lost: bool = False
+
+
+@register_backend("distributed")
+class DistributedBackend(EngineBackend):
+    """Dispatch quota to remote ``parmonc-pool`` worker daemons.
+
+    Args:
+        connect: Pool address(es) — ``"host:port"``, a comma-separated
+            list, or an iterable of addresses.  Unreachable pools are
+            retried in the background, so an address may name a pool
+            that only comes up mid-run.
+        routine_spec: Optional ``module:function`` string shipped
+            instead of a pickle, letting pools import the routine by
+            name (the ``parmonc-run`` path).
+        heartbeat_interval: Seconds between run-side heartbeats.
+        heartbeat_timeout: Seconds of pool silence before its
+            connection is declared lost (pools heartbeat every second
+            by default, so this tolerates several missed beats).
+        connect_timeout: Seconds the run tolerates having *no* pool
+            connected while work is outstanding before failing.
+        retry_interval: Seconds between reconnection attempts.
+    """
+
+    name = "distributed"
+    monitors_staleness = True
+
+    def __init__(self, connect=None, routine_spec: str | None = None,
+                 heartbeat_interval: float = 1.0,
+                 heartbeat_timeout: float = 10.0,
+                 connect_timeout: float = 30.0,
+                 retry_interval: float = 0.5) -> None:
+        super().__init__()
+        self._addresses = parse_connect(connect)
+        self._routine_spec = routine_spec
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._connect_timeout = connect_timeout
+        self._retry_interval = retry_interval
+        # Engine-thread <- network-thread channels.
+        self._inbox: queue_module.Queue = queue_module.Queue()
+        self._exits: queue_module.Queue = queue_module.Queue()
+        self._notices: queue_module.Queue = queue_module.Queue()
+        self._drainbuf = DrainBuffer(self._inbox.get_nowait)
+        self._suspects: dict[int, float] = {}
+        self._exit_backlog: list[_ExitRecord] = []
+        # Engine-thread -> network-thread work queue.
+        self._pending: deque = deque()
+        # Network-thread state.
+        self._links: dict[tuple[str, int], _PoolLink] = {}
+        self._hello: dict | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._loop_ready = threading.Event()
+        self._dispatch_event: asyncio.Event | None = None
+        self._stop_event: asyncio.Event | None = None
+        # Crude cross-thread mirrors for the no-pool guard (single
+        # writer each; reads tolerate slight staleness).
+        self._connected_pools = 0
+        self._last_pool_seen = time.monotonic()
+
+    # -- Backend protocol --------------------------------------------------
+
+    def bind(self, engine) -> None:
+        super().bind(engine)
+        self._hello = {
+            "config": config_to_payload(self.config),
+            "routine": routine_to_payload(self.routine,
+                                          spec=self._routine_spec),
+        }
+        batch_size = getattr(self.routine, "batch_size", None)
+        if self._routine_spec is not None and batch_size is not None:
+            # The spec names the *scalar* routine; the pool re-wraps it
+            # with make_batched so the batched fast path still runs.
+            self._hello["batch_size"] = batch_size
+        self._last_pool_seen = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._network_main, daemon=True,
+            name="parmonc-distributed")
+        self._thread.start()
+        if not self._loop_ready.wait(timeout=10.0):
+            raise BackendError(
+                "the distributed backend's network thread failed to start")
+
+    def spawn(self, assignments) -> None:
+        for assignment in assignments:
+            if assignment.quota is None:
+                raise BackendError(
+                    "the distributed backend needs a static quota per "
+                    "assignment")
+            self._pending.append(assignment)
+        self._wake_dispatcher()
+        return None
+
+    def poll(self, timeout: float) -> MomentMessage | None:
+        self._flush_notices()
+        message = self._drainbuf.pop()
+        if message is not None:
+            return message
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def reap(self) -> list[WorkerDeath]:
+        """Judge exits and lost pools — after draining queued frames.
+
+        Pools send a worker's EXIT frame only after flushing its queued
+        data (and TCP preserves that order), so draining the inbox
+        first guarantees every delivered message reaches the collector
+        before its sender can be declared dead.  Verdicts then mirror
+        the multiprocess backend: nonzero exit codes are dead on sight,
+        a clean exit without a final message gets ``config.death_grace``
+        seconds, and a lost pool kills all its unfinished ranks.
+        """
+        self._flush_notices()
+        if self._drainbuf.drain():
+            # Let the engine ingest the buffered messages first; death
+            # verdicts resume on the next empty poll.
+            return []
+        now = self.clock()
+        while True:
+            try:
+                self._exit_backlog.append(self._exits.get_nowait())
+            except queue_module.Empty:
+                break
+        final_ranks = self.collector.final_ranks
+        dead: list[WorkerDeath] = []
+        waiting: list[_ExitRecord] = []
+        for record in self._exit_backlog:
+            if record.rank in final_ranks:
+                self._suspects.pop(record.rank, None)
+                continue  # finished before exiting: a normal completion
+            if record.lost:
+                dead.append(WorkerDeath(record.rank, record.exitcode,
+                                        detail=record.detail))
+            elif record.exitcode:
+                dead.append(WorkerDeath(record.rank, record.exitcode,
+                                        detail=record.detail))
+            else:
+                first_seen = self._suspects.setdefault(record.rank, now)
+                if now - first_seen >= self.config.death_grace:
+                    dead.append(WorkerDeath(record.rank, record.exitcode,
+                                            detail=record.detail))
+                else:
+                    waiting.append(record)
+        self._exit_backlog = waiting
+        for death in dead:
+            self._suspects.pop(death.rank, None)
+        if not dead:
+            self._check_pool_starvation()
+        return dead
+
+    def shutdown(self) -> None:
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._flush_notices()
+        self._done = True
+
+    # -- engine-thread helpers ---------------------------------------------
+
+    def _flush_notices(self) -> None:
+        """Replay network-thread observability into run telemetry.
+
+        The :class:`~repro.obs.events.EventLog` is not thread-safe, so
+        the network thread only queues notices; they land in telemetry
+        here, on the engine thread, during poll/reap.
+        """
+        telemetry = self.engine.telemetry if self.engine is not None \
+            else None
+        while True:
+            try:
+                item = self._notices.get_nowait()
+            except queue_module.Empty:
+                return
+            if telemetry is None:
+                continue
+            if item[0] == "gauge":
+                telemetry.registry.gauge("pool.workers").set(item[1])
+            else:
+                _, name, fields = item
+                telemetry.events.append(name, ts=self.clock(), **fields)
+
+    def _check_pool_starvation(self) -> None:
+        if self._connected_pools > 0:
+            return
+        outstanding = bool(self._pending) or bool(self._exit_backlog) \
+            or not self.collector.complete
+        if not outstanding:
+            return
+        silent = time.monotonic() - self._last_pool_seen
+        if silent > self._connect_timeout:
+            addresses = ", ".join("%s:%d" % addr
+                                  for addr in self._addresses)
+            raise BackendError(
+                f"no parmonc-pool reachable at [{addresses}] for "
+                f"{silent:.1f}s with work outstanding (connect_timeout="
+                f"{self._connect_timeout}s); are the pools running?")
+
+    def _wake_dispatcher(self) -> None:
+        loop, event = self._loop, self._dispatch_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass
+
+    def _notice(self, name: str, **fields) -> None:
+        self._notices.put(("event", name, fields))
+        self._notices.put(
+            ("gauge", sum(link.capacity for link in self._links.values())))
+
+    # -- network thread ----------------------------------------------------
+
+    def _network_main(self) -> None:
+        try:
+            asyncio.run(self._network())
+        except Exception:
+            _logger.exception("distributed network thread crashed")
+            self._loop_ready.set()
+
+    async def _network(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._dispatch_event = asyncio.Event()
+        self._stop_event = asyncio.Event()
+        self._loop_ready.set()
+        tasks = [self._loop.create_task(self._maintain(address))
+                 for address in self._addresses]
+        tasks.append(self._loop.create_task(self._dispatch()))
+        await self._stop_event.wait()
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        for link in list(self._links.values()):
+            try:
+                write_frame(link.writer, FrameKind.BYE, {})
+                await link.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            link.writer.close()
+        self._links.clear()
+        self._connected_pools = 0
+
+    async def _maintain(self, address: tuple[str, int]) -> None:
+        """Keep one pool address connected; retry forever in background."""
+        host, port = address
+        connected_before = False
+        while not self._stop_event.is_set():
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(self._retry_interval)
+                continue
+            link = _PoolLink(address, reader, writer)
+            try:
+                await self._handshake(link)
+            except (WireError, ConnectionError, OSError,
+                    asyncio.IncompleteReadError, asyncio.TimeoutError) as exc:
+                _logger.warning("pool %s:%d rejected the handshake: %s",
+                                host, port, exc)
+                writer.close()
+                await asyncio.sleep(self._retry_interval)
+                continue
+            self._links[address] = link
+            self._connected_pools = len(self._links)
+            self._last_pool_seen = time.monotonic()
+            self._notice(
+                "pool_reconnected" if connected_before else "pool_connected",
+                pool=link.label, workers=link.capacity)
+            connected_before = True
+            self._dispatch_event.set()
+            heartbeats = self._loop.create_task(self._send_heartbeats(link))
+            try:
+                await self._read_loop(link)
+            except (WireError, ConnectionError,
+                    asyncio.IncompleteReadError) as exc:
+                _logger.warning("pool %s lost: %s", link.label, exc)
+            except asyncio.TimeoutError:
+                _logger.warning("pool %s silent for %.1fs, dropping it",
+                                link.label, self._heartbeat_timeout)
+            finally:
+                heartbeats.cancel()
+                self._links.pop(address, None)
+                self._connected_pools = len(self._links)
+                self._abandon(link)
+                writer.close()
+            await asyncio.sleep(self._retry_interval)
+
+    async def _handshake(self, link: _PoolLink) -> None:
+        payload = dict(self._hello)
+        if self.deadline is not None:
+            payload["time_limit"] = max(
+                self.deadline - time.monotonic(), 0.0)
+        write_frame(link.writer, FrameKind.HELLO, payload)
+        await link.writer.drain()
+        kind, welcome = await asyncio.wait_for(
+            read_frame(link.reader), timeout=self._heartbeat_timeout)
+        if kind is FrameKind.ERROR:
+            raise WireError(welcome.get("detail", "pool refused the run"))
+        if kind is not FrameKind.WELCOME:
+            raise WireError(f"expected WELCOME, pool sent {kind.name}")
+        link.capacity = max(int(welcome.get("workers", 1)), 1)
+        link.label = str(welcome.get("pool")
+                         or "%s:%d" % link.address)
+
+    async def _read_loop(self, link: _PoolLink) -> None:
+        while True:
+            kind, payload = await asyncio.wait_for(
+                read_frame(link.reader), timeout=self._heartbeat_timeout)
+            self._last_pool_seen = time.monotonic()
+            if kind is FrameKind.DATA:
+                self._inbox.put(message_from_payload(payload))
+            elif kind is FrameKind.EXIT:
+                rank = int(payload["rank"])
+                link.active.discard(rank)
+                self._exits.put(_ExitRecord(
+                    rank=rank, exitcode=payload.get("exitcode"),
+                    detail=f"on pool {link.label}"))
+                self._dispatch_event.set()
+            elif kind is FrameKind.HEARTBEAT:
+                continue
+            elif kind is FrameKind.ERROR:
+                raise WireError(payload.get("detail", "pool error"))
+            else:
+                raise WireError(
+                    f"unexpected {kind.name} frame from pool {link.label}")
+
+    async def _send_heartbeats(self, link: _PoolLink) -> None:
+        while True:
+            await asyncio.sleep(self._heartbeat_interval)
+            try:
+                write_frame(link.writer, FrameKind.HEARTBEAT, {})
+                await link.writer.drain()
+            except (ConnectionError, RuntimeError):
+                return
+
+    async def _dispatch(self) -> None:
+        """Feed pending assignments to pools with free worker slots."""
+        while True:
+            await self._dispatch_event.wait()
+            self._dispatch_event.clear()
+            while self._pending:
+                link = self._pick_pool()
+                if link is None:
+                    break  # every slot busy; an EXIT will wake us
+                assignment = self._pending.popleft()
+                payload = {"rank": assignment.rank,
+                           "quota": assignment.quota}
+                if self.deadline is not None:
+                    payload["deadline_in"] = max(
+                        self.deadline - time.monotonic(), 0.0)
+                link.active.add(assignment.rank)
+                try:
+                    write_frame(link.writer, FrameKind.ASSIGN, payload)
+                    await link.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    link.active.discard(assignment.rank)
+                    self._pending.appendleft(assignment)
+                    break
+
+    def _pick_pool(self) -> _PoolLink | None:
+        """The least-loaded connected pool with a free slot, if any."""
+        best: _PoolLink | None = None
+        best_load = 1.0
+        for link in self._links.values():
+            load = len(link.active) / link.capacity
+            if load < 1.0 and (best is None or load < best_load):
+                best, best_load = link, load
+        return best
+
+    def _abandon(self, link: _PoolLink) -> None:
+        """A pool vanished: mark its unfinished ranks dead, requeue none.
+
+        The collector may already hold final messages for some of these
+        ranks; :meth:`reap` checks ``final_ranks`` before judging, so
+        completed workers are not re-killed.
+        """
+        if self._stop_event.is_set():
+            return
+        for rank in sorted(link.active):
+            self._exits.put(_ExitRecord(
+                rank=rank, exitcode=None,
+                detail=f"pool {link.label} connection lost", lost=True))
+        link.active.clear()
+        self._notice("pool_disconnected", pool=link.label)

@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import importlib
 import inspect
+import queue as queue_module
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
@@ -53,6 +55,7 @@ from repro.runtime.telemetry_support import open_run_telemetry
 
 __all__ = [
     "Backend",
+    "DrainBuffer",
     "EngineBackend",
     "Engine",
     "WorkerAssignment",
@@ -163,7 +166,19 @@ class Backend(Protocol):
         Called when :meth:`poll` comes back empty.  Implementations must
         drain any messages still in flight from a suspect worker before
         declaring it dead — a delivered-but-queued final message means
-        the worker finished.
+        the worker finished, and a queued non-final message must reach
+        the collector (advancing the rank's watermark) before any
+        reassignment is sized.  The contract, shared by the
+        multiprocess and distributed backends via :class:`DrainBuffer`:
+
+        1. Drain the message channel completely.  If anything was
+           drained, return ``[]`` — the engine ingests the buffered
+           messages first and calls ``reap`` again on the next empty
+           poll.
+        2. Only on an empty drain, judge the suspects: a nonzero exit
+           is dead on sight; a clean exit whose final message has not
+           arrived gets ``config.death_grace`` seconds before the
+           verdict; a rank in ``collector.final_ranks`` is never dead.
         """
         ...
 
@@ -255,11 +270,62 @@ class EngineBackend:
         return self._done
 
 
+class DrainBuffer:
+    """Drain-before-verdict buffer shared by asynchronous backends.
+
+    Backends whose workers report through a queue (multiprocess) or a
+    socket thread (distributed) must never declare a worker dead while
+    its messages sit undelivered in the channel: a queued *final*
+    message means the worker actually finished, and a queued non-final
+    message moves the watermark that sizes any reassignment.  This
+    helper centralizes the pattern:
+
+    * ``poll`` returns :meth:`pop` results before reading the channel,
+      so drained messages reach the engine in order;
+    * ``reap`` calls :meth:`drain` first and returns no deaths when it
+      buffered anything — verdicts wait for a provably empty channel.
+
+    Args:
+        fetch_nowait: Zero-argument callable returning the next queued
+            message, raising :class:`queue.Empty` when there is none.
+            Evaluated at call time, so a backend may rebind its
+            underlying channel (tests do).
+    """
+
+    def __init__(self, fetch_nowait: Callable[[], MomentMessage]) -> None:
+        self._fetch = fetch_nowait
+        self._buffer: deque[MomentMessage] = deque()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def pop(self) -> MomentMessage | None:
+        """The oldest buffered message, or None when empty."""
+        if self._buffer:
+            return self._buffer.popleft()
+        return None
+
+    def drain(self) -> bool:
+        """Move every queued message into the buffer; True if any were."""
+        drained = False
+        while True:
+            try:
+                self._buffer.append(self._fetch())
+            except queue_module.Empty:
+                break
+            drained = True
+        return drained
+
+
 # ---------------------------------------------------------------------------
 # Backend registry
 
 _FACTORIES: dict[str, Callable[..., Backend]] = {}
 _LAZY: dict[str, str] = {}
+#: Names in first-registration order.  Kept separately so resolving a
+#: lazy entry (which eagerly registers the factory) cannot reshuffle
+#: ``available_backends()``.
+_ORDER: list[str] = []
 
 
 def register_backend(name: str, factory: Callable[..., Backend] | None = None):
@@ -283,6 +349,8 @@ def register_backend(name: str, factory: Callable[..., Backend] | None = None):
                 f"backend {name!r} is already registered")
         _FACTORIES[name] = factory
         _LAZY.pop(name, None)
+        if name not in _ORDER:
+            _ORDER.append(name)
         return factory
 
     if factory is not None:
@@ -302,13 +370,18 @@ def register_lazy_backend(name: str, module: str) -> None:
     if name in _FACTORIES or name in _LAZY:
         return
     _LAZY[name] = module
+    if name not in _ORDER:
+        _ORDER.append(name)
 
 
 def available_backends() -> tuple[str, ...]:
-    """Every registered backend name, eager and lazy, in registration order."""
-    names = list(_FACTORIES)
-    names.extend(name for name in _LAZY if name not in _FACTORIES)
-    return tuple(names)
+    """Every registered backend name, eager and lazy, in registration order.
+
+    The order is first-registration order and stays stable when a lazy
+    backend's module is imported (directly or via first use).
+    """
+    return tuple(name for name in _ORDER
+                 if name in _FACTORIES or name in _LAZY)
 
 
 def _resolve_factory(name: str) -> Callable[..., Backend]:

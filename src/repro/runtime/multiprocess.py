@@ -21,11 +21,11 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import time
-from collections import deque
 
 from repro.obs.telemetry import WorkerTelemetry
 from repro.runtime.config import RunConfig
 from repro.runtime.engine import (
+    DrainBuffer,
     Engine,
     EngineBackend,
     WorkerDeath,
@@ -70,7 +70,9 @@ class MultiprocessBackend(EngineBackend):
         self._processes: list = []
         self._live: dict[int, object] = {}
         self._suspects: dict[int, float] = {}
-        self._drained: deque[MomentMessage] = deque()
+        # The fetch closure reads self._outbox at call time (the queue
+        # is created lazily on first spawn; tests swap it out).
+        self._drained = DrainBuffer(lambda: self._outbox.get_nowait())
 
     def spawn(self, assignments) -> list[dict]:
         if self._context is None:
@@ -92,8 +94,9 @@ class MultiprocessBackend(EngineBackend):
         return extras
 
     def poll(self, timeout: float) -> MomentMessage | None:
-        if self._drained:
-            return self._drained.popleft()
+        message = self._drained.pop()
+        if message is not None:
+            return message
         try:
             return self._outbox.get(timeout=timeout)
         except queue_module.Empty:
@@ -108,19 +111,13 @@ class MultiprocessBackend(EngineBackend):
         its last message may still be crossing the queue's feeder
         thread — and is declared dead only if the silence persists.
 
-        Before judging anyone, the outbox is drained into a local
-        buffer: a slow-but-delivered message must reach the collector
-        before its sender can be declared dead, and must never burn
-        grace time while it sits in the queue.
+        Before judging anyone, the outbox is drained into the shared
+        :class:`~repro.runtime.engine.DrainBuffer`: a slow-but-delivered
+        message must reach the collector before its sender can be
+        declared dead, and must never burn grace time while it sits in
+        the queue.
         """
-        drained = False
-        while True:
-            try:
-                self._drained.append(self._outbox.get_nowait())
-            except queue_module.Empty:
-                break
-            drained = True
-        if drained:
+        if self._drained.drain():
             # Let the engine ingest the buffered messages first; death
             # verdicts resume on the next empty poll.
             return []

@@ -1,0 +1,390 @@
+"""The ``parmonc-pool`` worker daemon: remote muscle for a run.
+
+A pool listens on TCP (asyncio) and contributes local worker processes
+to any run that connects — the distributed analogue of the paper's MPI
+ranks, except that pools may come and go while the run is in flight.
+One pool serves one run at a time per connection; each connection is a
+*session* that follows the wire protocol of
+:mod:`repro.runtime.wire`::
+
+    run                                pool
+     | -- HELLO {config, routine} ----> |   import/unpickle the routine
+     | <---- WELCOME {workers: N} ----- |   advertise capacity
+     | -- ASSIGN {rank, quota} -------> |   fork a worker process
+     | <-------- DATA {message} ------- |   every data pass, forwarded
+     | <---- EXIT {rank, exitcode} ---- |   after the worker's queue is
+     |                                  |   drained (drain-before-verdict)
+     | <-> HEARTBEAT <->                |   liveness, both directions
+     | -- BYE ------------------------> |   session over, workers freed
+
+Every ASSIGN runs in its own OS process (so a stuck or ``kill -9``-ed
+realization routine never takes the daemon down) with a private queue
+back to the daemon; a watcher thread forwards each
+:class:`~repro.runtime.messages.MomentMessage` as a DATA frame and —
+only after the queue is fully drained — reports the process's exit.
+The run side therefore never sees an EXIT overtake the data that
+preceded it, which is what lets the engine's reassignment keep
+estimates bit-identical.
+
+A pool whose run stops heartbeating (crashed, unplugged) terminates
+the session's workers and returns to listening; a run whose pool
+vanishes routes the loss through ``on_worker_death``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+
+from repro.exceptions import WireError
+from repro.obs.telemetry import WorkerTelemetry
+from repro.runtime.config import RunConfig
+from repro.runtime.wire import (
+    FrameKind,
+    config_from_payload,
+    read_frame,
+    routine_from_payload,
+    write_frame,
+)
+from repro.runtime.worker import make_batched, run_worker
+
+__all__ = ["PoolServer", "DEFAULT_POOL_PORT"]
+
+_logger = logging.getLogger(__name__)
+
+#: Default ``parmonc-pool`` listening port (chosen to dodge the common
+#: registered services; override with ``--port``).
+DEFAULT_POOL_PORT = 9737
+
+#: How long a worker process gets to die politely at session teardown.
+_TERMINATE_SECONDS = 2.0
+
+
+def _pool_worker_entry(routine, config: RunConfig, rank: int, quota: int,
+                       outbox, deadline_in: float | None) -> None:
+    """Worker process body: the standard loop, queueing messages home.
+
+    ``deadline_in`` is the run's remaining time budget in seconds —
+    shipped as a duration because absolute monotonic clocks do not
+    travel between hosts.
+    """
+    deadline = (time.monotonic() + deadline_in
+                if deadline_in is not None else None)
+    telemetry = WorkerTelemetry(rank) if config.telemetry else None
+    run_worker(routine, config, rank, quota, send=outbox.put,
+               deadline=deadline, telemetry=telemetry)
+
+
+def _import_routine(spec: str):
+    """``module:function`` resolver for HELLO spec payloads."""
+    from repro.cli.run import load_routine
+    return load_routine(spec)
+
+
+class _Worker:
+    """One running assignment: process + queue + forwarding thread."""
+
+    def __init__(self, rank: int, process, outbox) -> None:
+        self.rank = rank
+        self.process = process
+        self.outbox = outbox
+
+
+class _Session:
+    """One connected run, from HELLO to BYE (or connection loss)."""
+
+    def __init__(self, server: "PoolServer", reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._server = server
+        self._reader = reader
+        self._writer = writer
+        self._loop = asyncio.get_running_loop()
+        self._workers: dict[int, _Worker] = {}
+        self._closed = False
+        self._last_run_heartbeat = time.monotonic()
+        self._peer = writer.get_extra_info("peername")
+        self._routine = None
+        self._config: RunConfig | None = None
+
+    async def run(self) -> None:
+        heartbeat_task = None
+        try:
+            kind, payload = await read_frame(self._reader)
+            if kind is not FrameKind.HELLO:
+                raise WireError(
+                    f"expected a HELLO frame, got {kind.name}")
+            self._adopt_hello(payload)
+            write_frame(self._writer, FrameKind.WELCOME, {
+                "workers": self._server.workers,
+                "pid": os.getpid(),
+                "pool": "%s:%d" % self._server.address,
+            })
+            await self._writer.drain()
+            _logger.info("session from %s: %d workers offered",
+                         self._peer, self._server.workers)
+            heartbeat_task = self._loop.create_task(self._heartbeats())
+            while True:
+                kind, payload = await read_frame(self._reader)
+                if kind is FrameKind.ASSIGN:
+                    self._start_worker(payload)
+                elif kind is FrameKind.HEARTBEAT:
+                    self._last_run_heartbeat = time.monotonic()
+                elif kind is FrameKind.BYE:
+                    _logger.info("session from %s: bye", self._peer)
+                    break
+                elif kind is FrameKind.ERROR:
+                    _logger.warning("session from %s: run error: %s",
+                                    self._peer, payload.get("detail"))
+                    break
+                else:
+                    raise WireError(
+                        f"unexpected {kind.name} frame from the run")
+        except (asyncio.IncompleteReadError, ConnectionError):
+            _logger.info("session from %s: connection lost", self._peer)
+        except WireError as exc:
+            _logger.warning("session from %s: %s", self._peer, exc)
+            self._send(FrameKind.ERROR, {"detail": str(exc)})
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            self._shutdown()
+
+    # -- handshake ---------------------------------------------------------
+
+    def _adopt_hello(self, payload: dict) -> None:
+        try:
+            config_payload = payload["config"]
+            routine_payload = payload["routine"]
+        except KeyError as exc:
+            raise WireError(f"hello frame misses {exc}") from exc
+        self._config = config_from_payload(config_payload)
+        routine = routine_from_payload(routine_payload, _import_routine)
+        batch_size = payload.get("batch_size")
+        if batch_size and getattr(routine, "batch_size", None) is None:
+            routine = make_batched(routine, int(batch_size))
+        self._routine = routine
+        self._time_limit = payload.get("time_limit")
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _start_worker(self, payload: dict) -> None:
+        try:
+            rank = int(payload["rank"])
+            quota = int(payload["quota"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireError(f"malformed assign frame: {exc}") from exc
+        if rank in self._workers:
+            raise WireError(f"rank {rank} is already assigned on this pool")
+        context = self._server.context
+        outbox = context.Queue()
+        process = context.Process(
+            target=_pool_worker_entry,
+            args=(self._routine, self._config, rank, quota, outbox,
+                  payload.get("deadline_in")),
+            daemon=True)
+        process.start()
+        worker = _Worker(rank, process, outbox)
+        self._workers[rank] = worker
+        _logger.info("session from %s: rank %d started (quota=%d, pid=%s)",
+                     self._peer, rank, quota, process.pid)
+        threading.Thread(target=self._watch, args=(worker,),
+                         daemon=True).start()
+
+    def _watch(self, worker: _Worker) -> None:
+        """Forward a worker's messages; report its exit only once drained.
+
+        Runs in a plain thread (queue reads block).  The EXIT frame is
+        sent strictly after every message the worker managed to queue,
+        so the run's drain-before-verdict logic sees all delivered data
+        before judging the death.
+        """
+        process, outbox = worker.process, worker.outbox
+        while not self._closed:
+            try:
+                message = outbox.get(timeout=0.1)
+            except queue_module.Empty:
+                if process.exitcode is None:
+                    continue
+                while True:  # the process is gone; flush its leftovers
+                    try:
+                        self._forward(worker.rank, outbox.get_nowait())
+                    except queue_module.Empty:
+                        break
+                    except Exception:  # torn pickle from a kill -9
+                        break
+                self._send_threadsafe(FrameKind.EXIT, {
+                    "rank": worker.rank,
+                    "exitcode": process.exitcode,
+                })
+                try:
+                    self._loop.call_soon_threadsafe(
+                        self._workers.pop, worker.rank, None)
+                except RuntimeError:  # pool already shut down
+                    pass
+                return
+            except Exception:
+                return
+            self._forward(worker.rank, message)
+
+    def _forward(self, rank: int, message) -> None:
+        from repro.runtime.wire import message_to_payload
+        self._send_threadsafe(FrameKind.DATA, message_to_payload(message))
+
+    # -- frame plumbing ----------------------------------------------------
+
+    def _send(self, kind: FrameKind, payload: dict) -> None:
+        if self._closed or self._writer.is_closing():
+            return
+        try:
+            write_frame(self._writer, kind, payload)
+        except (ConnectionError, RuntimeError):
+            pass
+
+    def _send_threadsafe(self, kind: FrameKind, payload: dict) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self._send, kind, payload)
+        except RuntimeError:  # loop already closed at teardown
+            pass
+
+    async def _heartbeats(self) -> None:
+        interval = self._server.heartbeat_interval
+        while True:
+            await asyncio.sleep(interval)
+            self._send(FrameKind.HEARTBEAT, {
+                "busy": len(self._workers),
+                "workers": self._server.workers,
+            })
+            silent = time.monotonic() - self._last_run_heartbeat
+            if silent > self._server.session_timeout:
+                _logger.warning(
+                    "session from %s: run silent for %.1fs, dropping it",
+                    self._peer, silent)
+                self._writer.close()
+                return
+
+    def _shutdown(self) -> None:
+        self._closed = True
+        for worker in list(self._workers.values()):
+            process = worker.process
+            if process.exitcode is None:
+                process.terminate()
+                process.join(timeout=_TERMINATE_SECONDS)
+                if process.is_alive():
+                    process.kill()
+        self._workers.clear()
+        if not self._writer.is_closing():
+            self._writer.close()
+
+
+class PoolServer:
+    """A TCP daemon offering local worker processes to remote runs.
+
+    Args:
+        host: Interface to bind (default loopback; bind ``0.0.0.0``
+            explicitly to serve other hosts — the protocol executes
+            user routines, so expose it to trusted networks only).
+        port: TCP port (0 picks a free one; see :attr:`address`).
+        workers: Worker-process slots to advertise (default: CPU count).
+        start_method: ``multiprocessing`` start method for worker
+            processes (None = platform default; ``fork`` keeps
+            unpickled closures usable).
+        heartbeat_interval: Seconds between pool heartbeats to the run.
+        session_timeout: Seconds of run silence before the session is
+            dropped and its workers reclaimed.
+    """
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_POOL_PORT,
+                 workers: int | None = None,
+                 start_method: str | None = None,
+                 heartbeat_interval: float = 1.0,
+                 session_timeout: float = 60.0) -> None:
+        self._host = host
+        self._port = port
+        self.workers = workers if workers else (os.cpu_count() or 1)
+        self._start_method = start_method
+        self.heartbeat_interval = heartbeat_interval
+        self.session_timeout = session_timeout
+        self._context = None
+        self._address: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._startup_error: BaseException | None = None
+
+    @property
+    def context(self):
+        """The multiprocessing context worker processes spawn from."""
+        if self._context is None:
+            self._context = multiprocessing.get_context(self._start_method)
+        return self._context
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (resolves ``port=0``)."""
+        if self._address is None:
+            raise RuntimeError("the pool is not serving yet")
+        return self._address
+
+    async def serve(self, ready: threading.Event | None = None) -> None:
+        """Bind and serve sessions until :meth:`stop` is called."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle, self._host, self._port)
+        except BaseException as exc:
+            self._startup_error = exc
+            if ready is not None:
+                ready.set()
+            raise
+        self._address = server.sockets[0].getsockname()[:2]
+        _logger.info("parmonc-pool listening on %s:%d with %d workers",
+                     self._address[0], self._address[1], self.workers)
+        if ready is not None:
+            ready.set()
+        async with server:
+            await self._stop_event.wait()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        await _Session(self, reader, writer).run()
+
+    # -- thread facade (tests, embedded pools) -----------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Serve from a daemon thread; return the bound address."""
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve_quietly(ready)),
+            daemon=True, name="parmonc-pool")
+        self._thread.start()
+        ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"parmonc-pool failed to bind {self._host}:{self._port}"
+            ) from self._startup_error
+        return self.address
+
+    async def _serve_quietly(self, ready: threading.Event) -> None:
+        try:
+            await self.serve(ready)
+        except BaseException:
+            if self._startup_error is None:
+                raise
+
+    def stop(self) -> None:
+        """Stop serving and join the background thread, if any."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None

@@ -96,6 +96,30 @@ def batch_routine(batch_size: int) -> Callable[[Callable], Callable]:
     return mark
 
 
+class _BatchedRoutine:
+    """Picklable scalar-to-batched adapter (see :func:`make_batched`).
+
+    A class, not a closure, so a batched wrapper built on one host can
+    cross a multiprocessing "spawn" boundary or the distributed
+    backend's HELLO pickle — only the wrapped routine itself must be
+    picklable (a module-level function is).
+    """
+
+    def __init__(self, routine: RealizationRoutine,
+                 batch_size: int) -> None:
+        self._routine = routine
+        self._adapted = adapt_realization(routine)
+        self.batch_size = batch_size
+        self.__name__ = (
+            f"batched_{getattr(routine, '__name__', 'realization')}")
+
+    def __call__(self, streams: BatchStreams):
+        return np.stack([
+            np.atleast_2d(np.asarray(
+                self._adapted(rng), dtype=np.float64))
+            for rng in streams.generators()])
+
+
 def make_batched(routine: RealizationRoutine,
                  batch_size: int) -> BatchRealizationRoutine:
     """Wrap a scalar realization routine for the batched worker loop.
@@ -111,16 +135,26 @@ def make_batched(routine: RealizationRoutine,
         raise ConfigurationError(
             "routine is already batched; make_batched only wraps scalar "
             "realization routines")
-    adapted = adapt_realization(routine)
+    return _BatchedRoutine(routine, batch_size)
 
-    def batched(streams: BatchStreams):
-        return np.stack([
-            np.atleast_2d(np.asarray(adapted(rng), dtype=np.float64))
-            for rng in streams.generators()])
-    batched.batch_size = batch_size
-    batched.__name__ = (
-        f"batched_{getattr(routine, '__name__', 'realization')}")
-    return batched
+
+class _ZeroArgAdapter:
+    """Picklable wrapper for PARMONC-style ``fn() -> matrix`` routines.
+
+    Installs the supplied generator behind the global
+    :func:`repro.rng.rnd128` before each call — the direct analogue of
+    the C API, where the user routine calls ``rnd128()`` with no
+    arguments.  A class rather than a closure so adapted routines can
+    cross process and wire boundaries.
+    """
+
+    def __init__(self, routine: RealizationRoutine) -> None:
+        self._routine = routine
+        self.__name__ = getattr(routine, "__name__", "realization")
+
+    def __call__(self, rng: Lcg128):
+        install_rnd128(rng)
+        return self._routine()
 
 
 def adapt_realization(routine: RealizationRoutine) -> Callable:
@@ -159,10 +193,7 @@ def adapt_realization(routine: RealizationRoutine) -> Callable:
                 f"{n_required}")
         return routine
     if n_required == 0:
-        def zero_arg_adapter(rng: Lcg128):
-            install_rnd128(rng)
-            return routine()
-        return zero_arg_adapter
+        return _ZeroArgAdapter(routine)
     if n_required == 1:
         return routine
     raise ConfigurationError(

@@ -1,0 +1,225 @@
+"""Tests for the distributed TCP backend and the parmonc-pool daemon.
+
+The headline property is the issue's acceptance criterion: a run
+dispatched to local pools over real TCP — including a pool that joins
+late and a worker SIGKILLed mid-run — completes with estimates
+bit-identical to the sequential backend, because reassignment re-issues
+the undelivered remainder on fresh subsequences and merges in rank
+order.  (Cross-backend happy-path parity, resume and batched parity run
+in ``test_runtime_engine.py::TestBackendParity``.)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.parmonc import parmonc
+from repro.exceptions import ConfigurationError
+from repro.obs.events import read_events
+from repro.runtime.config import RunConfig
+from repro.runtime.distributed import parse_connect
+from repro.runtime.pool import PoolServer
+from repro.runtime.worker import run_worker
+from repro.stats.merging import merge_snapshots
+from repro.stats.statistic import payload_map
+
+
+def square(rng):
+    return rng.random() ** 2
+
+
+#: Directory (via environment, so it crosses the fork into pool worker
+#: processes) where the hanging routine leaves its pid; unset = benign.
+_HANG_DIR_ENV = "PARMONC_TEST_HANG_DIR"
+
+_CALLS = {"n": 0}
+
+
+def hang_on_sixth(rng):
+    """Uniform squares, except one worker process hangs on its 6th call.
+
+    The pid file is created ``O_EXCL``, so across every worker process
+    exactly one wins the race, records its pid for the test to SIGKILL,
+    and sleeps forever — after having delivered exactly 5 realizations
+    (``perpass=0`` ships after every one).  Everyone else computes on.
+    """
+    directory = os.environ.get(_HANG_DIR_ENV)
+    if directory:
+        _CALLS["n"] += 1
+        if _CALLS["n"] == 6:
+            try:
+                fd = os.open(os.path.join(directory, "hang.pid"),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pass
+            else:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                while True:
+                    time.sleep(3600)
+    return rng.random() ** 2
+
+
+def free_port() -> int:
+    """Reserve a port number for a pool that will start later."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestParseConnect:
+    def test_comma_separated_string(self):
+        assert parse_connect("a:1, b:2") == (("a", 1), ("b", 2))
+
+    def test_iterables_and_pairs(self):
+        assert parse_connect([("a", 1), "b:2"]) == (("a", 1), ("b", 2))
+
+    def test_duplicates_collapse(self):
+        assert parse_connect("a:1,a:1,b:2") == (("a", 1), ("b", 2))
+
+    @pytest.mark.parametrize("bad", [None, "", "hostonly", "host:xyz"])
+    def test_bad_addresses_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_connect(bad)
+
+
+class TestDistributedRuns:
+    def test_statistics_payloads_bit_identical_to_sequential(self, tmp_path):
+        sequential = parmonc(square, maxsv=40, perpass=0.0, peraver=0.0,
+                             processors=2, backend="sequential",
+                             statistics="extrema,histogram",
+                             workdir=tmp_path / "seq")
+        server = PoolServer(port=0, workers=2, start_method="fork")
+        host, port = server.start()
+        try:
+            distributed = parmonc(square, maxsv=40, perpass=0.0,
+                                  peraver=0.0, processors=2,
+                                  backend="distributed",
+                                  connect=f"{host}:{port}",
+                                  statistics="extrema,histogram",
+                                  workdir=tmp_path / "dist")
+        finally:
+            server.stop()
+        assert distributed.total_volume == sequential.total_volume == 40
+        assert (distributed.estimates.mean[0, 0]
+                == sequential.estimates.mean[0, 0])
+        assert (distributed.estimates.variance[0, 0]
+                == sequential.estimates.variance[0, 0])
+        # The wire carries the same versioned payloads the save-points
+        # persist — byte-identical statistics, not just close ones.
+        assert (payload_map(distributed.statistics)
+                == payload_map(sequential.statistics))
+
+    def test_elastic_run_survives_late_join_and_sigkill(self, tmp_path,
+                                                        monkeypatch):
+        """The acceptance scenario, made deterministic.
+
+        M=2, quota 10 each, one single-slot pool up front: rank 0
+        hangs after delivering exactly 5 realizations; rank 1 waits,
+        pending.  A second pool then joins late (takes rank 1), the
+        hung worker is SIGKILLed (its EXIT arrives after its 5 queued
+        passes — drain-before-verdict), and the engine reissues the
+        remaining 5 realizations as rank 2 on a fresh subsequence.
+        The merged estimate must equal the rank-ordered merge of the
+        three pieces, computed locally, bit for bit.
+        """
+        monkeypatch.setenv(_HANG_DIR_ENV, str(tmp_path))
+        late_port = free_port()
+        first = PoolServer(port=0, workers=1, start_method="fork")
+        host, port = first.start()
+        late = PoolServer(port=late_port, workers=1, start_method="fork")
+        pid_path = tmp_path / "hang.pid"
+
+        def chaos():
+            while not pid_path.exists() or not pid_path.read_text():
+                time.sleep(0.05)
+            late.start()  # the late joiner picks up pending rank 1
+            time.sleep(0.3)
+            os.kill(int(pid_path.read_text()), signal.SIGKILL)
+
+        agitator = threading.Thread(target=chaos, daemon=True)
+        agitator.start()
+        try:
+            result = parmonc(
+                hang_on_sixth, maxsv=20, perpass=0.0, peraver=0.0,
+                processors=2, backend="distributed",
+                connect=f"{host}:{port},127.0.0.1:{late_port}",
+                on_worker_death="reassign", telemetry=True,
+                workdir=tmp_path / "run")
+        finally:
+            agitator.join(timeout=30)
+            first.stop()
+            late.stop()
+        assert result.total_volume == 20
+        assert result.recovered_ranks == (0,)
+        # Reference: the three pieces the run actually kept, merged in
+        # rank order on a local worker loop (no environment -> benign).
+        monkeypatch.delenv(_HANG_DIR_ENV)
+        config = RunConfig(nrow=1, ncol=1, maxsv=20, perpass=0.0,
+                           peraver=0.0, processors=2,
+                           workdir=tmp_path / "ref")
+        pieces = [
+            run_worker(hang_on_sixth, config, rank, quota,
+                       send=lambda message: None).snapshot()
+            for rank, quota in ((0, 5), (1, 10), (2, 5))]
+        reference = merge_snapshots(pieces).estimates()
+        assert result.estimates.mean[0, 0] == reference.mean[0, 0]
+        assert (result.estimates.variance[0, 0]
+                == reference.variance[0, 0])
+        events = list(read_events(
+            tmp_path / "run" / "parmonc_data" / "telemetry"
+            / "events.jsonl"))
+        kinds = [event.kind for event in events]
+        assert kinds.count("pool_connected") == 2  # one of them mid-run
+        assert {"worker_died", "worker_recovered"} <= set(kinds)
+
+    def test_missing_pools_fail_the_run_after_connect_timeout(self,
+                                                              tmp_path):
+        from repro.exceptions import BackendError
+        port = free_port()  # nothing is listening there
+        started = time.monotonic()
+        with pytest.raises(BackendError, match="no parmonc-pool"):
+            parmonc(square, maxsv=4, perpass=0.0, peraver=0.0,
+                    processors=1, backend="distributed",
+                    connect=f"127.0.0.1:{port}",
+                    backend_options={"connect_timeout": 1.0,
+                                     "retry_interval": 0.1},
+                    workdir=tmp_path)
+        assert time.monotonic() - started < 30
+
+
+class TestCli:
+    def test_list_backends(self, capsys):
+        from repro.cli.run import main
+        assert main(["--list-backends"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["sequential", "multiprocess", "simcluster",
+                       "distributed"]
+
+    def test_routine_required_without_list_backends(self, capsys):
+        from repro.cli.run import main
+        with pytest.raises(SystemExit):
+            main(["--maxsv", "10"])
+        assert "routine" in capsys.readouterr().err
+
+    def test_report_names_registered_backends(self, tmp_path, capsys):
+        from repro.cli.report import main
+        parmonc(square, maxsv=6, perpass=0.0, peraver=0.0,
+                workdir=tmp_path)
+        assert main(["--workdir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert ("registered backends: sequential, multiprocess, "
+                "simcluster, distributed") in out
+
+    def test_pool_parser_defaults(self):
+        from repro.cli.pool import build_parser
+        from repro.runtime.pool import DEFAULT_POOL_PORT
+        args = build_parser().parse_args([])
+        assert args.bind == "127.0.0.1"
+        assert args.port == DEFAULT_POOL_PORT

@@ -92,7 +92,7 @@ def make_clean_quitter(flag_path):
 class TestRegistry:
     def test_builtin_backends_registered_in_order(self):
         assert available_backends() == ("sequential", "multiprocess",
-                                        "simcluster")
+                                        "simcluster", "distributed")
 
     def test_parmonc_backends_mirror_registry(self):
         from repro.core.parmonc import BACKENDS
@@ -159,13 +159,24 @@ class TestRegistry:
 
 
 class TestBackendParity:
-    def _run(self, backend, tmp_path, **kwargs):
+    @pytest.fixture(scope="class")
+    def pool(self):
+        """One local parmonc-pool for every distributed run here."""
+        from repro.runtime.pool import PoolServer
+        server = PoolServer(port=0, workers=3, start_method="fork")
+        host, port = server.start()
+        yield f"{host}:{port}"
+        server.stop()
+
+    def _run(self, backend, tmp_path, pool=None, **kwargs):
+        if backend == "distributed":
+            kwargs["connect"] = pool
         return parmonc(square, maxsv=60, perpass=0.0, peraver=0.0,
                        processors=3, backend=backend,
                        workdir=tmp_path / backend, **kwargs)
 
-    def test_estimates_bit_identical(self, tmp_path):
-        results = {name: self._run(name, tmp_path)
+    def test_estimates_bit_identical(self, tmp_path, pool):
+        results = {name: self._run(name, tmp_path, pool)
                    for name in available_backends()}
         reference = results["sequential"].estimates
         for name, result in results.items():
@@ -174,24 +185,28 @@ class TestBackendParity:
             assert (result.estimates.variance[0, 0]
                     == reference.variance[0, 0]), name
 
-    def test_resumed_sessions_bit_identical(self, tmp_path):
+    def test_resumed_sessions_bit_identical(self, tmp_path, pool):
         merged = {}
         for name in available_backends():
-            self._run(name, tmp_path)
+            self._run(name, tmp_path, pool)
             resumed = parmonc(square, maxsv=60, res=1, seqnum=1,
                               perpass=0.0, peraver=0.0, processors=3,
-                              backend=name, workdir=tmp_path / name)
+                              backend=name, workdir=tmp_path / name,
+                              **({"connect": pool}
+                                 if name == "distributed" else {}))
             assert resumed.sessions == 2
             assert resumed.total_volume == 120
             merged[name] = resumed.estimates.mean[0, 0]
         assert len(set(merged.values())) == 1
 
-    def test_batched_runs_bit_identical(self, tmp_path):
+    def test_batched_runs_bit_identical(self, tmp_path, pool):
         scalar = self._run("sequential", tmp_path / "scalar")
         for name in available_backends():
             batched = parmonc(square, maxsv=60, perpass=0.0, peraver=0.0,
                               processors=3, backend=name, batch_size=8,
-                              workdir=tmp_path / "batched" / name)
+                              workdir=tmp_path / "batched" / name,
+                              **({"connect": pool}
+                                 if name == "distributed" else {}))
             assert (batched.estimates.mean[0, 0]
                     == scalar.estimates.mean[0, 0]), name
 

@@ -1,0 +1,222 @@
+"""Tests for the distributed wire format: framing, checksums, codecs.
+
+The framing layer is the trust boundary of the distributed backend:
+estimates stay bit-identical across hosts only if a ``MomentMessage``
+survives the wire exactly, and a run only fails cleanly if corrupt or
+foreign traffic is rejected *before* deserialization.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, WireError
+from repro.runtime.config import RunConfig
+from repro.runtime.messages import MomentMessage
+from repro.runtime.wire import (
+    MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    FrameDecoder,
+    FrameKind,
+    config_from_payload,
+    config_to_payload,
+    decode_frame,
+    encode_frame,
+    message_from_payload,
+    message_to_payload,
+    routine_from_payload,
+    routine_to_payload,
+)
+from repro.stats.accumulator import MomentAccumulator
+from repro.stats.statistic import StatisticSet
+
+
+def sample_message(rank=3, final=True, statistics=False) -> MomentMessage:
+    stats = StatisticSet.for_run(
+        ("moments", "extrema") if statistics else ("moments",), 2, 2)
+    rng = np.random.default_rng(7)
+    for _ in range(5):
+        stats.update(rng.random((2, 2)), compute_time=0.01)
+    return MomentMessage(
+        rank=rank, snapshot=stats.moments.snapshot(), sent_at=12.5,
+        final=final, metrics={"messages": 5, "bytes": 640},
+        statistics=stats.extras_snapshot())
+
+
+# ---------------------------------------------------------------------------
+# Framing
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"rank": 4, "value": 0.1 + 0.2, "nested": {"a": [1, 2]}}
+        kind, decoded = decode_frame(
+            encode_frame(FrameKind.ASSIGN, payload))
+        assert kind is FrameKind.ASSIGN
+        assert decoded == payload
+
+    def test_every_kind_round_trips(self):
+        for kind in FrameKind:
+            out_kind, payload = decode_frame(encode_frame(kind, {}))
+            assert out_kind is kind
+            assert payload == {}
+
+    def test_floats_survive_bit_exactly(self):
+        values = [0.1, 1 / 3, np.nextafter(1.0, 2.0), 1e-308, 2**53 + 0.0]
+        _, decoded = decode_frame(
+            encode_frame(FrameKind.DATA, {"values": values}))
+        assert all(a == b and struct.pack("!d", a) == struct.pack("!d", b)
+                   for a, b in zip(decoded["values"], values))
+
+    def test_incremental_decoder_handles_arbitrary_chunking(self):
+        stream = b"".join(
+            encode_frame(FrameKind.DATA, {"i": i}) for i in range(7))
+        for chunk_size in (1, 3, 16, len(stream)):
+            decoder = FrameDecoder()
+            frames = []
+            for start in range(0, len(stream), chunk_size):
+                frames.extend(decoder.feed(stream[start:start + chunk_size]))
+            assert [payload["i"] for _, payload in frames] == list(range(7))
+            assert decoder.pending_bytes == 0
+
+    def test_partial_frame_stays_buffered(self):
+        frame = encode_frame(FrameKind.HELLO, {"x": 1})
+        decoder = FrameDecoder()
+        assert list(decoder.feed(frame[:-1])) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        assert list(decoder.feed(frame[-1:]))[0][1] == {"x": 1}
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(FrameKind.DATA, {}))
+        frame[:4] = b"HTTP"
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_version_mismatch_rejected(self):
+        frame = bytearray(encode_frame(FrameKind.DATA, {}))
+        struct.pack_into("!H", frame, 4, WIRE_VERSION + 1)
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bytes(frame))
+
+    def test_unknown_kind_rejected(self):
+        frame = bytearray(encode_frame(FrameKind.DATA, {}))
+        struct.pack_into("!H", frame, 6, 999)
+        with pytest.raises(WireError, match="kind"):
+            decode_frame(bytes(frame))
+
+    def test_corrupt_payload_fails_checksum(self):
+        frame = bytearray(encode_frame(FrameKind.DATA, {"rank": 1}))
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireError, match="checksum"):
+            decode_frame(bytes(frame))
+
+    def test_absurd_length_rejected_before_allocation(self):
+        frame = bytearray(encode_frame(FrameKind.DATA, {}))
+        struct.pack_into("!I", frame, 8, MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireError, match="limit"):
+            decode_frame(bytes(frame))
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1,2,3]"
+        header = struct.pack("!4sHHII", b"PMNC", WIRE_VERSION,
+                             int(FrameKind.DATA), len(body),
+                             zlib.crc32(body))
+        with pytest.raises(WireError, match="object"):
+            decode_frame(header + body)
+
+
+# ---------------------------------------------------------------------------
+# Payload codecs
+
+
+class TestMessageCodec:
+    def test_message_round_trips_bit_identically(self):
+        message = sample_message(statistics=True)
+        rebuilt = message_from_payload(message_to_payload(message))
+        assert rebuilt.rank == message.rank
+        assert rebuilt.final is message.final
+        assert rebuilt.sent_at == message.sent_at
+        assert rebuilt.metrics == message.metrics
+        np.testing.assert_array_equal(rebuilt.snapshot.sum1,
+                                      message.snapshot.sum1)
+        np.testing.assert_array_equal(rebuilt.snapshot.sum2,
+                                      message.snapshot.sum2)
+        assert rebuilt.snapshot.volume == message.snapshot.volume
+        assert set(rebuilt.statistics) == set(message.statistics)
+
+    def test_message_survives_a_full_wire_frame(self):
+        message = sample_message()
+        _, payload = decode_frame(
+            encode_frame(FrameKind.DATA, message_to_payload(message)))
+        rebuilt = message_from_payload(payload)
+        np.testing.assert_array_equal(rebuilt.snapshot.sum1,
+                                      message.snapshot.sum1)
+
+    def test_moments_only_message_has_no_statistics_key(self):
+        message = MomentMessage(rank=0,
+                                snapshot=MomentAccumulator(1, 1).snapshot(),
+                                sent_at=0.0, final=False)
+        payload = message_to_payload(message)
+        assert "statistics" not in payload and "metrics" not in payload
+        assert message_from_payload(payload).statistics is None
+
+    def test_malformed_message_payload_raises_wire_error(self):
+        with pytest.raises(WireError, match="malformed"):
+            message_from_payload({"rank": 1})
+
+    def test_unregistered_statistic_kind_raises_wire_error(self):
+        payload = message_to_payload(sample_message(statistics=True))
+        payload["statistics"]["no_such_kind"] = {"version": 1}
+        with pytest.raises(WireError, match="no_such_kind"):
+            message_from_payload(payload)
+
+
+class TestConfigCodec:
+    def test_worker_fields_round_trip(self):
+        config = RunConfig(nrow=3, ncol=2, maxsv=100, seqnum=4,
+                           perpass=0.25, statistics=("moments", "extrema"),
+                           telemetry=True)
+        rebuilt = config_from_payload(config_to_payload(config))
+        assert rebuilt.nrow == 3 and rebuilt.ncol == 2
+        assert rebuilt.seqnum == 4
+        assert rebuilt.perpass == 0.25
+        assert rebuilt.statistics == ("moments", "extrema")
+        assert rebuilt.telemetry is True
+        assert rebuilt.leaps == config.leaps
+
+    def test_malformed_config_raises_wire_error(self):
+        with pytest.raises(WireError, match="hello"):
+            config_from_payload({"nrow": 1})
+
+
+def module_level_routine(rng):
+    return rng.random()
+
+
+class TestRoutineCodec:
+    def test_spec_payload_uses_importer(self):
+        payload = routine_to_payload(None, spec="mymodel:traj")
+        seen = []
+        routine = routine_from_payload(payload, lambda s:
+                                       seen.append(s) or module_level_routine)
+        assert seen == ["mymodel:traj"]
+        assert routine is module_level_routine
+
+    def test_pickle_payload_round_trips(self):
+        payload = routine_to_payload(module_level_routine)
+        assert "pickle" in payload
+        routine = routine_from_payload(
+            payload, lambda s: pytest.fail("importer must not be used"))
+        assert routine is module_level_routine
+
+    def test_unpicklable_routine_gets_guidance(self):
+        with pytest.raises(ConfigurationError, match="module level"):
+            routine_to_payload(lambda rng: rng.random())
+
+    def test_empty_routine_payload_rejected(self):
+        with pytest.raises(WireError, match="neither"):
+            routine_from_payload({}, lambda s: None)
