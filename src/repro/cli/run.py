@@ -107,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "accumulate alongside the moments "
                              "(e.g. 'covariance,histogram,extrema'; "
                              "'moments' is always included)")
+    parser.add_argument("--reduction-fanout", type=int, default=None,
+                        help="width of the hierarchical reduction tree: "
+                             "interior reducer nodes coalesce their "
+                             "subtree's snapshots so the collector "
+                             "serves O(fanout) peers instead of O(M) "
+                             "workers (estimates stay bit-identical; "
+                             "default: flat worker-to-collector "
+                             "exchange)")
+    parser.add_argument("--transport", choices=("queue", "shm"),
+                        default="queue",
+                        help="multiprocess message transport: 'queue' "
+                             "(pickle over mp.Queue) or 'shm' "
+                             "(zero-copy shared-memory ring buffers "
+                             "with queue fallback for oversized "
+                             "payloads)")
     return parser
 
 
@@ -138,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
             on_worker_death=args.on_worker_death,
             death_grace=args.death_grace,
             statistics=args.statistics,
+            reduction_fanout=args.reduction_fanout,
+            transport=args.transport,
             connect=args.connect,
             # Pools import the routine by name instead of unpickling it.
             backend_options={"routine_spec": args.routine})

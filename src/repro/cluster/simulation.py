@@ -28,7 +28,13 @@ from repro.cluster.network import CollectorService, NetworkModel
 from repro.obs.telemetry import RunTelemetry, WorkerTelemetry
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
-from repro.runtime.messages import MomentMessage, message_bytes
+from repro.runtime.messages import (
+    _HEADER_BYTES,
+    CombinedMessage,
+    MomentMessage,
+    message_bytes,
+)
+from repro.runtime.reduction import ReducerNode, plan_reduction
 from repro.runtime.worker import RealizationRoutine, adapt_realization
 from repro.rng.streams import StreamTree
 from repro.stats.statistic import StatisticSet
@@ -71,6 +77,15 @@ class ClusterSpec:
         network: Transfer cost model for worker-to-collector messages.
         collector_service_time: Seconds the 0-th processor spends
             ingesting one message.
+        reducer_service_time: Seconds an interior reducer node spends
+            ingesting one child message when the run configures a
+            reduction tree (``config.reduction_fanout``); None charges
+            the collector's service time.  Reducers coalesce: each one
+            forwards a single combined message upstream per busy
+            period, so under load the collector serves O(fanout)
+            streams of combined messages instead of O(M) worker
+            passes — the topology this model exists to study at 10^5
+            simulated workers.
         speed_factors: Optional per-rank relative speeds (heterogeneous
             cluster); length must equal the run's processor count.
         accelerators: Optional per-rank batch accelerators (§5's GPU /
@@ -91,6 +106,7 @@ class ClusterSpec:
     duration_model: DurationModel = field(default_factory=DurationModel)
     network: NetworkModel = field(default_factory=NetworkModel)
     collector_service_time: float = 200e-6
+    reducer_service_time: float | None = None
     speed_factors: tuple[float, ...] | None = None
     accelerators: tuple[Accelerator | None, ...] | None = None
     message_bytes: int | None = None
@@ -137,6 +153,12 @@ class ClusterResult:
         failed_ranks: Nodes that died mid-run (fault injection).
         lost_realizations: Realizations computed but never delivered to
             the collector before their node failed.
+        collector_served: Messages the 0-th processor's server actually
+            ingested — equals ``messages_sent`` on the flat exchange,
+            and the (much smaller) combined-message count under a
+            reduction tree.
+        combined_messages: Reducer forwards delivered to the collector
+            (0 on the flat exchange).
     """
 
     t_comp: float
@@ -148,6 +170,60 @@ class ClusterResult:
     compute_span: float
     failed_ranks: tuple[int, ...] = ()
     lost_realizations: int = 0
+    collector_served: int = 0
+    combined_messages: int = 0
+
+
+class _ReducerStation:
+    """One interior reducer node of the simulated reduction tree.
+
+    A FIFO single-server (like the collector's model) that ingests its
+    children's passes into a latest-per-rank pending map and flushes
+    one combined message upstream whenever it goes idle — the
+    coalescing that keeps upstream load bounded: under saturation a
+    busy period absorbs many child passes and emits a single forward.
+    """
+
+    def __init__(self, simulation: "ClusterSimulation", node: ReducerNode,
+                 service_time: float) -> None:
+        self._simulation = simulation
+        self.node = node
+        self.service = CollectorService(service_time)
+        self._pending: dict[int, MomentMessage] = {}
+        self._drained = 0
+
+    def admit(self, item: MomentMessage | CombinedMessage,
+              arrival: float) -> None:
+        """Queue one child message; schedules the flush at completion."""
+        completion = self.service.admit(arrival)
+        entries = (item.entries if isinstance(item, CombinedMessage)
+                   else (item,))
+        for entry in entries:
+            self._drained += 1
+            previous = self._pending.get(entry.rank)
+            if (previous is not None
+                    and entry.snapshot.volume < previous.snapshot.volume):
+                continue
+            self._pending[entry.rank] = entry
+        self._simulation._events.schedule(
+            completion, lambda when: self.flush(when))
+
+    def flush(self, now: float) -> None:
+        """Forward the pending batch if the server just went idle.
+
+        While more child messages are in service the flush defers to
+        their completion events — that is the coalescing window.
+        """
+        if not self._pending or self.service.busy_until > now + 1e-15:
+            return
+        entries = tuple(self._pending[rank]
+                        for rank in sorted(self._pending))
+        combined = CombinedMessage(
+            node_id=self.node.node_id, entries=entries, sent_at=now,
+            metrics={"level": self.node.level, "drained": self._drained})
+        self._pending.clear()
+        self._drained = 0
+        self._simulation._forward(self.node, combined, now)
 
 
 class ClusterSimulation:
@@ -222,6 +298,19 @@ class ClusterSimulation:
         self._nbytes = (spec.message_bytes if spec.message_bytes is not None
                         else message_bytes(config.nrow, config.ncol,
                                            self._statistics[0].extras))
+        # The reduction topology (flat unless config.reduction_fanout):
+        # worker passes route through simulated reducer stations that
+        # coalesce before the collector's server ever sees them.
+        plan = plan_reduction(range(config.processors),
+                              config.reduction_fanout)
+        reducer_service = (spec.reducer_service_time
+                           if spec.reducer_service_time is not None
+                           else spec.collector_service_time)
+        self._reducers = {
+            node.node_id: _ReducerStation(self, node, reducer_service)
+            for node in plan.nodes}
+        self._leaf_parents = dict(plan.leaf_parents)
+        self._combined_delivered = 0
         self._next_index = [0] * config.processors
         self._scheduling = scheduling
         self._total_started = 0
@@ -378,6 +467,24 @@ class ClusterSimulation:
             statistics=self._statistics[rank].extras_snapshot())
         self._messages_sent += 1
         self._last_send[rank] = now
+        node_id = self._leaf_parents.get(rank)
+        if node_id is not None:
+            # Tree topology: the pass crosses the wire to the subtree's
+            # reducer, which coalesces before anything reaches rank 0.
+            arrival = now + self._spec.network.transfer_time(
+                self._nbytes, local=False)
+            self._reducers[node_id].admit(message, arrival)
+            if self._telemetry is not None:
+                self._telemetry.tracer.record(
+                    "message.transfer", now, arrival, rank=rank,
+                    bytes=self._nbytes, final=final, via=node_id)
+                if final:
+                    self._telemetry.events.append(
+                        "worker_final", ts=now, rank=rank,
+                        volume=self._accumulators[rank].volume,
+                        messages=self._worker_stats[rank].messages,
+                        bytes=self._worker_stats[rank].bytes_sent)
+            return
         arrival = now + self._spec.network.transfer_time(
             self._nbytes, local=(rank == 0))
         completion = self._service.admit(arrival)
@@ -402,6 +509,43 @@ class ClusterSimulation:
     def _deliver(self, message: MomentMessage, now: float) -> None:
         """Collector finished ingesting a message."""
         self._collector.receive(message, now)
+        self._last_completion = max(self._last_completion, now)
+
+    def _forward(self, node: ReducerNode, combined: CombinedMessage,
+                 now: float) -> None:
+        """Route a reducer's combined forward one hop upstream.
+
+        The wire charges one framing header plus the coalesced
+        payloads; the receiving server (parent reducer or the
+        collector) charges a single service — the per-message fixed
+        cost the tree amortizes.
+        """
+        nbytes = (_HEADER_BYTES
+                  + len(combined.entries) * max(self._nbytes
+                                                - _HEADER_BYTES, 0))
+        arrival = now + self._spec.network.transfer_time(nbytes,
+                                                         local=False)
+        if node.parent is not None:
+            self._reducers[node.parent].admit(combined, arrival)
+            return
+        completion = self._service.admit(arrival)
+        self._queue_delay_total += completion \
+            - self._service.service_time - arrival
+        if self._telemetry is not None:
+            self._telemetry.tracer.record(
+                "message.transfer", now, completion, node=node.node_id,
+                bytes=nbytes, entries=len(combined.entries),
+                queue_delay=max(
+                    completion - self._service.service_time - arrival, 0.0))
+        self._events.schedule(
+            completion,
+            lambda when, m=combined: self._deliver_combined(m, when))
+
+    def _deliver_combined(self, combined: CombinedMessage,
+                          now: float) -> None:
+        """Collector finished ingesting a reducer forward."""
+        self._combined_delivered += 1
+        self._collector.receive_combined(combined, now)
         self._last_completion = max(self._last_completion, now)
 
     # ------------------------------------------------------------------
@@ -493,7 +637,9 @@ class ClusterSimulation:
             mean_queue_delay=mean_delay,
             compute_span=self._last_compute,
             failed_ranks=tuple(sorted(self._failures)),
-            lost_realizations=lost)
+            lost_realizations=lost,
+            collector_served=self._service.served,
+            combined_messages=self._combined_delivered)
         return self._result
 
     def run(self) -> ClusterResult:

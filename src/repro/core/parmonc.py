@@ -76,7 +76,9 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             batch_size: int | None = None,
             on_worker_death: str = "fail",
             death_grace: float = 1.0,
-            statistics: Sequence[str] | str | None = None) -> RunResult:
+            statistics: Sequence[str] | str | None = None,
+            reduction_fanout: int | None = None,
+            transport: str = "queue") -> RunResult:
     """Run a massively parallel stochastic simulation.
 
     Args:
@@ -156,6 +158,19 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             piggyback on every data pass, merge under formula (5) and
             survive save-points; the merged result lands on
             ``RunResult.statistics``.  Default: moments only.
+        reduction_fanout: Width of the hierarchical reduction tree.
+            None (default) keeps the flat worker->rank-0 exchange;
+            ``k >= 2`` inserts interior reducer nodes that coalesce
+            their subtree's latest snapshots into one combined message
+            upstream, so the collector serves O(fanout) peers instead
+            of O(M) workers — estimates stay bit-identical.  Honoured
+            by ``multiprocess`` and ``simcluster``; see
+            ``docs/reduction.md``.
+        transport: ``multiprocess`` only — ``"queue"`` (default,
+            pickle over ``mp.Queue``) or ``"shm"`` (zero-copy
+            ``multiprocessing.shared_memory`` ring buffers for the
+            fixed-layout moment payload, queue fallback for oversized
+            payloads).
 
     Returns:
         The session's :class:`~repro.runtime.result.RunResult`.
@@ -178,7 +193,8 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
         leaps=_resolve_leaps(resolved_workdir, leaps),
         time_limit=time_limit, telemetry=telemetry,
         on_worker_death=on_worker_death, death_grace=death_grace,
-        statistics=normalize_statistics(statistics))
+        statistics=normalize_statistics(statistics),
+        reduction_fanout=reduction_fanout, transport=transport)
     # create_backend keeps only the options the chosen backend's factory
     # accepts, so simcluster-only knobs are silently ignored elsewhere.
     options = dict(backend_options) if backend_options else {}

@@ -23,7 +23,7 @@ from repro.exceptions import ConfigurationError
 from repro.obs.telemetry import RunTelemetry
 from repro.runtime.config import RunConfig
 from repro.runtime.files import DataDirectory
-from repro.runtime.messages import MomentMessage
+from repro.runtime.messages import CombinedMessage, MomentMessage
 from repro.stats.accumulator import MomentSnapshot
 from repro.stats.estimators import Estimates
 from repro.stats.merging import merge_snapshots, merge_statistic_maps
@@ -93,6 +93,7 @@ class Collector:
         self._receive_count = 0
         self._stale_count = 0
         self._late_count = 0
+        self._combined_count = 0
         self._save_count = 0
         self._history: list[tuple[float, int, float]] = []
 
@@ -112,6 +113,17 @@ class Collector:
     def late_count(self) -> int:
         """Messages dropped because their rank had already been retired."""
         return self._late_count
+
+    @property
+    def combined_count(self) -> int:
+        """Combined (tree-reduced) messages ingested so far.
+
+        Each one carried a batch of per-rank entries — all counted in
+        :attr:`receive_count` — but cost the collector a single
+        ingest/save-due cycle, which is the saving the reduction tree
+        exists to make.
+        """
+        return self._combined_count
 
     @property
     def save_count(self) -> int:
@@ -250,6 +262,50 @@ class Collector:
         ``peraver`` is zero (save on every message), or when the message
         completes the run.
         """
+        if not self._ingest(message, now):
+            return False
+        return self._save_if_due(now)
+
+    def receive_combined(self, combined: CombinedMessage,
+                         now: float) -> bool:
+        """Ingest one reducer forward; return True if a save was triggered.
+
+        Every entry goes through the same latest-per-rank bookkeeping
+        as a direct worker pass — same stale/late drops, same
+        subtotal persistence — but the batch pays for a *single*
+        save-due check, which is precisely the fixed per-message
+        collector cost the reduction tree amortizes over its subtree.
+        """
+        accepted = 0
+        for entry in combined.entries:
+            if self._ingest(entry, now):
+                accepted += 1
+        self._combined_count += 1
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            registry.counter("collector.combined_messages").inc()
+            metrics = combined.metrics or {}
+            level = metrics.get("level")
+            if level is not None:
+                registry.counter(
+                    f"reduction.level{level}.forwards").inc()
+                registry.counter(
+                    f"reduction.level{level}.entries").inc(
+                        len(combined.entries))
+                drained = metrics.get("drained")
+                if drained:
+                    registry.counter(
+                        f"reduction.level{level}.merged_in").inc(drained)
+            self._telemetry.events.append(
+                "combined_message", ts=now, node=combined.node_id,
+                entries=len(combined.entries), accepted=accepted,
+                final=combined.final)
+        if not accepted:
+            return False
+        return self._save_if_due(now)
+
+    def _ingest(self, message: MomentMessage, now: float) -> bool:
+        """Latest-per-rank bookkeeping for one entry; True if accepted."""
         if message.rank in self._retired:
             # A retired (dead) worker's message surfaced after its quota
             # was reassigned; folding it in would double-count the
@@ -302,6 +358,10 @@ class Collector:
             self._data.save_processor_snapshot(
                 message.rank, message.snapshot, session=self._sessions,
                 statistics=message.statistics)
+        return True
+
+    def _save_if_due(self, now: float) -> bool:
+        """Run the periodic averaging/saving sweep when it is due."""
         due = (self._config.peraver == 0.0
                or self._last_average_at is None
                or now - self._last_average_at >= self._config.peraver

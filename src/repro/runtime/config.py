@@ -74,6 +74,25 @@ class RunConfig:
             completion accounting — always comes first.  The default
             moments-only selection reproduces the historical pipeline
             bit-for-bit.
+        reduction_fanout: Width ``k`` of the hierarchical reduction
+            tree (see :mod:`repro.runtime.reduction`).  None (the
+            default) keeps the flat worker->rank-0 exchange; with a
+            fanout of ``k >= 2`` interior reducer nodes coalesce their
+            subtree's latest-per-rank snapshots and forward one
+            combined message upstream, so the collector serves
+            O(fanout) peers instead of O(M) workers.  The collector
+            still performs the one canonical rank-ordered merge, so
+            estimates stay bit-identical to the flat exchange.
+            Honoured by the ``multiprocess`` and ``simcluster``
+            backends; other backends run flat.
+        transport: Same-host message transport of the ``multiprocess``
+            backend.  ``"queue"`` (default) is pickle over
+            ``mp.Queue``; ``"shm"`` ships the fixed-layout moment
+            payload through a per-worker ``multiprocessing
+            .shared_memory`` ring buffer (zero-copy ndarray views, a
+            seqnum/commit protocol), falling back to the queue for
+            payloads that do not fit a slot.  Other backends ignore
+            the knob.
     """
 
     nrow: int = 1
@@ -91,6 +110,8 @@ class RunConfig:
     on_worker_death: str = "fail"
     death_grace: float = 1.0
     statistics: tuple[str, ...] = DEFAULT_STATISTICS
+    reduction_fanout: int | None = None
+    transport: str = "queue"
 
     def __post_init__(self) -> None:
         if self.nrow < 1 or self.ncol < 1:
@@ -132,6 +153,14 @@ class RunConfig:
             raise ConfigurationError(
                 f"death_grace must be >= 0 seconds, "
                 f"got {self.death_grace}")
+        if self.reduction_fanout is not None and self.reduction_fanout < 2:
+            raise ConfigurationError(
+                f"reduction_fanout must be >= 2 (or None for the flat "
+                f"exchange), got {self.reduction_fanout}")
+        if self.transport not in ("queue", "shm"):
+            raise ConfigurationError(
+                f"transport must be 'queue' or 'shm', "
+                f"got {self.transport!r}")
         # Normalize workdir to a Path without touching the filesystem.
         object.__setattr__(self, "workdir", Path(self.workdir))
         # Canonicalize the statistics selection (moments first, known

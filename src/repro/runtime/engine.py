@@ -48,7 +48,7 @@ from repro.exceptions import BackendError, ConfigurationError
 from repro.runtime.bootstrap import start_session
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
-from repro.runtime.messages import MomentMessage
+from repro.runtime.messages import CombinedMessage, MomentMessage
 from repro.runtime.resume import finalize_session
 from repro.runtime.result import RunResult
 from repro.runtime.telemetry_support import open_run_telemetry
@@ -151,12 +151,16 @@ class Backend(Protocol):
         """
         ...
 
-    def poll(self, timeout: float) -> MomentMessage | None:
-        """Return the next worker message, or None if none is ready.
+    def poll(self, timeout: float
+             ) -> MomentMessage | CombinedMessage | None:
+        """Return the next worker or reducer message, or None.
 
         Backends that deliver messages out-of-band (directly into the
         collector via :meth:`Engine.ingest`) always return None and make
-        progress inside the call instead.
+        progress inside the call instead.  A backend running a
+        reduction tree (see :mod:`repro.runtime.reduction`) surfaces
+        the interior nodes' :class:`~repro.runtime.messages
+        .CombinedMessage` forwards through the same channel.
         """
         ...
 
@@ -290,11 +294,20 @@ class DrainBuffer:
             message, raising :class:`queue.Empty` when there is none.
             Evaluated at call time, so a backend may rebind its
             underlying channel (tests do).
+        rings: Optional zero-argument callable yielding the shared-
+            memory rings the collector consumes directly (the
+            ``transport="shm"`` path); each must expose
+            ``receive() -> message | None``.  Rings drain before the
+            queue so the zero-copy path cannot starve behind pickled
+            traffic, and the drain-before-verdict guarantee covers
+            both channels.
     """
 
-    def __init__(self, fetch_nowait: Callable[[], MomentMessage]) -> None:
+    def __init__(self, fetch_nowait: Callable[[], MomentMessage],
+                 rings: Callable[[], Sequence] | None = None) -> None:
         self._fetch = fetch_nowait
-        self._buffer: deque[MomentMessage] = deque()
+        self._rings = rings
+        self._buffer: deque[MomentMessage | CombinedMessage] = deque()
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -306,8 +319,16 @@ class DrainBuffer:
         return None
 
     def drain(self) -> bool:
-        """Move every queued message into the buffer; True if any were."""
+        """Move every pending message into the buffer; True if any were."""
         drained = False
+        if self._rings is not None:
+            for ring in self._rings():
+                while True:
+                    message = ring.receive()
+                    if message is None:
+                        break
+                    self._buffer.append(message)
+                    drained = True
         while True:
             try:
                 self._buffer.append(self._fetch())
@@ -538,22 +559,33 @@ class Engine:
 
     # -- message path --------------------------------------------------------
 
-    def ingest(self, message: MomentMessage, now: float) -> None:
-        """Deliver one worker message to the collector.
+    def ingest(self, message: MomentMessage | CombinedMessage,
+               now: float) -> None:
+        """Deliver one worker or reducer message to the collector.
 
         Backends that bypass :meth:`Backend.poll` (the sequential loop,
         the cluster simulation's internal delivery) call this directly.
+        A :class:`CombinedMessage` — an interior reducer's coalesced
+        forward — lands through
+        :meth:`~repro.runtime.collector.Collector.receive_combined`,
+        paying one collector cycle for its whole batch of entries.
         """
-        self.collector.receive(message, now)
-        if self._stale_flagged:
-            self._stale_flagged.discard(message.rank)
-        if self.telemetry is not None and message.final:
-            stats = message.metrics or {}
-            self.telemetry.events.append(
-                "worker_final", ts=now, rank=message.rank,
-                volume=message.snapshot.volume,
-                messages=stats.get("messages"),
-                bytes=stats.get("bytes"))
+        if isinstance(message, CombinedMessage):
+            self.collector.receive_combined(message, now)
+            entries = message.entries
+        else:
+            self.collector.receive(message, now)
+            entries = (message,)
+        for entry in entries:
+            if self._stale_flagged:
+                self._stale_flagged.discard(entry.rank)
+            if self.telemetry is not None and entry.final:
+                stats = entry.metrics or {}
+                self.telemetry.events.append(
+                    "worker_final", ts=now, rank=entry.rank,
+                    volume=entry.snapshot.volume,
+                    messages=stats.get("messages"),
+                    bytes=stats.get("bytes"))
 
     def _flag_stale(self, now: float, stale_after: float) -> None:
         for rank in self.collector.stale_workers(now, stale_after):

@@ -26,7 +26,7 @@ from repro.exceptions import ConfigurationError
 from repro.stats.accumulator import MOMENT_WORDS_PER_ENTRY, MomentSnapshot
 from repro.stats.statistic import Statistic
 
-__all__ = ["MomentMessage", "message_bytes"]
+__all__ = ["CombinedMessage", "MomentMessage", "message_bytes"]
 
 #: Fixed per-message framing overhead assumed by the cost model (rank,
 #: volume, timestamps, envelope).
@@ -78,6 +78,72 @@ class MomentMessage:
                   if self.statistics is not None else ())
         return (_HEADER_BYTES + self.snapshot.nbytes
                 + sum(statistic.nbytes for statistic in extras))
+
+
+@dataclass(frozen=True)
+class CombinedMessage:
+    """One coalesced upstream pass from an interior reducer node.
+
+    A reducer (see :mod:`repro.runtime.reduction`) drains everything
+    its subtree delivered since its last forward, keeps the latest
+    cumulative snapshot per rank, and ships them together as one
+    message.  Crucially the entries stay *per-rank* — the reducer never
+    pre-sums float payloads — so the collector still performs the one
+    canonical rank-ordered merge and the estimates are bit-identical
+    to the flat exchange by construction (float addition is not
+    associative to the last ulp; only the topology changed, not the
+    fold).  What the tree buys is message-count coalescing: the
+    collector pays its fixed per-message overhead once per combined
+    message instead of once per worker pass.
+
+    Attributes:
+        node_id: Identifier of the forwarding reducer node.
+        entries: Latest-per-rank worker messages, one per distinct
+            rank, in ascending rank order.
+        sent_at: Forward time in run seconds.
+        metrics: Optional reducer-side telemetry (level, messages
+            drained/forwarded, shm reads) aggregated by the collector.
+    """
+
+    node_id: str
+    entries: tuple[MomentMessage, ...]
+    sent_at: float
+    metrics: dict | None = None
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigurationError(
+                "a combined message must carry at least one entry")
+        ranks = [entry.rank for entry in self.entries]
+        if len(set(ranks)) != len(ranks) or ranks != sorted(ranks):
+            raise ConfigurationError(
+                f"combined entries must be unique and rank-ordered, "
+                f"got ranks {ranks}")
+        if self.sent_at < 0.0:
+            raise ConfigurationError(
+                f"message send time must be >= 0, got {self.sent_at}")
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        """The distinct worker ranks on board, ascending."""
+        return tuple(entry.rank for entry in self.entries)
+
+    @property
+    def final(self) -> bool:
+        """True when any entry is a worker's final pass."""
+        return any(entry.final for entry in self.entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Modelled wire size: one framing header plus the payloads.
+
+        The combined message re-frames its entries under a single
+        envelope, so coalescing k passes saves ``(k - 1)`` headers of
+        fixed overhead on the wire and — far more importantly —
+        ``(k - 1)`` fixed service costs at the collector.
+        """
+        return _HEADER_BYTES + sum(
+            entry.nbytes - _HEADER_BYTES for entry in self.entries)
 
 
 def message_bytes(nrow: int, ncol: int,

@@ -1,0 +1,223 @@
+"""Tests for the zero-copy shared-memory ring transport.
+
+Ring mechanics first (codec round-trips, the commit protocol's
+occupancy accounting, every fallback reason), then the lifetime story
+the resource tracker makes hard: a SIGKILLed worker must not leak a
+``/dev/shm`` segment — the owning backend unlinks on shutdown and the
+bootstrap sweep reclaims what a killed *owner* left behind.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.parmonc import parmonc
+from repro.exceptions import ConfigurationError
+from repro.runtime.messages import MomentMessage
+from repro.runtime.shm import (
+    ShmRing,
+    ShmSender,
+    attach_ring,
+    segment_name,
+    shm_available,
+    sweep_orphans,
+)
+from repro.stats.accumulator import MomentAccumulator
+from repro.stats.statistic import create_statistic
+
+pytestmark = pytest.mark.skipif(not shm_available(),
+                                reason="no multiprocessing.shared_memory")
+
+
+def _message(rank=3, volume=7, *, shape=(2, 2), final=False,
+             metrics=None, statistics=None):
+    accumulator = MomentAccumulator(*shape)
+    for index in range(volume):
+        accumulator.add(np.full(shape, float(index + 1)))
+    return MomentMessage(rank=rank, snapshot=accumulator.snapshot(),
+                         sent_at=1.25, final=final, metrics=metrics,
+                         statistics=statistics)
+
+
+@pytest.fixture
+def ring():
+    ring = ShmRing.create(segment_name("test"), (2, 2), slots=4)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+class TestRingCodec:
+    def test_plain_roundtrip(self, ring):
+        message = _message()
+        assert ring.try_send(message)
+        received = ring.receive()
+        assert received.rank == message.rank
+        assert received.final is False
+        assert received.sent_at == message.sent_at
+        assert np.array_equal(received.snapshot.sum1,
+                              message.snapshot.sum1)
+        assert np.array_equal(received.snapshot.sum2,
+                              message.snapshot.sum2)
+        assert received.snapshot.volume == message.snapshot.volume
+        assert received.snapshot.compute_time \
+            == message.snapshot.compute_time
+        assert received.metrics is None
+        assert received.statistics is None
+
+    def test_final_flag_and_extras_roundtrip(self, ring):
+        extras = {"extrema": create_statistic("extrema", 2, 2)}
+        extras["extrema"].update(np.full((2, 2), 0.5))
+        message = _message(final=True, metrics={"rate": 12.5},
+                           statistics=extras)
+        assert ring.try_send(message)
+        received = ring.receive()
+        assert received.final is True
+        assert received.metrics == {"rate": 12.5}
+        assert (received.statistics["extrema"].to_payload()
+                == extras["extrema"].to_payload())
+
+    def test_fifo_order_and_occupancy(self, ring):
+        for volume in (1, 2, 3):
+            assert ring.try_send(_message(volume=volume))
+        assert ring.occupancy() == 3
+        volumes = [ring.receive().snapshot.volume for _ in range(3)]
+        assert volumes == [1, 2, 3]  # send order preserved
+        assert ring.occupancy() == 0
+        assert ring.receive() is None
+
+    def test_full_ring_refuses_then_recovers(self, ring):
+        for _ in range(ring.slots):
+            assert ring.try_send(_message())
+        assert not ring.try_send(_message())
+        assert ring.receive() is not None
+        assert ring.try_send(_message())
+
+    def test_shape_mismatch_refused(self, ring):
+        assert not ring.try_send(_message(shape=(3, 1)))
+
+    def test_oversized_extra_refused(self):
+        small = ShmRing.create(segment_name("tiny"), (1, 1),
+                               extra_capacity=8)
+        try:
+            message = _message(shape=(1, 1),
+                               metrics={"key": "x" * 256})
+            assert not small.try_send(message)
+            assert small.try_send(_message(shape=(1, 1)))
+        finally:
+            small.close()
+            small.unlink()
+
+
+class TestSender:
+    def test_fallback_diverts_to_queue_and_counts(self, ring):
+        spill = []
+        sender = ShmSender(ring, spill.append, wait=0.01)
+        for _ in range(ring.slots + 2):
+            sender(_message())
+        assert len(spill) == 2
+        assert ring.fallbacks == 2
+        assert ring.occupancy() == ring.slots
+
+
+class TestLifetime:
+    def test_attach_sees_the_owners_data(self, ring):
+        assert ring.try_send(_message(volume=5))
+        reader = attach_ring(ring.name)
+        try:
+            assert reader.shape == (2, 2)
+            assert reader.receive().snapshot.volume == 5
+        finally:
+            reader.close()
+
+    def test_foreign_segment_rejected(self):
+        from multiprocessing import shared_memory
+        segment = shared_memory.SharedMemory(
+            name=segment_name("alien"), create=True, size=1024)
+        try:
+            with pytest.raises(ConfigurationError, match="not a parmonc"):
+                attach_ring(segment.name)
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_unlink_is_idempotent(self):
+        ring = ShmRing.create(segment_name("gone"), (1, 1))
+        ring.close()
+        ring.unlink()
+        ring.unlink()
+        assert not glob.glob(f"/dev/shm/{ring.name}")
+
+    def test_sweep_reclaims_dead_owner_segments_only(self):
+        from multiprocessing import shared_memory
+        dead_pid = 99999
+        while True:
+            try:
+                os.kill(dead_pid, 0)
+                dead_pid += 1
+            except ProcessLookupError:
+                break
+            except PermissionError:
+                dead_pid += 1
+        orphan_name = f"parmonc_{dead_pid}_deadbe_r0"
+        orphan = shared_memory.SharedMemory(name=orphan_name, create=True,
+                                            size=256)
+        orphan.close()
+        live = ShmRing.create(segment_name("live"), (1, 1))
+        try:
+            removed = sweep_orphans()
+            assert orphan_name in removed
+            assert not glob.glob(f"/dev/shm/{orphan_name}")
+            assert glob.glob(f"/dev/shm/{live.name}")
+        finally:
+            live.close()
+            live.unlink()
+
+
+def make_sigkill_crasher(flag_path):
+    """A routine whose 5th call SIGKILLs its worker — once, run-wide.
+
+    SIGKILL skips every ``finally`` and atexit hook, so the worker's
+    attached ring never gets a clean close: the regression this guards
+    is the backend still unlinking every segment afterwards.
+    """
+    calls = {"n": 0}
+
+    def routine(rng):
+        calls["n"] += 1
+        if calls["n"] == 5:
+            try:
+                flag_path.touch(exist_ok=False)
+            except FileExistsError:
+                pass
+            else:
+                os.kill(os.getpid(), signal.SIGKILL)
+        return rng.random()
+
+    return routine
+
+
+class TestLeakRegression:
+    def test_sigkilled_worker_leaks_no_segment(self, tmp_path):
+        routine = make_sigkill_crasher(tmp_path / "killed.flag")
+        result = parmonc(routine, maxsv=40, perpass=0.0, peraver=0.0,
+                         processors=2, backend="multiprocess",
+                         start_method="fork", transport="shm",
+                         on_worker_death="reassign", workdir=tmp_path)
+        assert result.total_volume == 40
+        assert len(result.recovered_ranks) == 1
+        assert glob.glob("/dev/shm/parmonc_*") == []
+
+    def test_tree_run_with_shm_leaves_no_segment(self, tmp_path):
+        result = parmonc(lambda rng: rng.random(), maxsv=40, perpass=0.0,
+                         peraver=0.0, processors=4,
+                         backend="multiprocess", start_method="fork",
+                         transport="shm", reduction_fanout=2,
+                         workdir=tmp_path)
+        assert result.total_volume == 40
+        assert glob.glob("/dev/shm/parmonc_*") == []

@@ -36,11 +36,11 @@ def pair(rng):
 
 
 def _run(backend, workdir, *, batch_size=None, maxsv=240, processors=3,
-         res=0, seqnum=1, statistics=ALL_STATISTICS):
+         res=0, seqnum=1, statistics=ALL_STATISTICS, **kwargs):
     return parmonc(pair, nrow=1, ncol=2, maxsv=maxsv, res=res,
                    seqnum=seqnum, processors=processors, backend=backend,
                    workdir=workdir, batch_size=batch_size,
-                   statistics=statistics)
+                   statistics=statistics, **kwargs)
 
 
 class TestCrossBackendParity:
@@ -88,6 +88,91 @@ class TestCrossBackendParity:
         for kind in ALL_STATISTICS:
             assert (result.statistics[kind].to_payload()
                     == reference[kind].to_payload())
+
+
+class TestReductionTransportParity:
+    """The exchange topology and transport never touch a result bit.
+
+    Reducers forward untouched per-rank snapshots and the collector
+    always folds in rank order, so every fanout x transport (x batched)
+    combination must reproduce the flat queue exchange exactly: same
+    estimate bytes, same statistic payloads, same savepoint payload
+    (modulo the wall-clock compute-time field).
+    """
+
+    FANOUTS = (None, 2, 4, 8)
+
+    def _fingerprint(self, workdir, result):
+        payload, _version = storage.read_artifact(
+            DataDirectory(workdir).savepoint_path, SAVEPOINT_FORMAT,
+            max_version=SAVEPOINT_VERSION)
+        payload["snapshot"].pop("compute_time")
+        estimates = result.estimates
+        return {
+            "mean": estimates.mean.tobytes(),
+            "variance": estimates.variance.tobytes(),
+            "abs_error": estimates.abs_error.tobytes(),
+            "volume": estimates.volume,
+            "statistics": {kind: statistic.to_payload()
+                           for kind, statistic
+                           in result.statistics.items()},
+            "savepoint": payload,
+        }
+
+    def _run_matrix(self, tmp_path, *, batch_size=None):
+        label = "batched" if batch_size else "scalar"
+        fingerprints = {}
+        for fanout in self.FANOUTS:
+            for transport in ("queue", "shm"):
+                workdir = (tmp_path / label
+                           / f"f{fanout or 0}-{transport}")
+                result = parmonc(pair, nrow=1, ncol=2, maxsv=60,
+                                 seqnum=1, processors=6, perpass=0.0,
+                                 peraver=0.0, backend="multiprocess",
+                                 start_method="fork",
+                                 batch_size=batch_size,
+                                 statistics=ALL_STATISTICS,
+                                 reduction_fanout=fanout,
+                                 transport=transport, workdir=workdir)
+                assert result.total_volume == 60, (fanout, transport)
+                fingerprints[(fanout, transport)] = \
+                    self._fingerprint(workdir, result)
+        return fingerprints
+
+    def test_every_fanout_and_transport_is_bit_identical(self, tmp_path):
+        fingerprints = self._run_matrix(tmp_path)
+        reference = fingerprints[(None, "queue")]
+        for combo, fingerprint in fingerprints.items():
+            assert fingerprint == reference, combo
+
+    def test_batched_matrix_matches_scalar_reference(self, tmp_path):
+        reference = self._run_matrix(
+            tmp_path / "ref")[(None, "queue")]
+        fingerprints = self._run_matrix(tmp_path, batch_size=16)
+        for combo, fingerprint in fingerprints.items():
+            assert fingerprint == reference, combo
+
+    def test_simcluster_tree_matches_flat(self, tmp_path):
+        results = {}
+        for fanout in (None, 4):
+            results[fanout] = _run(
+                "simcluster", tmp_path / f"sim{fanout or 0}",
+                maxsv=120, processors=16, reduction_fanout=fanout)
+        flat, tree = results[None], results[4]
+        assert np.array_equal(flat.estimates.mean, tree.estimates.mean)
+        assert (tree.statistics["histogram"].to_payload()
+                == flat.statistics["histogram"].to_payload())
+
+    def test_cli_accepts_reduction_flags(self, tmp_path, capsys):
+        from repro.cli.run import main
+        (tmp_path / "model.py").write_text(
+            "def one(rng):\n    return rng.random()\n")
+        code = main(["model:one", "--maxsv", "40", "--processors", "4",
+                     "--backend", "multiprocess",
+                     "--reduction-fanout", "2", "--transport", "shm",
+                     "--workdir", str(tmp_path)])
+        assert code == 0
+        assert "total sample volume: 40" in capsys.readouterr().out
 
 
 class TestSavepointRoundTrip:
