@@ -34,6 +34,7 @@ from repro.core import (  # noqa: E402
     parmonc,
 )
 from repro.exceptions import (  # noqa: E402
+    AdmissionError,
     BackendError,
     CapacityError,
     ConfigurationError,
@@ -52,8 +53,10 @@ from repro.rng import (  # noqa: E402
     rnd128,
 )
 from repro.runtime import (  # noqa: E402
+    JobSpec,
     RunConfig,
     RunResult,
+    Scheduler,
     batch_routine,
     make_batched,
     minutes,
@@ -91,6 +94,8 @@ __all__ = [
     "make_batched",
     "RunConfig",
     "RunResult",
+    "JobSpec",
+    "Scheduler",
     "minutes",
     "Estimates",
     "MomentAccumulator",
@@ -105,6 +110,7 @@ __all__ = [
     "register_statistic",
     "statistic_kinds",
     "ReproError",
+    "AdmissionError",
     "ConfigurationError",
     "CapacityError",
     "ResumeError",

@@ -1,16 +1,28 @@
-"""Queuing-theory workload: an M/M/1 queue (§2.1 names the field).
+"""Queuing-theory workloads: M/M/1 and G/G/c/K queues (§2.1's field).
 
-A realization simulates one busy day of a single-server queue with
-Poisson arrivals (rate ``arrival_rate``) and exponential service (rate
-``service_rate``) and reports the mean waiting time and mean sojourn
-time over the first ``customers`` customers.  Steady-state theory gives
-``W_q = rho / (mu - lambda)`` and ``W = 1 / (mu - lambda)``, an
-asymptotic oracle the estimators approach as the horizon grows.
+Two models:
+
+* :class:`MM1Queue` — one busy day of a single-server queue with
+  Poisson arrivals and exponential service; the mean waiting and
+  sojourn times approach the steady-state formulas ``W_q = rho /
+  (mu - lambda)`` and ``W = 1 / (mu - lambda)`` as the horizon grows.
+* :class:`GGcKQueue` — ``c`` parallel servers, general interarrival
+  and service samplers, and a capacity bound of ``K`` customers in the
+  system (arrivals beyond it are *blocked*).  This is the shape of the
+  library's own job :class:`~repro.runtime.scheduler.Scheduler`:
+  arrivals are job submissions, the ``c`` servers are the shared
+  worker slots, ``K`` is the ``max_jobs`` admission bound, waiting
+  time is the submit-to-start SLA and the blocking fraction is the
+  admission-rejection rate — so the scheduler's measured SLOs can be
+  validated against their own Monte Carlo prediction (the test suite
+  does exactly that).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -19,7 +31,8 @@ from repro.exceptions import ConfigurationError
 from repro.rng.distributions import exponential
 from repro.rng.lcg128 import Lcg128
 
-__all__ = ["MM1Queue", "simulate_day", "make_realization"]
+__all__ = ["GGcKQueue", "MM1Queue", "simulate_day", "simulate_ggck",
+           "make_realization", "make_ggck_realization"]
 
 
 @dataclass(frozen=True)
@@ -89,5 +102,112 @@ def make_realization(queue: MM1Queue
     """Build a PARMONC realization returning the 1x2 matrix (W_q, W)."""
     def realization(rng: Lcg128) -> np.ndarray:
         return np.array([simulate_day(queue, rng)])
+
+    return realization
+
+
+# ---------------------------------------------------------------------------
+# G/G/c/K — the scheduler's own shape
+
+
+@dataclass(frozen=True)
+class GGcKQueue:
+    """A G/G/c/K queue: ``c`` servers, capacity ``K``, general laws.
+
+    Attributes:
+        servers: Number of parallel servers ``c`` (the scheduler
+            analogue: shared worker slots).
+        capacity: Maximum customers *in the system* — in service plus
+            waiting; an arrival finding ``K`` customers is blocked and
+            lost (the scheduler analogue: the ``max_jobs`` admission
+            bound).  Must be >= ``servers``.
+        customers: Arrivals simulated per realization.
+        interarrival: Sampler ``f(rng) -> seconds`` for the time
+            between consecutive arrivals (the default models a rate-1
+            Poisson stream).  ``lambda rng: 0.0`` models a batch that
+            arrives all at once — exactly how a ``parmonc-sched`` queue
+            file is submitted.
+        service: Sampler ``f(rng) -> seconds`` for one customer's
+            service demand (default: rate-1 exponential; for the
+            scheduler analogy, a job's makespan on one worker).
+    """
+
+    servers: int = 1
+    capacity: int = 1
+    customers: int = 500
+    interarrival: Callable[[Lcg128], float] = field(
+        default=lambda rng: exponential(rng, 1.0))
+    service: Callable[[Lcg128], float] = field(
+        default=lambda rng: exponential(rng, 1.0))
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ConfigurationError(
+                f"servers must be >= 1, got {self.servers}")
+        if self.capacity < self.servers:
+            raise ConfigurationError(
+                f"capacity K must be >= servers c, got K="
+                f"{self.capacity} < c={self.servers}")
+        if self.customers < 1:
+            raise ConfigurationError(
+                f"customers must be >= 1, got {self.customers}")
+
+
+def simulate_ggck(queue: GGcKQueue, rng: Lcg128
+                  ) -> tuple[float, float, float]:
+    """One day of a G/G/c/K queue.
+
+    Returns:
+        ``(mean_wait, blocked_fraction, mean_sojourn)`` — the mean
+        waiting time of *admitted* customers, the fraction of arrivals
+        blocked at capacity, and the admitted customers' mean sojourn
+        (wait plus service).  Admitted customers left in the system
+        when arrivals stop are drained to completion, so every admitted
+        customer contributes to the means.
+    """
+    busy: list[float] = []       # departure times, a min-heap
+    waiting: deque[float] = deque()   # arrival times of queued customers
+    now = 0.0
+    admitted = 0
+    blocked = 0
+    total_wait = 0.0
+    total_sojourn = 0.0
+
+    def start_service(arrival: float, start: float) -> None:
+        nonlocal total_wait, total_sojourn, admitted
+        demand = queue.service(rng)
+        total_wait += start - arrival
+        total_sojourn += (start - arrival) + demand
+        admitted += 1
+        heapq.heappush(busy, start + demand)
+
+    for _ in range(queue.customers):
+        now += queue.interarrival(rng)
+        # Complete departures up to this arrival; freed servers pick
+        # up the head of the queue at the moment they free.
+        while busy and busy[0] <= now:
+            freed = heapq.heappop(busy)
+            if waiting:
+                start_service(waiting.popleft(), freed)
+        if len(busy) + len(waiting) >= queue.capacity:
+            blocked += 1
+            continue
+        if len(busy) < queue.servers:
+            start_service(now, now)
+        else:
+            waiting.append(now)
+    while waiting:
+        freed = heapq.heappop(busy)
+        start_service(waiting.popleft(), freed)
+    served = max(admitted, 1)
+    return (total_wait / served, blocked / queue.customers,
+            total_sojourn / served)
+
+
+def make_ggck_realization(queue: GGcKQueue
+                          ) -> Callable[[Lcg128], np.ndarray]:
+    """A PARMONC realization: 1x3 matrix (W_q, P_block, W)."""
+    def realization(rng: Lcg128) -> np.ndarray:
+        return np.array([simulate_ggck(queue, rng)])
 
     return realization

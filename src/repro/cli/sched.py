@@ -1,0 +1,284 @@
+"""The ``parmonc-submit`` / ``parmonc-sched`` commands: batch runs.
+
+``parmonc-submit`` appends one job description to a queue file (JSON
+lines, one job per line)::
+
+    $ parmonc-submit mymodel:one_trajectory --queue jobs.jsonl \\
+          --maxsv 100000 --seqnum 3 --name diffusion --priority 2
+
+``parmonc-sched`` drains the queue through one shared
+:class:`~repro.runtime.scheduler.Scheduler` — every job multiplexed
+over the same worker pool, fair-shared by priority::
+
+    $ parmonc-sched --queue jobs.jsonl --backend multiprocess \\
+          --workers 8 --sla-report sla.json
+
+The queue file is a plain spool, not a daemon: ``submit`` only writes
+the description (the routine travels as its ``module:function`` name),
+and ``sched`` imports the routines, submits every job and blocks until
+the batch drains.  The SLA report is the scheduler's
+:meth:`~repro.runtime.scheduler.Scheduler.sla_report` as JSON — per-job
+submit-to-start wait, makespan, deadline misses and dispatch counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli.run import load_routine
+from repro.core.parmonc import build_job_spec
+from repro.exceptions import ReproError
+from repro.runtime.engine import available_backends, create_backend
+from repro.runtime.job import JobStatus
+from repro.runtime.scheduler import Scheduler
+
+__all__ = ["submit_main", "sched_main"]
+
+#: Default queue file, relative to the working directory.
+DEFAULT_QUEUE = "parmonc_jobs.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# parmonc-submit
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    """Build the parmonc-submit argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="parmonc-submit",
+        description="Append one job to a parmonc batch queue file "
+                    "(run the queue with parmonc-sched).")
+    parser.add_argument("routine",
+                        help="realization routine as module:function "
+                             "(imported by parmonc-sched at run time)")
+    parser.add_argument("--queue", type=Path, default=Path(DEFAULT_QUEUE),
+                        help=f"queue file to append to (default: "
+                             f"{DEFAULT_QUEUE})")
+    parser.add_argument("--name", default=None,
+                        help="job name (default: job-<position>)")
+    parser.add_argument("--priority", type=float, default=1.0,
+                        help="fair-share weight; a priority-2 job is "
+                             "dispatched twice as often as a "
+                             "priority-1 one under contention")
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="cap on this job's concurrent workers")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="advisory SLA target in seconds; misses "
+                             "are counted in the SLA report, the job "
+                             "is not cancelled (use --time-limit for "
+                             "hard cancellation)")
+    parser.add_argument("--nrow", type=int, default=1)
+    parser.add_argument("--ncol", type=int, default=1)
+    parser.add_argument("--maxsv", type=int, required=True,
+                        help="maximal total sample volume")
+    parser.add_argument("--res", type=int, choices=(0, 1), default=0,
+                        help="0 = new simulation, 1 = resume previous")
+    parser.add_argument("--seqnum", type=int, default=0,
+                        help="experiments subsequence number; give "
+                             "every queued job its own")
+    parser.add_argument("--perpass", type=float, default=1.0,
+                        help="seconds between worker data passes")
+    parser.add_argument("--peraver", type=float, default=5.0,
+                        help="seconds between collector saves")
+    parser.add_argument("--processors", "-M", type=int, default=1)
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="job result directory (default: a "
+                             "directory named after the job, next to "
+                             "the queue file)")
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="hard per-job time limit in seconds")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record telemetry artifacts for this job")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="batched realization engine block size")
+    parser.add_argument("--statistics", default=None,
+                        help="comma-separated extra statistics")
+    parser.add_argument("--on-worker-death",
+                        choices=("fail", "reassign"), default="fail")
+    parser.add_argument("--death-grace", type=float, default=1.0)
+    return parser
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``parmonc-submit``; returns a process exit code."""
+    args = build_submit_parser().parse_args(argv)
+    position = 0
+    if args.queue.exists():
+        position = sum(1 for line in
+                       args.queue.read_text().splitlines() if line.strip())
+    name = args.name or f"job-{position}"
+    entry = {
+        "routine": args.routine,
+        "name": name,
+        "priority": args.priority,
+        "nrow": args.nrow, "ncol": args.ncol, "maxsv": args.maxsv,
+        "res": args.res, "seqnum": args.seqnum,
+        "perpass": args.perpass, "peraver": args.peraver,
+        "processors": args.processors,
+        "on_worker_death": args.on_worker_death,
+        "death_grace": args.death_grace,
+        "telemetry": args.telemetry,
+    }
+    if args.max_workers is not None:
+        entry["max_workers"] = args.max_workers
+    if args.deadline is not None:
+        entry["deadline"] = args.deadline
+    if args.time_limit is not None:
+        entry["time_limit"] = args.time_limit
+    if args.batch_size is not None:
+        entry["batch_size"] = args.batch_size
+    if args.statistics is not None:
+        entry["statistics"] = args.statistics
+    if args.workdir is not None:
+        entry["workdir"] = str(args.workdir)
+    args.queue.parent.mkdir(parents=True, exist_ok=True)
+    with args.queue.open("a") as stream:
+        stream.write(json.dumps(entry) + "\n")
+    print(f"queued {name} (#{position}) in {args.queue}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parmonc-sched
+
+
+def build_sched_parser() -> argparse.ArgumentParser:
+    """Build the parmonc-sched argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="parmonc-sched",
+        description="Run every job of a parmonc batch queue over one "
+                    "shared worker pool.")
+    parser.add_argument("--queue", type=Path, default=Path(DEFAULT_QUEUE),
+                        help=f"queue file written by parmonc-submit "
+                             f"(default: {DEFAULT_QUEUE})")
+    parser.add_argument("--backend", choices=available_backends(),
+                        default="multiprocess",
+                        help="shared backend all jobs run on "
+                             "(must support concurrent jobs: "
+                             "sequential, multiprocess or distributed)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="global cap on concurrently running "
+                             "workers across all jobs "
+                             "(default: unbounded)")
+    parser.add_argument("--max-jobs", type=int, default=None,
+                        help="admission bound; queue entries beyond it "
+                             "are rejected and reported")
+    parser.add_argument("--connect", default=None,
+                        help="distributed backend: comma-separated "
+                             "parmonc-pool addresses")
+    parser.add_argument("--start-method", default=None,
+                        help="multiprocess backend: multiprocessing "
+                             "start method override")
+    parser.add_argument("--sla-report", type=Path, default=None,
+                        help="write the scheduler's SLA report (per-job "
+                             "waits, makespans, deadline misses) to "
+                             "this JSON file")
+    return parser
+
+
+def _load_queue(path: Path) -> list[dict]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"queue file {path} does not exist; create it with "
+            f"parmonc-submit")
+    entries = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{number}: malformed job entry: {exc}") from exc
+        if not isinstance(entry, dict):
+            raise ValueError(
+                f"{path}:{number}: job entry must be an object")
+        entries.append(entry)
+    return entries
+
+
+def sched_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``parmonc-sched``; returns a process exit code."""
+    args = build_sched_parser().parse_args(argv)
+    try:
+        entries = _load_queue(args.queue)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"parmonc-sched: error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"parmonc-sched: {args.queue} holds no jobs",
+              file=sys.stderr)
+        return 2
+    # Routines travel by name; import relative to the queue directory,
+    # the way parmonc-run resolves specs next to the model file.
+    sys.path.insert(0, str(args.queue.parent.resolve()))
+    rejected: list[str] = []
+    try:
+        scheduler = Scheduler(
+            create_backend(args.backend, start_method=args.start_method,
+                           connect=args.connect),
+            workers=args.workers, max_jobs=args.max_jobs)
+        submitted = []
+        for index, entry in enumerate(entries):
+            entry = dict(entry)
+            spec = entry.pop("routine", None)
+            if not isinstance(spec, str):
+                print(f"parmonc-sched: error: job #{index} misses its "
+                      f"module:function routine", file=sys.stderr)
+                return 2
+            entry["routine"] = load_routine(spec)
+            entry.setdefault(
+                "workdir",
+                str(args.queue.parent / entry.get("name", f"job-{index}")))
+            try:
+                submitted.append(
+                    scheduler.submit(build_job_spec(entry, index)))
+            except ReproError as exc:
+                rejected.append(entry.get("name", f"job-{index}"))
+                print(f"parmonc-sched: rejected "
+                      f"{entry.get('name', f'job-{index}')}: {exc}",
+                      file=sys.stderr)
+        if not submitted:
+            print("parmonc-sched: error: every job was rejected",
+                  file=sys.stderr)
+            return 2
+        scheduler.run()
+    except ReproError as exc:
+        print(f"parmonc-sched: error: {exc}", file=sys.stderr)
+        return 2
+    failed = 0
+    for job in submitted:
+        if job.error is not None:
+            failed += 1
+            print(f"{job.id}: FAILED — {job.error}")
+            continue
+        result = job.result
+        sla = result.sla or {}
+        print(f"{job.id}: L={result.total_volume} "
+              f"wait={sla.get('wait_seconds', 0.0):.3f}s "
+              f"makespan={sla.get('makespan_seconds', 0.0):.3f}s"
+              + (" DEADLINE MISSED" if sla.get("deadline_missed")
+                 else ""))
+        if result.data_dir is not None:
+            print(f"  results under {result.data_dir}")
+    report = scheduler.sla_report()
+    report["rejected_jobs"] = rejected
+    print(f"batch: {len(submitted)} jobs, {failed} failed, "
+          f"{len(rejected)} rejected, "
+          f"{report['deadline_misses']} deadline misses")
+    if args.sla_report is not None:
+        args.sla_report.parent.mkdir(parents=True, exist_ok=True)
+        args.sla_report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"SLA report written to {args.sla_report}")
+    incomplete = sum(1 for job in submitted
+                     if job.error is None and job.status
+                     is not JobStatus.DONE)
+    return 1 if (failed or incomplete) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via scripts
+    sys.exit(sched_main())

@@ -18,6 +18,7 @@ the 512-processor sweeps stay cheap).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -159,6 +160,14 @@ class ClusterResult:
             reduction tree.
         combined_messages: Reducer forwards delivered to the collector
             (0 on the flat exchange).
+        per_job: Per-job accounting when the simulation labelled its
+            workers (``job_labels`` / ``add_worker(job=...)``): for
+            each label, the ranks it owned, the realizations they
+            computed (``volume``), the realizations that reached the
+            collector (``delivered``) and the data passes they sent —
+            the observables a scheduling-policy study at 10^5 simulated
+            workers compares across tenants.  Empty when no worker was
+            labelled.
     """
 
     t_comp: float
@@ -172,6 +181,7 @@ class ClusterResult:
     lost_realizations: int = 0
     collector_served: int = 0
     combined_messages: int = 0
+    per_job: dict[str, dict] = field(default_factory=dict)
 
 
 class _ReducerStation:
@@ -255,6 +265,11 @@ class ClusterSimulation:
             the simulated messages, and fault injections land in the
             event log — the Fig. 2 scaling study yields a full trace
             for free.
+        job_labels: Optional per-rank job names (length must equal the
+            processor count); labelled ranks are accounted per job on
+            :attr:`ClusterResult.per_job`, so multi-tenant scheduling
+            policies can be studied in virtual time.  The labels are
+            bookkeeping only — they do not change execution.
     """
 
     def __init__(self, config: RunConfig, spec: ClusterSpec,
@@ -262,7 +277,8 @@ class ClusterSimulation:
                  routine: RealizationRoutine | None = None,
                  quotas: list[int] | None = None,
                  scheduling: str = "static",
-                 telemetry: RunTelemetry | None = None) -> None:
+                 telemetry: RunTelemetry | None = None,
+                 job_labels: Sequence[str | None] | None = None) -> None:
         if scheduling not in ("static", "dynamic"):
             raise ConfigurationError(
                 f"scheduling must be 'static' or 'dynamic', "
@@ -341,6 +357,14 @@ class ClusterSimulation:
                     f"quotas must be non-negative and sum to maxsv="
                     f"{config.maxsv}, got sum {sum(quotas)}")
             self._quotas = list(quotas)
+        if job_labels is not None and len(job_labels) != config.processors:
+            raise ConfigurationError(
+                f"job_labels has {len(job_labels)} entries for "
+                f"{config.processors} processors")
+        self._job_labels: list[str | None] = (
+            list(job_labels) if job_labels is not None
+            else [None] * config.processors)
+        self._rank_messages = [0] * config.processors
         self._zero = np.zeros(config.shape)
         self._messages_sent = 0
         self._queue_delay_total = 0.0
@@ -466,6 +490,7 @@ class ClusterSimulation:
             sent_at=now, final=final, metrics=metrics,
             statistics=self._statistics[rank].extras_snapshot())
         self._messages_sent += 1
+        self._rank_messages[rank] += 1
         self._last_send[rank] = now
         node_id = self._leaf_parents.get(rank)
         if node_id is not None:
@@ -565,13 +590,17 @@ class ClusterSimulation:
         """Dispatch events until the queue drains; return virtual now."""
         return self._events.run()
 
-    def add_worker(self, rank: int, quota: int) -> None:
+    def add_worker(self, rank: int, quota: int,
+                   job: str | None = None) -> None:
         """Attach a fresh worker mid-simulation (quota reassignment).
 
         The new node is a plain unit-speed processor drawing from the
         ``rank``-th "processors" subsequence — a substream no failed
         node ever touched — and starts computing at the current virtual
-        time.
+        time.  ``job`` labels the worker for the
+        :attr:`ClusterResult.per_job` breakdown (e.g. the failed
+        worker's job, so the recovery volume is charged to the right
+        tenant).
         """
         if self._scheduling != "static":
             raise ConfigurationError(
@@ -590,6 +619,8 @@ class ClusterSimulation:
         self._next_index.append(0)
         self._last_send.append(now)
         self._quotas.append(quota)
+        self._job_labels.append(job)
+        self._rank_messages.append(0)
         if self._worker_stats is not None:
             self._worker_stats.append(
                 WorkerTelemetry(rank, clock=lambda: self._events.now))
@@ -628,6 +659,19 @@ class ClusterSimulation:
                    for rank in self._failures)
         mean_delay = (self._queue_delay_total / self._messages_sent
                       if self._messages_sent else 0.0)
+        per_job: dict[str, dict] = {}
+        for rank, label in enumerate(self._job_labels):
+            if label is None:
+                continue
+            entry = per_job.setdefault(
+                label, {"ranks": [], "volume": 0, "delivered": 0,
+                        "messages": 0})
+            entry["ranks"].append(rank)
+            entry["volume"] += per_rank[rank]
+            entry["delivered"] += self._collector.worker_volume(rank)
+            entry["messages"] += self._rank_messages[rank]
+        for entry in per_job.values():
+            entry["ranks"] = tuple(entry["ranks"])
         self._result = ClusterResult(
             t_comp=t_comp,
             total_volume=total,
@@ -639,7 +683,8 @@ class ClusterSimulation:
             failed_ranks=tuple(sorted(self._failures)),
             lost_realizations=lost,
             collector_served=self._service.served,
-            combined_messages=self._combined_delivered)
+            combined_messages=self._combined_delivered,
+            per_job=per_job)
         return self._result
 
     def run(self) -> ClusterResult:

@@ -27,19 +27,21 @@ from __future__ import annotations
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import BackendError, ConfigurationError
 from repro.rng.multiplier import DEFAULT_LEAPS, LeapSet
 from repro.runtime.config import RunConfig
 from repro.runtime.engine import Engine, available_backends, create_backend
 from repro.runtime.files import read_genparam_file
+from repro.runtime.job import JobSpec
 from repro.runtime.result import RunResult
+from repro.runtime.scheduler import Scheduler
 from repro.runtime.worker import RealizationRoutine, make_batched
 from repro.stats.statistic import normalize_statistics
 
 if TYPE_CHECKING:
     from repro.cluster.simulation import ClusterSpec
 
-__all__ = ["parmonc", "BACKENDS"]
+__all__ = ["parmonc", "build_job_spec", "BACKENDS"]
 
 #: Names accepted by the ``backend`` argument (registry snapshot; the
 #: authoritative, always-current list is ``available_backends()``).
@@ -59,7 +61,8 @@ def _resolve_leaps(workdir: Path, leaps: LeapSet | None) -> LeapSet:
         realization_exponent=stored["nr_exponent"])
 
 
-def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
+def parmonc(realization: RealizationRoutine | None = None,
+            nrow: int = 1, ncol: int = 1,
             maxsv: int = 1, res: int = 0, seqnum: int = 0,
             perpass: float = 1.0, peraver: float = 5.0, *,
             processors: int = 1, backend: str = "sequential",
@@ -78,7 +81,11 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             death_grace: float = 1.0,
             statistics: Sequence[str] | str | None = None,
             reduction_fanout: int | None = None,
-            transport: str = "queue") -> RunResult:
+            transport: str = "queue",
+            jobs: Sequence | None = None,
+            workers: int | None = None,
+            max_jobs: int | None = None
+            ) -> RunResult | list[RunResult]:
     """Run a massively parallel stochastic simulation.
 
     Args:
@@ -171,14 +178,48 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
             ``multiprocessing.shared_memory`` ring buffers for the
             fixed-layout moment payload, queue fallback for oversized
             payloads).
+        jobs: Batch mode — a sequence of experiments to multiplex over
+            *one* shared worker pool through a
+            :class:`~repro.runtime.scheduler.Scheduler` instead of
+            running a single session.  Each item is either a
+            :class:`~repro.runtime.job.JobSpec` or a mapping of the
+            per-run ``parmonc()`` arguments (``routine``/
+            ``realization``, ``nrow``, ``maxsv``, ``seqnum``,
+            ``workdir``, ...) plus the job knobs ``name``,
+            ``priority``, ``max_workers`` and ``deadline``.  Mutually
+            exclusive with ``realization``; the top-level per-run
+            arguments are ignored and every job carries its own.
+            Returns a list of per-job results in submission order.
+        workers: Batch mode — global cap on concurrently running
+            workers across all jobs (None = unbounded).
+        max_jobs: Batch mode — admission bound on the job queue;
+            submitting more raises
+            :class:`~repro.exceptions.AdmissionError`.
 
     Returns:
-        The session's :class:`~repro.runtime.result.RunResult`.
+        The session's :class:`~repro.runtime.result.RunResult`, or the
+        per-job list of results in ``jobs=[...]`` batch mode.
     """
     if backend not in available_backends():
         raise ConfigurationError(
             f"unknown backend {backend!r}; choose from "
             f"{available_backends()}")
+    if jobs is not None:
+        if realization is not None:
+            raise ConfigurationError(
+                "pass either a single realization routine or "
+                "jobs=[...], not both")
+        return _run_jobs(jobs, backend=backend, workers=workers,
+                         max_jobs=max_jobs, start_method=start_method,
+                         connect=connect, backend_options=backend_options)
+    if realization is None and execute_realizations:
+        raise ConfigurationError(
+            "a realization routine is required (or pass jobs=[...] "
+            "for batch mode)")
+    if workers is not None or max_jobs is not None:
+        raise ConfigurationError(
+            "workers= and max_jobs= apply to jobs=[...] batch mode "
+            "only; a single run sizes its pool with processors=")
     if batch_size is not None:
         if getattr(realization, "batch_size", None) is not None:
             raise ConfigurationError(
@@ -204,3 +245,86 @@ def parmonc(realization: RealizationRoutine, nrow: int = 1, ncol: int = 1,
     options.setdefault("connect", connect)
     backend_impl = create_backend(backend, **options)
     return Engine(backend_impl, config, use_files=use_files).run(realization)
+
+
+#: Mapping keys of a ``jobs=[...]`` item that flow into its RunConfig.
+_JOB_CONFIG_KEYS = frozenset((
+    "nrow", "ncol", "maxsv", "res", "seqnum", "perpass", "peraver",
+    "processors", "time_limit", "telemetry", "on_worker_death",
+    "death_grace"))
+
+
+def build_job_spec(item, index: int = 0) -> JobSpec:
+    """Normalize one ``jobs=[...]`` item into a :class:`JobSpec`.
+
+    Accepts a ready :class:`~repro.runtime.job.JobSpec` (returned
+    as-is) or a mapping of per-run ``parmonc()`` arguments plus the
+    job knobs (``name``, ``priority``, ``max_workers``, ``deadline``).
+    Shared by the batch API and the ``parmonc-sched`` CLI.
+    """
+    if isinstance(item, JobSpec):
+        return item
+    if not isinstance(item, Mapping):
+        raise ConfigurationError(
+            f"job #{index} must be a JobSpec or a mapping of parmonc "
+            f"arguments, got {type(item).__name__}")
+    spec = dict(item)
+    routine = spec.pop("routine", spec.pop("realization", None))
+    if not callable(routine):
+        raise ConfigurationError(
+            f"job #{index} needs a callable 'routine'")
+    batch_size = spec.pop("batch_size", None)
+    if batch_size is not None:
+        if getattr(routine, "batch_size", None) is not None:
+            raise ConfigurationError(
+                f"job #{index}: routine already declares its own "
+                f"batch_size; drop the batch_size key")
+        routine = make_batched(routine, batch_size)
+    workdir = spec.pop("workdir", None)
+    resolved_workdir = (Path(workdir) if workdir is not None
+                        else Path.cwd())
+    leaps = spec.pop("leaps", None)
+    statistics = spec.pop("statistics", None)
+    name = spec.pop("name", None)
+    priority = spec.pop("priority", 1.0)
+    max_workers = spec.pop("max_workers", None)
+    deadline = spec.pop("deadline", None)
+    use_files = spec.pop("use_files", True)
+    config_kwargs = {key: spec.pop(key) for key in tuple(spec)
+                     if key in _JOB_CONFIG_KEYS}
+    if spec:
+        raise ConfigurationError(
+            f"job #{index} has unknown keys {sorted(spec)}")
+    config = RunConfig(
+        workdir=resolved_workdir,
+        leaps=_resolve_leaps(resolved_workdir, leaps),
+        statistics=normalize_statistics(statistics),
+        **config_kwargs)
+    return JobSpec(routine=routine, config=config, name=name,
+                   priority=priority, max_workers=max_workers,
+                   deadline=deadline, use_files=use_files)
+
+
+def _run_jobs(jobs: Sequence, *, backend: str, workers: int | None,
+              max_jobs: int | None, start_method: str | None,
+              connect: str | Sequence | None,
+              backend_options: Mapping | None) -> list[RunResult]:
+    """The ``jobs=[...]`` batch path: one scheduler, one shared pool."""
+    specs = [build_job_spec(item, index)
+             for index, item in enumerate(jobs)]
+    if not specs:
+        raise ConfigurationError("jobs=[...] needs at least one job")
+    options = dict(backend_options) if backend_options else {}
+    options.setdefault("start_method", start_method)
+    options.setdefault("connect", connect)
+    backend_impl = create_backend(backend, **options)
+    scheduler = Scheduler(backend_impl, workers=workers,
+                          max_jobs=max_jobs)
+    submitted = [scheduler.submit(spec) for spec in specs]
+    scheduler.run()
+    failed = [job for job in submitted if job.error is not None]
+    if failed:
+        details = "; ".join(f"{job.id}: {job.error}" for job in failed)
+        raise BackendError(
+            f"{len(failed)} of {len(submitted)} jobs failed — {details}")
+    return [job.result for job in submitted]

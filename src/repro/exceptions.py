@@ -14,6 +14,7 @@ __all__ = [
     "ResumeError",
     "CorruptArtifactError",
     "ArtifactVersionError",
+    "AdmissionError",
     "BackendError",
     "WireError",
     "RealizationError",
@@ -74,6 +75,17 @@ class ArtifactVersionError(ReproError, RuntimeError):
 
 class BackendError(ReproError, RuntimeError):
     """A runtime backend failed to start, communicate or shut down."""
+
+
+class AdmissionError(ReproError, RuntimeError):
+    """The scheduler refused to admit a job (queue at capacity).
+
+    Raised by :meth:`repro.runtime.scheduler.Scheduler.submit` when the
+    scheduler was created with a bounded job queue (``max_jobs``) and
+    the bound is reached.  Back-pressure, not failure: the caller may
+    retry once earlier jobs finish, lower the submission rate, or raise
+    the bound.
+    """
 
 
 class WireError(ReproError, RuntimeError):

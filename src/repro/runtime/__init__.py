@@ -24,7 +24,9 @@ from repro.runtime.engine import (
     register_lazy_backend,
 )
 from repro.runtime.files import DataDirectory, ProcessorSubtotal
+from repro.runtime.job import Job, JobSpec, JobStatus
 from repro.runtime.messages import MomentMessage, message_bytes
+from repro.runtime.scheduler import Scheduler
 
 # Backend modules register themselves; sequential first so the registry
 # (and therefore ``BACKENDS`` / the CLI choices) keeps its historical
@@ -64,6 +66,10 @@ __all__ = [
     "Backend",
     "Engine",
     "EngineBackend",
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "Scheduler",
     "WorkerAssignment",
     "WorkerDeath",
     "available_backends",

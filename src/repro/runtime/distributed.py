@@ -104,7 +104,12 @@ def parse_connect(connect) -> tuple[tuple[str, int], ...]:
 
 @dataclass
 class _PoolLink:
-    """One live pool connection (asyncio-thread state only)."""
+    """One live pool connection (asyncio-thread state only).
+
+    ``active`` holds ``(job, rank)`` keys — ``job`` is None on the
+    classic single-run path — so two jobs of one scheduler can both
+    run a rank 0 on the same pool without colliding.
+    """
 
     address: tuple[str, int]
     reader: asyncio.StreamReader
@@ -112,6 +117,12 @@ class _PoolLink:
     capacity: int = 1
     label: str = ""
     active: set = field(default_factory=set)
+
+
+def _sorted_keys(keys) -> list[tuple[str | None, int]]:
+    """``(job, rank)`` keys in a stable order (None jobs first)."""
+    return sorted(keys, key=lambda key: (key[0] is not None,
+                                         key[0] or "", key[1]))
 
 
 @dataclass(frozen=True)
@@ -122,6 +133,7 @@ class _ExitRecord:
     exitcode: int | None
     detail: str
     lost: bool = False
+    job: str | None = None
 
 
 @register_backend("distributed")
@@ -147,6 +159,7 @@ class DistributedBackend(EngineBackend):
 
     name = "distributed"
     monitors_staleness = True
+    supports_shared_jobs = True
 
     def __init__(self, connect=None, routine_spec: str | None = None,
                  heartbeat_interval: float = 1.0,
@@ -165,7 +178,9 @@ class DistributedBackend(EngineBackend):
         self._exits: queue_module.Queue = queue_module.Queue()
         self._notices: queue_module.Queue = queue_module.Queue()
         self._drainbuf = DrainBuffer(self._inbox.get_nowait)
-        self._suspects: dict[int, float] = {}
+        # Suspect timers keyed ``(job, rank)``; job is None on the
+        # classic single-run path.
+        self._suspects: dict[tuple[str | None, int], float] = {}
         self._exit_backlog: list[_ExitRecord] = []
         # Engine-thread -> network-thread work queue.
         self._pending: deque = deque()
@@ -186,16 +201,34 @@ class DistributedBackend(EngineBackend):
 
     def bind(self, engine) -> None:
         super().bind(engine)
-        self._hello = {
-            "config": config_to_payload(self.config),
-            "routine": routine_to_payload(self.routine,
-                                          spec=self._routine_spec),
-        }
-        batch_size = getattr(self.routine, "batch_size", None)
-        if self._routine_spec is not None and batch_size is not None:
-            # The spec names the *scalar* routine; the pool re-wraps it
-            # with make_batched so the batched fast path still runs.
-            self._hello["batch_size"] = batch_size
+        if self.routine is not None:
+            # Classic single-run path: the historical HELLO shape.
+            self._hello = {
+                "config": config_to_payload(self.config),
+                "routine": routine_to_payload(self.routine,
+                                              spec=self._routine_spec),
+            }
+            batch_size = getattr(self.routine, "batch_size", None)
+            if self._routine_spec is not None and batch_size is not None:
+                # The spec names the *scalar* routine; the pool re-wraps
+                # it with make_batched so the batched fast path still
+                # runs.
+                self._hello["batch_size"] = batch_size
+        else:
+            # Shared scheduler mode: ship every job's context up front,
+            # so a pool that joins mid-run (or late) can start a worker
+            # for any job straight from the handshake.  Routines travel
+            # as pickles — a per-job ``module:function`` spec has no CLI
+            # path yet.
+            self._hello = {
+                "jobs": {
+                    job.id: {
+                        "config": config_to_payload(job.config),
+                        "routine": routine_to_payload(job.routine),
+                    }
+                    for job in engine.jobs
+                },
+            }
         self._last_pool_seen = time.monotonic()
         self._thread = threading.Thread(
             target=self._network_main, daemon=True,
@@ -247,29 +280,29 @@ class DistributedBackend(EngineBackend):
                 self._exit_backlog.append(self._exits.get_nowait())
             except queue_module.Empty:
                 break
-        final_ranks = self.collector.final_ranks
         dead: list[WorkerDeath] = []
         waiting: list[_ExitRecord] = []
         for record in self._exit_backlog:
-            if record.rank in final_ranks:
-                self._suspects.pop(record.rank, None)
+            context = self._job_context(record.job)
+            key = (record.job, record.rank)
+            if record.rank in context.collector.final_ranks:
+                self._suspects.pop(key, None)
                 continue  # finished before exiting: a normal completion
-            if record.lost:
+            if record.lost or record.exitcode:
                 dead.append(WorkerDeath(record.rank, record.exitcode,
-                                        detail=record.detail))
-            elif record.exitcode:
-                dead.append(WorkerDeath(record.rank, record.exitcode,
-                                        detail=record.detail))
+                                        detail=record.detail,
+                                        job=record.job))
             else:
-                first_seen = self._suspects.setdefault(record.rank, now)
-                if now - first_seen >= self.config.death_grace:
+                first_seen = self._suspects.setdefault(key, now)
+                if now - first_seen >= context.config.death_grace:
                     dead.append(WorkerDeath(record.rank, record.exitcode,
-                                            detail=record.detail))
+                                            detail=record.detail,
+                                            job=record.job))
                 else:
                     waiting.append(record)
         self._exit_backlog = waiting
         for death in dead:
-            self._suspects.pop(death.rank, None)
+            self._suspects.pop((death.job, death.rank), None)
         if not dead:
             self._check_pool_starvation()
         return dead
@@ -288,6 +321,28 @@ class DistributedBackend(EngineBackend):
         self._done = True
 
     # -- engine-thread helpers ---------------------------------------------
+
+    def _job_context(self, job: str | None):
+        """Per-job context (config/collector/deadline), self for legacy.
+
+        Mirrors the multiprocess backend: an assignment, exit or
+        message tagged with a job id resolves its routine, config and
+        collector through the scheduler; untagged (classic single-run)
+        traffic keeps using the engine-wide context bound on this
+        backend.
+        """
+        if job is None or self.engine is None:
+            return self
+        return self.engine.job_context(job)
+
+    def _all_work_complete(self) -> bool:
+        """Every lane of every job has delivered its final message."""
+        engine = self.engine
+        if engine is not None:
+            complete = getattr(engine, "all_complete", None)
+            if complete is not None:
+                return complete
+        return self.collector.complete
 
     def _flush_notices(self) -> None:
         """Replay network-thread observability into run telemetry.
@@ -315,7 +370,7 @@ class DistributedBackend(EngineBackend):
         if self._connected_pools > 0:
             return
         outstanding = bool(self._pending) or bool(self._exit_backlog) \
-            or not self.collector.complete
+            or not self._all_work_complete()
         if not outstanding:
             return
         silent = time.monotonic() - self._last_pool_seen
@@ -443,10 +498,12 @@ class DistributedBackend(EngineBackend):
                 self._inbox.put(message_from_payload(payload))
             elif kind is FrameKind.EXIT:
                 rank = int(payload["rank"])
-                link.active.discard(rank)
+                job = payload.get("job")
+                job = None if job is None else str(job)
+                link.active.discard((job, rank))
                 self._exits.put(_ExitRecord(
                     rank=rank, exitcode=payload.get("exitcode"),
-                    detail=f"on pool {link.label}"))
+                    detail=f"on pool {link.label}", job=job))
                 self._dispatch_event.set()
             elif kind is FrameKind.HEARTBEAT:
                 continue
@@ -477,15 +534,19 @@ class DistributedBackend(EngineBackend):
                 assignment = self._pending.popleft()
                 payload = {"rank": assignment.rank,
                            "quota": assignment.quota}
-                if self.deadline is not None:
+                if assignment.job is not None:
+                    payload["job"] = assignment.job
+                deadline = self._job_context(assignment.job).deadline
+                if deadline is not None:
                     payload["deadline_in"] = max(
-                        self.deadline - time.monotonic(), 0.0)
-                link.active.add(assignment.rank)
+                        deadline - time.monotonic(), 0.0)
+                key = (assignment.job, assignment.rank)
+                link.active.add(key)
                 try:
                     write_frame(link.writer, FrameKind.ASSIGN, payload)
                     await link.writer.drain()
                 except (ConnectionError, RuntimeError):
-                    link.active.discard(assignment.rank)
+                    link.active.discard(key)
                     self._pending.appendleft(assignment)
                     break
 
@@ -508,9 +569,10 @@ class DistributedBackend(EngineBackend):
         """
         if self._stop_event.is_set():
             return
-        for rank in sorted(link.active):
+        for job, rank in _sorted_keys(link.active):
             self._exits.put(_ExitRecord(
                 rank=rank, exitcode=None,
-                detail=f"pool {link.label} connection lost", lost=True))
+                detail=f"pool {link.label} connection lost", lost=True,
+                job=job))
         link.active.clear()
         self._notice("pool_disconnected", pool=link.label)

@@ -7,9 +7,14 @@ and only the *execution strategy* differs between running workers
 inline, as OS processes, or inside the discrete-event cluster
 simulation.  This module separates the two concerns:
 
-* :class:`Engine` owns the lifecycle.  Collector wiring, telemetry,
-  resume semantics, save-points and result assembly exist exactly once,
-  here, instead of being re-implemented per backend.
+* :class:`Engine` owns the classic single-run entry point.  The
+  lifecycle itself now lives one layer down — per-run state in
+  :class:`~repro.runtime.job.Job`, the drain loop in
+  :class:`~repro.runtime.scheduler.Scheduler` — and the engine submits
+  one anonymous job, reproducing the historical behaviour bit for bit.
+  Collector wiring, telemetry, resume semantics, save-points and
+  result assembly still exist exactly once, instead of being
+  re-implemented per backend.
 * :class:`Backend` is the strategy protocol — ``spawn(plan)`` /
   ``poll(timeout)`` / ``reap()`` / ``shutdown()`` — implemented by
   :class:`~repro.runtime.sequential.SequentialBackend`,
@@ -44,14 +49,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
-from repro.exceptions import BackendError, ConfigurationError
-from repro.runtime.bootstrap import start_session
+from repro.exceptions import ConfigurationError
 from repro.runtime.collector import Collector
 from repro.runtime.config import RunConfig
 from repro.runtime.messages import CombinedMessage, MomentMessage
-from repro.runtime.resume import finalize_session
 from repro.runtime.result import RunResult
-from repro.runtime.telemetry_support import open_run_telemetry
 
 __all__ = [
     "Backend",
@@ -88,11 +90,17 @@ class WorkerAssignment:
             mode); reassignment needs a known quota.
         recovery: True when this assignment re-issues a dead worker's
             remaining quota on a fresh subsequence.
+        job: Identifier of the owning :class:`~repro.runtime.job.Job`
+            when the assignment is dispatched by a multi-job
+            :class:`~repro.runtime.scheduler.Scheduler`; ``None`` on
+            the classic single-run path.  Backends route the worker's
+            messages (and its death) back to this job.
     """
 
     rank: int
     quota: int | None
     recovery: bool = False
+    job: str | None = None
 
     def __post_init__(self) -> None:
         if self.rank < 0:
@@ -111,17 +119,22 @@ class WorkerDeath:
         rank: The dead worker's rank.
         exitcode: OS exit code when known (None for simulated nodes).
         detail: Human-readable cause, e.g. the injected failure time.
+        job: Identifier of the job the dead worker was running for
+            (``None`` on the classic single-run path); the scheduler
+            routes the death to that job's recovery bookkeeping.
     """
 
     rank: int
     exitcode: int | None = None
     detail: str = ""
+    job: str | None = None
 
     def describe(self) -> str:
         """The ``rank N (...)`` fragment used in error messages."""
         cause = (self.detail if self.detail
                  else f"exitcode {self.exitcode}")
-        return f"rank {self.rank} ({cause})"
+        prefix = f"job {self.job} " if self.job is not None else ""
+        return f"{prefix}rank {self.rank} ({cause})"
 
 
 @runtime_checkable
@@ -213,6 +226,12 @@ class EngineBackend:
     #: telemetry events.  Meaningful only for backends whose workers report
     #: asynchronously; the sequential loop and the virtual cluster opt out.
     monitors_staleness = False
+    #: Whether the backend can interleave assignments from different jobs
+    #: of one :class:`~repro.runtime.scheduler.Scheduler` run.  Backends
+    #: that opt in must route each assignment's job context (routine,
+    #: config, deadline, telemetry) through ``engine.job_context(job)``
+    #: and tag every message and death with the owning job id.
+    supports_shared_jobs = False
 
     def __init__(self) -> None:
         self.engine: Engine | None = None
@@ -446,7 +465,18 @@ def create_backend(name: str, **options) -> Backend:
 # The engine
 
 class Engine:
-    """Shared session driver: resume, dispatch, collect, save, finalize.
+    """Classic single-session driver — a one-job scheduler underneath.
+
+    The per-run state that used to live here (collector, telemetry,
+    quota plan, recovery bookkeeping, result assembly) moved to
+    :class:`~repro.runtime.job.Job`, and the drain loop to
+    :class:`~repro.runtime.scheduler.Scheduler`; this class submits one
+    *anonymous* job (its messages and assignments carry ``job=None``
+    and stay byte-identical to the historical format) and exposes the
+    surface backends have always bound against — ``routine``,
+    ``config``, ``collector``, ``telemetry``, ``started`` and
+    :meth:`ingest`.  Worker deaths raise exactly as before; nothing is
+    contained per job on this path.
 
     Args:
         backend: The execution strategy (an object satisfying
@@ -465,12 +495,7 @@ class Engine:
         self.collector: Collector | None = None
         self.telemetry = None
         self.started = 0.0
-        self._quotas: dict[int, int | None] = {}
-        self._assigned: list[int] = []
-        self._recovered: list[int] = []
-        self._stale_flagged: set[int] = set()
-        self._next_rank = config.processors
-        self._recovery_budget = _RECOVERY_FACTOR * config.processors
+        self._scheduler = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -481,83 +506,20 @@ class Engine:
             BackendError: When a worker dies under the ``"fail"`` policy,
                 or recovery is impossible under ``"reassign"``.
         """
-        backend = self._backend
-        config = self.config
-        self.routine = routine
-        self.started = time.monotonic()
-        data, state = start_session(config, self._use_files)
-        telemetry = open_run_telemetry(
-            config, data, backend=backend.name, clock=backend.clock,
-            epoch=backend.telemetry_epoch(self.started))
-        self.telemetry = telemetry
-        if data is not None and telemetry is not None:
-            # Quarantined artifacts surface as storage.quarantined events.
-            data.attach_events(telemetry.events)
-        collector = Collector(config, state.base, data,
-                              sessions=state.session_index,
-                              persist_subtotals=backend.persist_subtotals,
-                              telemetry=telemetry,
-                              base_statistics=state.base_statistics)
-        self.collector = collector
-        backend.bind(self)
-        collector.mark_epoch(backend.clock())
-        stale_after = (3.0 * config.perpass + 1.0
-                       if config.perpass > 0 else None)
-        flag_stale = (telemetry is not None and stale_after is not None
-                      and getattr(backend, "monitors_staleness", False))
-        self._spawn(backend.plan())
-        drain_started = backend.clock()
-        try:
-            while not (collector.complete or backend.done):
-                message = backend.poll(_POLL_SECONDS)
-                if message is not None:
-                    self.ingest(message, backend.clock())
-                    continue
-                now = backend.clock()
-                deaths = backend.reap()
-                if deaths:
-                    self._handle_deaths(deaths, now)
-                if flag_stale:
-                    self._flag_stale(now, stale_after)
-        finally:
-            backend.shutdown()
-        if telemetry is not None:
-            telemetry.tracer.record("collector.drain", drain_started,
-                                    backend.clock(),
-                                    messages=collector.receive_count)
-        backend.finish()
-        elapsed = time.monotonic() - self.started
-        collector.save(backend.clock(), elapsed=elapsed)
-        merged = collector.merged()
-        merged_statistics = collector.merged_statistics()
-        if data is not None:
-            finalize_session(data, state, merged,
-                             statistics=merged_statistics)
-            data.clear_processor_snapshots()
-        estimates = merged.estimates() if merged.volume > 0 else None
-        summary = (telemetry.finalize(elapsed=elapsed,
-                                      volume=collector.total_volume,
-                                      virtual_time=backend.virtual_time)
-                   if telemetry is not None else None)
-        return RunResult(
-            estimates=estimates,
-            config=config,
-            per_rank_volumes=backend.per_rank_volumes(
-                collector, tuple(self._assigned)),
-            session_volume=backend.session_volume(collector),
-            total_volume=collector.total_volume,
-            elapsed=elapsed,
-            virtual_time=backend.virtual_time,
-            sessions=state.session_index,
-            data_dir=data.root if data is not None else None,
-            messages_received=collector.receive_count,
-            saves_performed=collector.save_count,
-            history=collector.history,
-            telemetry=summary,
-            recovered_ranks=tuple(self._recovered),
-            statistics=merged_statistics)
+        # Imported here: scheduler/job import this module for the
+        # assignment and registry types.
+        from repro.runtime.job import JobSpec
+        from repro.runtime.scheduler import Scheduler
 
-    # -- message path --------------------------------------------------------
+        self.routine = routine
+        scheduler = Scheduler(self._backend, _engine=self)
+        self._scheduler = scheduler
+        job = scheduler.submit(JobSpec(routine=routine, config=self.config,
+                                       use_files=self._use_files))
+        scheduler.run()
+        return job.result
+
+    # -- backend-facing context --------------------------------------------
 
     def ingest(self, message: MomentMessage | CombinedMessage,
                now: float) -> None:
@@ -570,110 +532,13 @@ class Engine:
         :meth:`~repro.runtime.collector.Collector.receive_combined`,
         paying one collector cycle for its whole batch of entries.
         """
-        if isinstance(message, CombinedMessage):
-            self.collector.receive_combined(message, now)
-            entries = message.entries
-        else:
-            self.collector.receive(message, now)
-            entries = (message,)
-        for entry in entries:
-            if self._stale_flagged:
-                self._stale_flagged.discard(entry.rank)
-            if self.telemetry is not None and entry.final:
-                stats = entry.metrics or {}
-                self.telemetry.events.append(
-                    "worker_final", ts=now, rank=entry.rank,
-                    volume=entry.snapshot.volume,
-                    messages=stats.get("messages"),
-                    bytes=stats.get("bytes"))
+        self._scheduler.ingest(message, now)
 
-    def _flag_stale(self, now: float, stale_after: float) -> None:
-        for rank in self.collector.stale_workers(now, stale_after):
-            if rank not in self._stale_flagged:
-                self._stale_flagged.add(rank)
-                seen = self.collector.last_seen.get(rank)
-                self.telemetry.events.append(
-                    "stale_worker", ts=now, rank=rank,
-                    last_seen=(seen - self.started
-                               if seen is not None else None))
+    def job_context(self, job_id: str | None = None):
+        """The job owning ``job_id`` (the anonymous job for ``None``)."""
+        return self._scheduler.job_context(job_id)
 
-    # -- work dispatch ---------------------------------------------------------
-
-    def _spawn(self, plan: Sequence[WorkerAssignment]) -> None:
-        extras = self._backend.spawn(plan)
-        if extras is None:
-            extras = [None] * len(plan)
-        for assignment, extra in zip(plan, extras):
-            self._assigned.append(assignment.rank)
-            self._quotas[assignment.rank] = assignment.quota
-            if self.telemetry is not None:
-                fields = dict(extra) if extra else {}
-                if assignment.recovery:
-                    fields["recovery"] = True
-                self.telemetry.events.append(
-                    "worker_start", rank=assignment.rank,
-                    quota=assignment.quota, **fields)
-
-    # -- fault handling ----------------------------------------------------
-
-    def _handle_deaths(self, deaths: Sequence[WorkerDeath],
-                       now: float) -> None:
-        deaths = sorted(deaths, key=lambda death: death.rank)
-        if self.telemetry is not None:
-            for death in deaths:
-                self.telemetry.events.append(
-                    "worker_died", ts=now, rank=death.rank,
-                    exitcode=death.exitcode,
-                    volume=self.collector.worker_volume(death.rank))
-            self.telemetry.events.flush()
-        if self.config.on_worker_death != "reassign":
-            described = ", ".join(death.describe() for death in deaths)
-            raise BackendError(
-                f"worker process(es) died before delivering a final "
-                f"message: {described}")
-        for death in deaths:
-            self._reassign(death, now)
-
-    def _reassign(self, death: WorkerDeath, now: float) -> None:
-        """Reissue a dead worker's undelivered quota on a fresh stream.
-
-        The collector keeps everything the worker delivered up to its
-        last watermark; only the remainder is re-simulated, by a
-        replacement worker on the next unused "processors" subsequence,
-        so the recovered sample never overlaps the substreams the dead
-        worker consumed.
-        """
-        quota = self._quotas.get(death.rank)
-        if quota is None:
-            raise BackendError(
-                f"cannot reassign the quota of dead worker "
-                f"{death.describe()}: its assignment is dynamically "
-                f"scheduled")
-        delivered = self.collector.worker_volume(death.rank)
-        remaining = max(quota - delivered, 0)
-        self.collector.retire_rank(death.rank)
-        self._recovered.append(death.rank)
-        replacement: int | None = None
-        if remaining > 0:
-            if self._recovery_budget <= 0:
-                raise BackendError(
-                    f"worker {death.describe()} died but the recovery "
-                    f"budget ({_RECOVERY_FACTOR} per worker) is "
-                    f"exhausted; the routine appears to kill every "
-                    f"worker it is given")
-            self._recovery_budget -= 1
-            replacement = self._next_rank
-            self._next_rank += 1
-            if replacement >= self.config.leaps.processor_capacity:
-                raise BackendError(
-                    f"no fresh processor subsequence left for recovery "
-                    f"(hierarchy capacity "
-                    f"{self.config.leaps.processor_capacity})")
-            self.collector.expect_rank(replacement, now=now)
-            self._spawn([WorkerAssignment(rank=replacement,
-                                          quota=remaining,
-                                          recovery=True)])
-        if self.telemetry is not None:
-            self.telemetry.worker_recovered(
-                rank=death.rank, replacement=replacement,
-                reassigned=remaining, delivered=delivered, now=now)
+    @property
+    def all_complete(self) -> bool:
+        """True once the (single) job has left the drain loop."""
+        return self._scheduler.all_complete

@@ -1,0 +1,480 @@
+"""Per-experiment job state: the unit the scheduler multiplexes.
+
+Historically :class:`~repro.runtime.engine.Engine` owned one session's
+entire lifecycle — collector, telemetry, save-points, quota plan,
+recovery bookkeeping, result assembly — which welded the runtime to
+"one experiment at a time".  This module extracts that per-run state
+into :class:`Job`, so a :class:`~repro.runtime.scheduler.Scheduler` can
+drive N of them concurrently over one shared backend worker pool while
+the single-job path stays bit-identical to the historical engine.
+
+A job owns:
+
+* its experiment configuration (the ``seqnum`` subsequence of the RNG
+  hierarchy keeps concurrent jobs statistically independent),
+* its :class:`~repro.runtime.collector.Collector`, resume state and
+  session directory (``start_session`` / ``finalize_session``),
+* its telemetry (:func:`~repro.runtime.telemetry_support
+  .open_run_telemetry`) and staleness flags,
+* its work plan, in-flight ranks, quotas, and the fault-tolerant
+  reassignment bookkeeping (recovery budget, fresh replacement ranks),
+* its :class:`~repro.runtime.result.RunResult` and SLA record
+  (submit-to-start wait, makespan, deadline misses).
+
+The scheduling policy — fair share, admission, slots — lives in the
+scheduler; the job only answers "what do I still need" and "what
+happened to me".
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import BackendError, ConfigurationError
+from repro.runtime.bootstrap import start_session
+from repro.runtime.collector import Collector
+from repro.runtime.config import RunConfig
+from repro.runtime.engine import (
+    _RECOVERY_FACTOR,
+    WorkerAssignment,
+    WorkerDeath,
+)
+from repro.runtime.messages import CombinedMessage, MomentMessage
+from repro.runtime.resume import finalize_session
+from repro.runtime.result import RunResult
+from repro.runtime.telemetry_support import open_run_telemetry
+
+__all__ = ["Job", "JobSpec", "JobStatus"]
+
+
+class JobStatus:
+    """The job lifecycle states (plain strings, stable for reporting).
+
+    ``PENDING -> RUNNING -> COMPLETE -> DONE`` on the happy path;
+    ``FAILED`` when the job's death policy raised and the scheduler
+    contained the error (shared mode only — the classic single-job
+    path propagates instead).
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    #: Drain loop finished for this job; finalization still owed.
+    COMPLETE = "complete"
+    DONE = "done"
+    FAILED = "failed"
+
+    TERMINAL = (COMPLETE, DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What the caller submits: one experiment and its scheduling knobs.
+
+    Attributes:
+        routine: The realization routine (``fn(rng)``, ``fn()``, or a
+            batched routine).
+        config: The job's :class:`~repro.runtime.config.RunConfig`.
+            Each concurrent job should carry its own ``seqnum`` so the
+            experiments draw disjoint RNG subsequences, and its own
+            ``workdir`` so save-points land in per-job session
+            directories.
+        name: Stable job identifier; defaults to ``job-<index>`` in
+            submission order.
+        priority: Fair-share weight (> 0).  A priority-2 job is
+            dispatched twice as often as a priority-1 job while both
+            are contending for workers.
+        max_workers: Per-job cap on concurrently running workers
+            (None = no cap beyond the scheduler's global slots).
+        deadline: SLA target in seconds from submission.  Advisory:
+            the scheduler counts a deadline miss when the job's
+            makespan exceeds it; it does not cancel the job (use
+            ``config.time_limit`` for hard cancellation).
+        use_files: Write ``parmonc_data`` result files and save-points;
+            disable for throwaway in-memory estimation.
+    """
+
+    routine: object
+    config: RunConfig
+    name: str | None = None
+    priority: float = 1.0
+    max_workers: int | None = None
+    deadline: float | None = None
+    use_files: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.config, RunConfig):
+            raise ConfigurationError(
+                f"job config must be a RunConfig, got "
+                f"{type(self.config).__name__}")
+        if not (self.priority > 0.0):
+            raise ConfigurationError(
+                f"job priority must be > 0, got {self.priority}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError(
+                f"job max_workers must be >= 1, got {self.max_workers}")
+        if self.deadline is not None and not (self.deadline > 0.0):
+            raise ConfigurationError(
+                f"job deadline must be > 0 seconds, got {self.deadline}")
+        if self.name is not None and (not isinstance(self.name, str)
+                                      or not self.name):
+            raise ConfigurationError(
+                f"job name must be a non-empty string, got {self.name!r}")
+
+
+class Job:
+    """One experiment's live state while a scheduler drives it.
+
+    Everything here used to be attributes of the monolithic engine;
+    the semantics (recovery budget, fresh replacement ranks, telemetry
+    events, finalization order) are preserved verbatim so a single
+    anonymous job reproduces the historical run bit-for-bit.
+
+    Args:
+        spec: The submitted :class:`JobSpec`.
+        job_id: Stable identifier, or None for the anonymous job of the
+            classic single-run path (its messages and assignments then
+            stay byte-identical to the historical format).
+        index: Submission order, used for deterministic tie-breaking.
+    """
+
+    def __init__(self, spec: JobSpec, job_id: str | None,
+                 index: int) -> None:
+        self.spec = spec
+        self.id = job_id
+        self.index = index
+        self.status = JobStatus.PENDING
+        self.error: BaseException | None = None
+        self.result: RunResult | None = None
+        # -- scheduling state ------------------------------------------
+        self.deficit = 0.0
+        self.pending: deque[WorkerAssignment] = deque()
+        self.in_flight: set[int] = set()
+        self.dispatched = 0
+        self.peak_workers = 0
+        # -- SLA clock stamps (wall monotonic seconds) -----------------
+        self.submitted_wall: float | None = None
+        self.started_wall: float | None = None
+        self.finished_wall: float | None = None
+        self.completed = False
+        # -- session state (populated by open()) -----------------------
+        self.data = None
+        self.state = None
+        self.collector: Collector | None = None
+        self.telemetry = None
+        self.deadline: float | None = None
+        self.run_started = 0.0
+        self.drain_started: float | None = None
+        # -- recovery bookkeeping (formerly Engine attributes) ---------
+        self._quotas: dict[int, int | None] = {}
+        self._assigned: list[int] = []
+        self._recovered: list[int] = []
+        self._stale_flagged: set[int] = set()
+        self._next_rank = spec.config.processors
+        self._recovery_budget = _RECOVERY_FACTOR * spec.config.processors
+        self._stale_after: float | None = None
+        self._flag_stale_enabled = False
+
+    # -- context the backends read (mirrors the engine surface) --------
+
+    @property
+    def routine(self):
+        """The realization routine backends run for this job."""
+        return self.spec.routine
+
+    @property
+    def config(self) -> RunConfig:
+        """The job's run configuration."""
+        return self.spec.config
+
+    @property
+    def priority(self) -> float:
+        """Fair-share weight."""
+        return self.spec.priority
+
+    # -- lifecycle ------------------------------------------------------
+
+    def open(self, backend, run_started: float) -> None:
+        """Resume the session and wire collector + telemetry.
+
+        Mirrors the historical engine prologue exactly: session resume,
+        telemetry epoch, collector construction, deadline and staleness
+        thresholds.
+        """
+        config = self.spec.config
+        self.run_started = run_started
+        data, state = start_session(config, self.spec.use_files)
+        telemetry = open_run_telemetry(
+            config, data, backend=backend.name, clock=backend.clock,
+            epoch=backend.telemetry_epoch(run_started))
+        if data is not None and telemetry is not None:
+            # Quarantined artifacts surface as storage.quarantined events.
+            data.attach_events(telemetry.events)
+        collector = Collector(config, state.base, data,
+                              sessions=state.session_index,
+                              persist_subtotals=backend.persist_subtotals,
+                              telemetry=telemetry,
+                              base_statistics=state.base_statistics)
+        self.data = data
+        self.state = state
+        self.telemetry = telemetry
+        self.collector = collector
+        if config.time_limit is not None:
+            self.deadline = run_started + config.time_limit
+        self._stale_after = (3.0 * config.perpass + 1.0
+                             if config.perpass > 0 else None)
+        self._flag_stale_enabled = (
+            telemetry is not None and self._stale_after is not None
+            and getattr(backend, "monitors_staleness", False))
+
+    def initial_plan(self) -> list[WorkerAssignment]:
+        """The even static split, tagged with this job's identifier."""
+        config = self.spec.config
+        return [WorkerAssignment(rank, config.worker_quota(rank),
+                                 job=self.id)
+                for rank in range(config.processors)]
+
+    # -- message path ---------------------------------------------------
+
+    def ingest(self, message: MomentMessage | CombinedMessage,
+               now: float) -> list[int]:
+        """Deliver one message to this job's collector.
+
+        Returns the ranks that delivered their final pass, so the
+        scheduler can release their worker slots.
+        """
+        if isinstance(message, CombinedMessage):
+            self.collector.receive_combined(message, now)
+            entries = message.entries
+        else:
+            self.collector.receive(message, now)
+            entries = (message,)
+        finals: list[int] = []
+        for entry in entries:
+            if self._stale_flagged:
+                self._stale_flagged.discard(entry.rank)
+            if entry.final:
+                finals.append(entry.rank)
+                if self.telemetry is not None:
+                    stats = entry.metrics or {}
+                    self.telemetry.events.append(
+                        "worker_final", ts=now, rank=entry.rank,
+                        volume=entry.snapshot.volume,
+                        messages=stats.get("messages"),
+                        bytes=stats.get("bytes"))
+        return finals
+
+    def flag_stale(self, now: float) -> None:
+        """Emit ``stale_worker`` events for silent ranks (once each)."""
+        if not self._flag_stale_enabled:
+            return
+        for rank in self.collector.stale_workers(now, self._stale_after):
+            if rank not in self._stale_flagged:
+                self._stale_flagged.add(rank)
+                seen = self.collector.last_seen.get(rank)
+                self.telemetry.events.append(
+                    "stale_worker", ts=now, rank=rank,
+                    last_seen=(seen - self.run_started
+                               if seen is not None else None))
+
+    # -- work dispatch --------------------------------------------------
+
+    def record_spawn(self, plan, extras=None) -> None:
+        """Account for assignments the backend just started."""
+        if extras is None:
+            extras = [None] * len(plan)
+        for assignment, extra in zip(plan, extras):
+            self._assigned.append(assignment.rank)
+            self._quotas[assignment.rank] = assignment.quota
+            self.in_flight.add(assignment.rank)
+            self.dispatched += 1
+            if self.telemetry is not None:
+                fields = dict(extra) if extra else {}
+                if assignment.recovery:
+                    fields["recovery"] = True
+                self.telemetry.events.append(
+                    "worker_start", rank=assignment.rank,
+                    quota=assignment.quota, **fields)
+        self.peak_workers = max(self.peak_workers, len(self.in_flight))
+
+    # -- fault handling -------------------------------------------------
+
+    def handle_deaths(self, deaths, now: float, spawn) -> None:
+        """Apply this job's death policy to a batch of worker deaths.
+
+        Args:
+            deaths: The :class:`WorkerDeath` records routed to this job.
+            now: Backend clock at the reap.
+            spawn: ``spawn(job, assignments)`` callback that starts
+                replacement workers immediately (the scheduler's
+                dispatch path, bypassing the fair-share queue exactly
+                like the historical engine respawned inline).
+        """
+        deaths = sorted(deaths, key=lambda death: death.rank)
+        for death in deaths:
+            self.in_flight.discard(death.rank)
+        if self.telemetry is not None:
+            for death in deaths:
+                self.telemetry.events.append(
+                    "worker_died", ts=now, rank=death.rank,
+                    exitcode=death.exitcode,
+                    volume=self.collector.worker_volume(death.rank))
+            self.telemetry.events.flush()
+        if self.spec.config.on_worker_death != "reassign":
+            described = ", ".join(death.describe() for death in deaths)
+            raise BackendError(
+                f"worker process(es) died before delivering a final "
+                f"message: {described}")
+        for death in deaths:
+            self.reassign(death, now, spawn)
+
+    def reassign(self, death: WorkerDeath, now: float, spawn) -> None:
+        """Reissue a dead worker's undelivered quota on a fresh stream.
+
+        The collector keeps everything the worker delivered up to its
+        last watermark; only the remainder is re-simulated, by a
+        replacement worker on the next unused "processors" subsequence,
+        so the recovered sample never overlaps the substreams the dead
+        worker consumed.
+        """
+        quota = self._quotas.get(death.rank)
+        if quota is None:
+            raise BackendError(
+                f"cannot reassign the quota of dead worker "
+                f"{death.describe()}: its assignment is dynamically "
+                f"scheduled")
+        delivered = self.collector.worker_volume(death.rank)
+        remaining = max(quota - delivered, 0)
+        self.collector.retire_rank(death.rank)
+        self._recovered.append(death.rank)
+        replacement: int | None = None
+        if remaining > 0:
+            if self._recovery_budget <= 0:
+                raise BackendError(
+                    f"worker {death.describe()} died but the recovery "
+                    f"budget ({_RECOVERY_FACTOR} per worker) is "
+                    f"exhausted; the routine appears to kill every "
+                    f"worker it is given")
+            self._recovery_budget -= 1
+            replacement = self._next_rank
+            self._next_rank += 1
+            if replacement >= self.spec.config.leaps.processor_capacity:
+                raise BackendError(
+                    f"no fresh processor subsequence left for recovery "
+                    f"(hierarchy capacity "
+                    f"{self.spec.config.leaps.processor_capacity})")
+            self.collector.expect_rank(replacement, now=now)
+            spawn(self, [WorkerAssignment(rank=replacement,
+                                          quota=remaining,
+                                          recovery=True,
+                                          job=self.id)])
+        if self.telemetry is not None:
+            self.telemetry.worker_recovered(
+                rank=death.rank, replacement=replacement,
+                reassigned=remaining, delivered=delivered, now=now)
+
+    # -- completion -----------------------------------------------------
+
+    def mark_complete(self, completed: bool) -> None:
+        """Leave the drain loop; finalization happens after shutdown."""
+        self.status = JobStatus.COMPLETE
+        self.completed = completed
+        self.finished_wall = time.monotonic()
+        self.pending.clear()
+        self.in_flight.clear()
+
+    def fail(self, error: BaseException) -> None:
+        """Contain a per-job failure (shared mode): drop its work."""
+        self.status = JobStatus.FAILED
+        self.error = error
+        self.finished_wall = time.monotonic()
+        self.pending.clear()
+        self.in_flight.clear()
+        if self.telemetry is not None:
+            self.telemetry.events.append("job_failed", error=str(error))
+            self.telemetry.events.flush()
+
+    def finalize(self, backend, scheduler_started: float) -> RunResult:
+        """Save, merge and assemble this job's :class:`RunResult`.
+
+        Mirrors the historical engine epilogue statement for statement
+        (same clock samples, same event order) so single-job artifacts
+        stay byte-identical.
+        """
+        collector = self.collector
+        elapsed = time.monotonic() - scheduler_started
+        collector.save(backend.clock(), elapsed=elapsed)
+        merged = collector.merged()
+        merged_statistics = collector.merged_statistics()
+        if self.data is not None:
+            finalize_session(self.data, self.state, merged,
+                             statistics=merged_statistics)
+            self.data.clear_processor_snapshots()
+        estimates = merged.estimates() if merged.volume > 0 else None
+        sla = (self.sla_snapshot(scheduler_started)
+               if self.id is not None else None)
+        if sla is not None and self.telemetry is not None:
+            self.telemetry.events.append("job_sla", **sla)
+        summary = (self.telemetry.finalize(
+                       elapsed=elapsed, volume=collector.total_volume,
+                       virtual_time=backend.virtual_time)
+                   if self.telemetry is not None else None)
+        self.result = RunResult(
+            estimates=estimates,
+            config=self.spec.config,
+            per_rank_volumes=backend.per_rank_volumes(
+                collector, tuple(self._assigned)),
+            session_volume=backend.session_volume(collector),
+            total_volume=collector.total_volume,
+            elapsed=elapsed,
+            virtual_time=backend.virtual_time,
+            sessions=self.state.session_index,
+            data_dir=self.data.root if self.data is not None else None,
+            messages_received=collector.receive_count,
+            saves_performed=collector.save_count,
+            history=collector.history,
+            telemetry=summary,
+            recovered_ranks=tuple(self._recovered),
+            statistics=merged_statistics,
+            sla=sla)
+        self.status = JobStatus.DONE
+        return self.result
+
+    # -- SLA ------------------------------------------------------------
+
+    def sla_snapshot(self, base: float) -> dict:
+        """The job's SLA record, clock stamps relative to ``base``.
+
+        Keys: submit-to-start ``wait_seconds``, ``makespan_seconds``
+        (submit to finish), the advisory ``deadline_seconds`` target
+        and whether it was missed, plus dispatch accounting.
+        """
+        wait = (self.started_wall - self.submitted_wall
+                if self.started_wall is not None
+                and self.submitted_wall is not None else None)
+        makespan = (self.finished_wall - self.submitted_wall
+                    if self.finished_wall is not None
+                    and self.submitted_wall is not None else None)
+        deadline = self.spec.deadline
+        missed = (deadline is not None
+                  and (makespan is None or makespan > deadline))
+        return {
+            "job": self.id,
+            "status": self.status,
+            "priority": self.spec.priority,
+            "submitted_at": (self.submitted_wall - base
+                             if self.submitted_wall is not None else None),
+            "started_at": (self.started_wall - base
+                           if self.started_wall is not None else None),
+            "finished_at": (self.finished_wall - base
+                            if self.finished_wall is not None else None),
+            "wait_seconds": wait,
+            "makespan_seconds": makespan,
+            "deadline_seconds": deadline,
+            "deadline_missed": missed,
+            "completed": self.completed,
+            "dispatched": self.dispatched,
+            "peak_workers": self.peak_workers,
+            "recovered": len(self._recovered),
+        }

@@ -54,6 +54,11 @@ class MomentMessage:
             the historical format).  Each value is a frozen
             :class:`~repro.stats.statistic.Statistic` snapshot with
             the same latest-per-rank semantics as the moments.
+        job: Identifier of the owning :class:`~repro.runtime.job.Job`
+            when the message travels through a multi-job
+            :class:`~repro.runtime.scheduler.Scheduler`; ``None`` on
+            the classic single-run path, keeping those messages
+            byte-identical to the historical format.
     """
 
     rank: int
@@ -62,6 +67,7 @@ class MomentMessage:
     final: bool = False
     metrics: dict | None = None
     statistics: Mapping[str, Statistic] | None = field(default=None)
+    job: str | None = None
 
     def __post_init__(self) -> None:
         if self.rank < 0:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+from dataclasses import replace
 
 from repro.exceptions import BackendError
 from repro.obs.telemetry import WorkerTelemetry
@@ -68,23 +69,32 @@ _REDUCER_RESPAWN_FACTOR = 4
 
 def _worker_entry(routine: RealizationRoutine, config: RunConfig,
                   rank: int, quota: int, outbox, deadline: float | None,
-                  ring_name: str | None = None) -> None:
+                  ring_name: str | None = None,
+                  job: str | None = None) -> None:
     """Worker process body: run the loop, shipping messages upstream.
 
     ``outbox`` is wherever this worker's messages go — the backend's
     queue (flat plan) or its reducer's inbox (tree plan).  With a ring
     name the worker writes the shared-memory fast path and uses the
-    queue only as overflow.
+    queue only as overflow.  A job id tags every message on the child
+    side, so the scheduler can route interleaved traffic from several
+    jobs sharing one queue; ``job=None`` (the classic path) leaves the
+    messages byte-identical to the historical format.
     """
     telemetry = WorkerTelemetry(rank) if config.telemetry else None
+    if job is None:
+        send = outbox.put
+    else:
+        def send(message, _put=outbox.put, _job=job):
+            _put(replace(message, job=_job))
     if ring_name is None:
-        run_worker(routine, config, rank, quota, send=outbox.put,
+        run_worker(routine, config, rank, quota, send=send,
                    deadline=deadline, telemetry=telemetry)
         return
     ring = attach_ring(ring_name)
     try:
         run_worker(routine, config, rank, quota,
-                   send=ShmSender(ring, outbox.put),
+                   send=ShmSender(ring, send),
                    deadline=deadline, telemetry=telemetry)
     finally:
         ring.close()
@@ -113,6 +123,7 @@ class MultiprocessBackend(EngineBackend):
 
     name = "multiprocess"
     monitors_staleness = True
+    supports_shared_jobs = True
 
     def __init__(self, start_method: str | None = None) -> None:
         super().__init__()
@@ -120,8 +131,10 @@ class MultiprocessBackend(EngineBackend):
         self._context = None
         self._outbox = None
         self._processes: list = []
-        self._live: dict[int, object] = {}
-        self._suspects: dict[int, float] = {}
+        # Keyed by rank on the classic path, by (job, rank) for
+        # scheduler-dispatched assignments.
+        self._live: dict = {}
+        self._suspects: dict = {}
         self._plan = None
         self._leaf_parents: dict[int, str] = {}
         self._rings: dict[int, ShmRing] = {}
@@ -187,12 +200,21 @@ class MultiprocessBackend(EngineBackend):
         self._reducers[node.node_id] = process
         return process.pid
 
+    def _job_context(self, job: str | None):
+        """Per-assignment context: this backend for the classic path
+        (``job=None``), the owning job's view otherwise."""
+        if job is None or self.engine is None:
+            return self
+        return self.engine.job_context(job)
+
     def spawn(self, assignments) -> list[dict]:
         if self._context is None:
             self._bootstrap(assignments)
         extras = []
         for assignment in assignments:
             rank = assignment.rank
+            job = assignment.job
+            context = self._job_context(job)
             if self._shm and rank not in self._rings:
                 # A recovery rank beyond the planned tree: it reports
                 # straight to rank 0 on a fresh ring.
@@ -208,12 +230,13 @@ class MultiprocessBackend(EngineBackend):
                     self._root_rings[rank] = self._rings[rank]
             process = self._context.Process(
                 target=_worker_entry,
-                args=(self.routine, self.config, rank,
-                      assignment.quota, outbox, self.deadline, ring_name),
+                args=(context.routine, context.config, rank,
+                      assignment.quota, outbox, context.deadline,
+                      ring_name, job),
                 daemon=True)
             process.start()
             self._processes.append(process)
-            self._live[rank] = process
+            self._live[rank if job is None else (job, rank)] = process
             extras.append({"pid": process.pid})
         return extras
 
@@ -315,23 +338,29 @@ class MultiprocessBackend(EngineBackend):
         now = self.clock()
         self._check_reducers(now)
         self._sample_rings()
-        final_ranks = self.collector.final_ranks
         dead: list[WorkerDeath] = []
-        for rank, process in list(self._live.items()):
-            if process.exitcode is None or rank in final_ranks:
-                self._suspects.pop(rank, None)
+        dead_keys: list = []
+        for key, process in list(self._live.items()):
+            job, rank = key if isinstance(key, tuple) else (None, key)
+            context = self._job_context(job)
+            if process.exitcode is None \
+                    or rank in context.collector.final_ranks:
+                self._suspects.pop(key, None)
                 if process.exitcode is not None:
-                    del self._live[rank]  # finalized and exited: done
+                    del self._live[key]  # finalized and exited: done
                 continue
             if process.exitcode != 0:
-                dead.append(WorkerDeath(rank, process.exitcode))
+                dead.append(WorkerDeath(rank, process.exitcode, job=job))
+                dead_keys.append(key)
             else:
-                first_seen = self._suspects.setdefault(rank, now)
-                if now - first_seen >= self.config.death_grace:
-                    dead.append(WorkerDeath(rank, process.exitcode))
-        for death in dead:
-            self._live.pop(death.rank, None)
-            self._suspects.pop(death.rank, None)
+                first_seen = self._suspects.setdefault(key, now)
+                if now - first_seen >= context.config.death_grace:
+                    dead.append(WorkerDeath(rank, process.exitcode,
+                                            job=job))
+                    dead_keys.append(key)
+        for key in dead_keys:
+            self._live.pop(key, None)
+            self._suspects.pop(key, None)
         return dead
 
     # -- teardown ---------------------------------------------------------

@@ -3,9 +3,10 @@
 A pool listens on TCP (asyncio) and contributes local worker processes
 to any run that connects — the distributed analogue of the paper's MPI
 ranks, except that pools may come and go while the run is in flight.
-One pool serves one run at a time per connection; each connection is a
-*session* that follows the wire protocol of
-:mod:`repro.runtime.wire`::
+Each connection is a *session* that follows the wire protocol of
+:mod:`repro.runtime.wire`; the daemon keeps listening between and
+during sessions, so back-to-back runs (and overlapping runs from
+different clients) need no restart::
 
     run                                pool
      | -- HELLO {config, routine} ----> |   import/unpickle the routine
@@ -16,6 +17,12 @@ One pool serves one run at a time per connection; each connection is a
      |                                  |   drained (drain-before-verdict)
      | <-> HEARTBEAT <->                |   liveness, both directions
      | -- BYE ------------------------> |   session over, workers freed
+
+A multi-job scheduler run sends ``HELLO {jobs: {id: {config,
+routine}}}`` instead, then tags each ASSIGN with the owning job id;
+the pool runs every job's workers side by side, tags their DATA
+passes and echoes the job on EXIT, so the run can route messages and
+deaths back to the right experiment.
 
 Every ASSIGN runs in its own OS process (so a stuck or ``kill -9``-ed
 realization routine never takes the daemon down) with a private queue
@@ -40,6 +47,7 @@ import os
 import queue as queue_module
 import threading
 import time
+from dataclasses import replace
 
 from repro.exceptions import WireError
 from repro.obs.telemetry import WorkerTelemetry
@@ -66,17 +74,25 @@ _TERMINATE_SECONDS = 2.0
 
 
 def _pool_worker_entry(routine, config: RunConfig, rank: int, quota: int,
-                       outbox, deadline_in: float | None) -> None:
+                       outbox, deadline_in: float | None,
+                       job: str | None = None) -> None:
     """Worker process body: the standard loop, queueing messages home.
 
     ``deadline_in`` is the run's remaining time budget in seconds —
     shipped as a duration because absolute monotonic clocks do not
-    travel between hosts.
+    travel between hosts.  ``job`` tags every message with the owning
+    job id (multi-job scheduler sessions); tagging here, in the child,
+    keeps the daemon's forwarding path a pure byte relay.
     """
     deadline = (time.monotonic() + deadline_in
                 if deadline_in is not None else None)
     telemetry = WorkerTelemetry(rank) if config.telemetry else None
-    run_worker(routine, config, rank, quota, send=outbox.put,
+    if job is None:
+        send = outbox.put
+    else:
+        send = (lambda message, _put=outbox.put, _job=job:
+                _put(replace(message, job=_job)))
+    run_worker(routine, config, rank, quota, send=send,
                deadline=deadline, telemetry=telemetry)
 
 
@@ -89,10 +105,12 @@ def _import_routine(spec: str):
 class _Worker:
     """One running assignment: process + queue + forwarding thread."""
 
-    def __init__(self, rank: int, process, outbox) -> None:
+    def __init__(self, rank: int, process, outbox,
+                 job: str | None = None) -> None:
         self.rank = rank
         self.process = process
         self.outbox = outbox
+        self.job = job
 
 
 class _Session:
@@ -104,12 +122,16 @@ class _Session:
         self._reader = reader
         self._writer = writer
         self._loop = asyncio.get_running_loop()
-        self._workers: dict[int, _Worker] = {}
+        # Running assignments keyed ``(job, rank)``; job is None for a
+        # classic single-run session, so two jobs of one scheduler can
+        # both field a rank 0 here without colliding.
+        self._workers: dict[tuple[str | None, int], _Worker] = {}
         self._closed = False
         self._last_run_heartbeat = time.monotonic()
         self._peer = writer.get_extra_info("peername")
-        self._routine = None
-        self._config: RunConfig | None = None
+        # Per-job ``(routine, config)`` contexts; a classic single-run
+        # HELLO lands under the None key.
+        self._contexts: dict[str | None, tuple] = {}
 
     async def run(self) -> None:
         heartbeat_task = None
@@ -157,18 +179,34 @@ class _Session:
     # -- handshake ---------------------------------------------------------
 
     def _adopt_hello(self, payload: dict) -> None:
+        jobs = payload.get("jobs")
+        if jobs is None:
+            # Classic single-run HELLO: {config, routine[, batch_size]}.
+            self._contexts[None] = self._adopt_context(payload)
+        else:
+            if not isinstance(jobs, dict) or not jobs:
+                raise WireError(
+                    "hello jobs payload must be a non-empty object")
+            for job_id, entry in jobs.items():
+                if not isinstance(entry, dict):
+                    raise WireError(
+                        f"hello job {job_id!r} entry must be an object")
+                self._contexts[str(job_id)] = self._adopt_context(entry)
+        self._time_limit = payload.get("time_limit")
+
+    def _adopt_context(self, payload: dict) -> tuple:
+        """One ``(routine, config)`` context from a HELLO (sub)payload."""
         try:
             config_payload = payload["config"]
             routine_payload = payload["routine"]
         except KeyError as exc:
             raise WireError(f"hello frame misses {exc}") from exc
-        self._config = config_from_payload(config_payload)
+        config = config_from_payload(config_payload)
         routine = routine_from_payload(routine_payload, _import_routine)
         batch_size = payload.get("batch_size")
         if batch_size and getattr(routine, "batch_size", None) is None:
             routine = make_batched(routine, int(batch_size))
-        self._routine = routine
-        self._time_limit = payload.get("time_limit")
+        return routine, config
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -178,20 +216,29 @@ class _Session:
             quota = int(payload["quota"])
         except (KeyError, TypeError, ValueError) as exc:
             raise WireError(f"malformed assign frame: {exc}") from exc
-        if rank in self._workers:
-            raise WireError(f"rank {rank} is already assigned on this pool")
+        job = payload.get("job")
+        job = None if job is None else str(job)
+        label = f"rank {rank}" if job is None else f"job {job} rank {rank}"
+        if (job, rank) in self._workers:
+            raise WireError(f"{label} is already assigned on this pool")
+        try:
+            routine, config = self._contexts[job]
+        except KeyError:
+            raise WireError(
+                f"assign frame names job {job!r}, which the session's "
+                f"hello did not declare") from None
         context = self._server.context
         outbox = context.Queue()
         process = context.Process(
             target=_pool_worker_entry,
-            args=(self._routine, self._config, rank, quota, outbox,
-                  payload.get("deadline_in")),
+            args=(routine, config, rank, quota, outbox,
+                  payload.get("deadline_in"), job),
             daemon=True)
         process.start()
-        worker = _Worker(rank, process, outbox)
-        self._workers[rank] = worker
-        _logger.info("session from %s: rank %d started (quota=%d, pid=%s)",
-                     self._peer, rank, quota, process.pid)
+        worker = _Worker(rank, process, outbox, job=job)
+        self._workers[(job, rank)] = worker
+        _logger.info("session from %s: %s started (quota=%d, pid=%s)",
+                     self._peer, label, quota, process.pid)
         threading.Thread(target=self._watch, args=(worker,),
                          daemon=True).start()
 
@@ -217,13 +264,17 @@ class _Session:
                         break
                     except Exception:  # torn pickle from a kill -9
                         break
-                self._send_threadsafe(FrameKind.EXIT, {
+                exit_payload = {
                     "rank": worker.rank,
                     "exitcode": process.exitcode,
-                })
+                }
+                if worker.job is not None:
+                    exit_payload["job"] = worker.job
+                self._send_threadsafe(FrameKind.EXIT, exit_payload)
                 try:
                     self._loop.call_soon_threadsafe(
-                        self._workers.pop, worker.rank, None)
+                        self._workers.pop, (worker.job, worker.rank),
+                        None)
                 except RuntimeError:  # pool already shut down
                     pass
                 return
@@ -251,12 +302,20 @@ class _Session:
         except RuntimeError:  # loop already closed at teardown
             pass
 
+    @property
+    def busy(self) -> int:
+        """Worker processes this session is currently running."""
+        return len(self._workers)
+
     async def _heartbeats(self) -> None:
         interval = self._server.heartbeat_interval
         while True:
             await asyncio.sleep(interval)
             self._send(FrameKind.HEARTBEAT, {
-                "busy": len(self._workers),
+                # Server-wide occupancy: concurrent sessions share one
+                # physical worker budget, so each run sees the true load.
+                "busy": self._server.busy_workers,
+                "session_busy": len(self._workers),
                 "workers": self._server.workers,
             })
             silent = time.monotonic() - self._last_run_heartbeat
@@ -316,6 +375,8 @@ class PoolServer:
         self._stop_event: asyncio.Event | None = None
         self._thread: threading.Thread | None = None
         self._startup_error: BaseException | None = None
+        self._sessions: set[_Session] = set()
+        self.sessions_served = 0
 
     @property
     def context(self):
@@ -351,9 +412,25 @@ class PoolServer:
         async with server:
             await self._stop_event.wait()
 
+    @property
+    def busy_workers(self) -> int:
+        """Worker processes running across *all* live sessions.
+
+        Sessions share the daemon's one physical worker budget; this
+        server-wide count is what heartbeats advertise, so concurrent
+        runs see each other's load instead of believing the pool idle.
+        """
+        return sum(session.busy for session in self._sessions)
+
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
-        await _Session(self, reader, writer).run()
+        session = _Session(self, reader, writer)
+        self._sessions.add(session)
+        self.sessions_served += 1
+        try:
+            await session.run()
+        finally:
+            self._sessions.discard(session)
 
     # -- thread facade (tests, embedded pools) -----------------------------
 

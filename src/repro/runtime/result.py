@@ -47,6 +47,11 @@ class RunResult:
             ``config.statistics`` (plus any inherited from resumed
             sessions).  Empty for the default moments-only run; the
             moment statistic itself is exposed as :attr:`estimates`.
+        sla: Scheduling record when the run was a named job of a
+            :class:`~repro.runtime.scheduler.Scheduler` — submit-to-
+            start wait, makespan, advisory deadline misses and dispatch
+            accounting (see :meth:`repro.runtime.job.Job.sla_snapshot`).
+            None for classic single runs.
     """
 
     estimates: Estimates | None
@@ -64,6 +69,7 @@ class RunResult:
     telemetry: dict | None = None
     recovered_ranks: tuple[int, ...] = ()
     statistics: dict[str, Statistic] = field(default_factory=dict)
+    sla: dict | None = None
 
     def __str__(self) -> str:
         timing = (f"T_comp={self.virtual_time:.3f}s (virtual)"

@@ -1,0 +1,408 @@
+"""Multi-job scheduler: N experiments multiplexed over one backend.
+
+PARMONC's RNG hierarchy carves out 2**10 independent *experiments*
+(``seqnum`` subsequences), but the historical engine ran exactly one
+per process.  The :class:`Scheduler` drives N concurrent
+:class:`~repro.runtime.job.Job` instances over one shared backend
+worker pool:
+
+* **Fair share.**  Worker slots are handed out by per-job deficit
+  counters: every dispatch charges the job ``1 / priority``, and the
+  job with the highest deficit (ties broken by submission order) wins
+  the next free slot, so long-run dispatch rates are proportional to
+  priorities.  With unbounded slots (the classic path) every pending
+  assignment is dispatched at once, exactly like the old engine.
+* **Quotas.**  ``JobSpec.max_workers`` caps a job's concurrent
+  workers; ``workers=`` caps the whole pool.
+* **Admission control.**  ``max_jobs=`` bounds the queue;
+  :meth:`submit` raises :class:`~repro.exceptions.AdmissionError`
+  (back-pressure) once the bound is reached and counts the rejection.
+* **SLA tracking.**  Each job records submit-to-start wait, makespan
+  and advisory deadline misses; :meth:`sla_report` returns the whole
+  picture and each job's record also lands in its own telemetry and
+  on its :class:`~repro.runtime.result.RunResult`.
+
+The drain loop, death handling and finalization preserve the
+historical engine's statement order, so a single anonymous job (what
+:class:`~repro.runtime.engine.Engine` now submits under the hood) is
+bit-identical to the pre-split engine — same messages, same telemetry
+events, same save-point bytes.
+
+Backends that can interleave assignments from different jobs declare
+``supports_shared_jobs = True`` (sequential, multiprocess,
+distributed); the discrete-event cluster simulation keeps its
+single-job contract and is rejected at submit time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.exceptions import (
+    AdmissionError,
+    BackendError,
+    ConfigurationError,
+)
+from repro.runtime.engine import _POLL_SECONDS, Backend, WorkerAssignment
+from repro.runtime.job import Job, JobSpec, JobStatus
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Run a batch of jobs over one shared backend.
+
+    Args:
+        backend: The execution strategy all jobs share.
+        workers: Global cap on concurrently running workers across all
+            jobs (None = unbounded, the classic behaviour).
+        max_jobs: Admission bound on the job queue; further
+            :meth:`submit` calls raise
+            :class:`~repro.exceptions.AdmissionError`.
+
+    Usage::
+
+        scheduler = Scheduler(MultiprocessBackend(), workers=4)
+        jobs = [scheduler.submit(spec) for spec in specs]
+        scheduler.run()
+        results = [job.result for job in jobs]
+    """
+
+    def __init__(self, backend: Backend, *, workers: int | None = None,
+                 max_jobs: int | None = None, _engine=None) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"scheduler workers must be >= 1, got {workers}")
+        if max_jobs is not None and max_jobs < 1:
+            raise ConfigurationError(
+                f"scheduler max_jobs must be >= 1, got {max_jobs}")
+        self._backend = backend
+        self._workers = workers
+        self._max_jobs = max_jobs
+        #: Classic single-run mode: the engine wrapper passes itself so
+        #: the backend binds the engine (the historical surface) and
+        #: errors propagate instead of being contained per job.
+        self._engine = _engine
+        self._jobs: list[Job] = []
+        self._by_id: dict[str | None, Job] = {}
+        self._ran = False
+        self.started = 0.0
+        self.rejected = 0
+        self.stray_messages = 0
+        # Backend-facing surface when the scheduler itself is bound
+        # (shared mode).  ``config`` becomes a representative config at
+        # run(); per-job context flows through job_context() instead.
+        self.routine = None
+        self.config = None
+        self.collector = None
+        self.telemetry = None
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue one job; returns its live :class:`Job` handle.
+
+        Raises:
+            AdmissionError: The queue is at its ``max_jobs`` bound.
+            ConfigurationError: The spec cannot run on this backend or
+                collides with an already-submitted job.
+        """
+        if self._ran:
+            raise ConfigurationError(
+                "jobs must be submitted before the scheduler runs")
+        if self._max_jobs is not None and len(self._jobs) >= self._max_jobs:
+            self.rejected += 1
+            raise AdmissionError(
+                f"job queue is at capacity ({self._max_jobs} jobs); "
+                f"retry after a job finishes or raise max_jobs")
+        anonymous = self._engine is not None
+        if anonymous:
+            if self._jobs:
+                raise ConfigurationError(
+                    "the classic engine path runs exactly one job")
+            job_id = None
+        else:
+            self._validate_shared(spec)
+            job_id = spec.name or f"job-{len(self._jobs)}"
+            if job_id in self._by_id:
+                raise ConfigurationError(
+                    f"duplicate job name {job_id!r}")
+        job = Job(spec, job_id, len(self._jobs))
+        job.submitted_wall = time.monotonic()
+        self._jobs.append(job)
+        self._by_id[job_id] = job
+        return job
+
+    def _validate_shared(self, spec: JobSpec) -> None:
+        if not getattr(self._backend, "supports_shared_jobs", False):
+            raise ConfigurationError(
+                f"backend {getattr(self._backend, 'name', '?')!r} cannot "
+                f"multiplex concurrent jobs; run them one at a time "
+                f"through parmonc()")
+        config = spec.config
+        if config.reduction_fanout is not None:
+            raise ConfigurationError(
+                "reduction trees are not job-scoped yet; submit "
+                "reduced runs through the single-job path")
+        if config.transport != "queue":
+            raise ConfigurationError(
+                f"shared-pool jobs require transport='queue', got "
+                f"{config.transport!r}")
+        if spec.use_files:
+            new_dir = config.data_dir.resolve()
+            for other in self._jobs:
+                if not other.spec.use_files:
+                    continue
+                if other.spec.config.data_dir.resolve() == new_dir:
+                    raise ConfigurationError(
+                        f"jobs {other.id!r} and {spec.name!r} would "
+                        f"share the session directory {new_dir}; give "
+                        f"each job its own workdir")
+
+    # -- backend-facing context ----------------------------------------
+
+    def job_context(self, job_id: str | None) -> Job:
+        """The owning job's context (config, routine, collector, ...)."""
+        job = self._by_id.get(job_id)
+        if job is None:
+            raise BackendError(f"unknown job {job_id!r}")
+        return job
+
+    @property
+    def all_complete(self) -> bool:
+        """True once every job has left the drain loop."""
+        return all(job.status in JobStatus.TERMINAL
+                   for job in self._jobs)
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        """Submitted jobs in submission order."""
+        return tuple(self._jobs)
+
+    # -- message path ---------------------------------------------------
+
+    def ingest(self, message, now: float) -> None:
+        """Route one worker/reducer message to its owning job."""
+        job = self._by_id.get(getattr(message, "job", None))
+        if job is None or job.status is not JobStatus.RUNNING:
+            # Late traffic from an already-finished or failed job.
+            self.stray_messages += 1
+            return
+        for rank in job.ingest(message, now):
+            job.in_flight.discard(rank)
+        if job.collector.complete:
+            job.mark_complete(completed=True)
+
+    # -- the run --------------------------------------------------------
+
+    def run(self) -> list[Job]:
+        """Drive every submitted job to completion; returns the jobs.
+
+        Raises:
+            BackendError: In classic mode, exactly when the historical
+                engine would have raised (worker death under the
+                ``"fail"`` policy, impossible recovery).  In shared
+                mode those errors fail only the owning job; backend
+                and programming errors still propagate.
+        """
+        if self._ran:
+            raise ConfigurationError("a scheduler can only run once")
+        if not self._jobs:
+            raise ConfigurationError("no jobs were submitted")
+        self._ran = True
+        backend = self._backend
+        engine = self._engine
+        self.started = time.monotonic()
+        if engine is not None:
+            engine.started = self.started
+        for job in self._jobs:
+            job.open(backend, self.started)
+        if engine is not None:
+            only = self._jobs[0]
+            engine.collector = only.collector
+            engine.telemetry = only.telemetry
+            bind_target = engine
+        else:
+            # A representative config for backend-level knobs (start
+            # method, processors for pool sizing); per-job settings are
+            # read through job_context() at spawn time.
+            self.config = self._jobs[0].spec.config.with_updates(
+                time_limit=None, reduction_fanout=None,
+                transport="queue")
+            bind_target = self
+        backend.bind(bind_target)
+        epoch = backend.clock()
+        for job in self._jobs:
+            job.collector.mark_epoch(epoch)
+        for job in self._jobs:
+            job.status = JobStatus.RUNNING
+            if engine is not None:
+                job.pending.extend(backend.plan())
+            else:
+                job.pending.extend(job.initial_plan())
+        self._dispatch()
+        drain_clock = backend.clock()
+        for job in self._jobs:
+            job.drain_started = drain_clock
+        try:
+            self._drain()
+        finally:
+            backend.shutdown()
+        for job in self._jobs:
+            if job.telemetry is not None and job.drain_started is not None:
+                job.telemetry.tracer.record(
+                    "collector.drain", job.drain_started, backend.clock(),
+                    messages=job.collector.receive_count)
+        backend.finish()
+        for job in self._jobs:
+            if job.status is JobStatus.FAILED:
+                continue
+            job.finalize(backend, self.started)
+        return list(self._jobs)
+
+    def _drain(self) -> None:
+        backend = self._backend
+        while True:
+            running = [job for job in self._jobs
+                       if job.status is JobStatus.RUNNING]
+            if not running:
+                break
+            self._dispatch()
+            self._expire_deadlines(running)
+            if backend.done:
+                # The backend can produce nothing further (e.g. the
+                # sequential loop ran out of assignments under a time
+                # limit); whatever is incomplete stays incomplete.
+                for job in running:
+                    if job.status is JobStatus.RUNNING:
+                        job.mark_complete(
+                            completed=job.collector.complete)
+                break
+            message = backend.poll(_POLL_SECONDS)
+            if message is not None:
+                self.ingest(message, backend.clock())
+                continue
+            now = backend.clock()
+            deaths = backend.reap()
+            if deaths:
+                self._handle_deaths(deaths, now)
+            for job in self._jobs:
+                if job.status is JobStatus.RUNNING:
+                    job.flag_stale(now)
+
+    def _expire_deadlines(self, running: Sequence[Job]) -> None:
+        """Cancel undispatched work of jobs past their time limit.
+
+        Dispatched workers honour the same deadline themselves (it is
+        passed to ``run_worker``), ship a final pass and complete the
+        job; only never-started assignments need dropping here.  The
+        classic path keeps its historical backend-side handling
+        (``backend.deadline``), so this only acts on shared-mode jobs.
+        """
+        if self._engine is not None:
+            return
+        now = self._backend.clock()
+        for job in running:
+            if job.status is not JobStatus.RUNNING:
+                continue
+            if job.deadline is None or now < job.deadline:
+                continue
+            job.pending.clear()
+            if not job.in_flight:
+                job.mark_complete(completed=job.collector.complete)
+
+    # -- dispatch -------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Hand free worker slots to pending assignments, fairly.
+
+        Unbounded slots (the classic path) dispatch everything at once
+        — a single ``backend.spawn`` with the full plan, exactly like
+        the old engine.  Bounded slots run the deficit auction: highest
+        deficit wins, each dispatch charges ``1 / priority``.
+        """
+        contenders = [job for job in self._jobs
+                      if job.status is JobStatus.RUNNING and job.pending]
+        if not contenders:
+            return
+        batches: dict[int, list[WorkerAssignment]] = {}
+
+        def headroom(job: Job) -> int | None:
+            cap = job.spec.max_workers
+            if cap is None:
+                return None
+            used = len(job.in_flight) + len(batches.get(job.index, ()))
+            return cap - used
+
+        if self._workers is None:
+            for job in contenders:
+                while job.pending:
+                    room = headroom(job)
+                    if room is not None and room <= 0:
+                        break
+                    batches.setdefault(job.index, []).append(
+                        job.pending.popleft())
+        else:
+            busy = sum(len(job.in_flight) for job in self._jobs)
+            free = self._workers - busy
+            while free > 0:
+                candidates = [job for job in contenders
+                              if job.pending
+                              and (headroom(job) is None
+                                   or headroom(job) > 0)]
+                if not candidates:
+                    break
+                job = max(candidates,
+                          key=lambda j: (j.deficit, -j.index))
+                batches.setdefault(job.index, []).append(
+                    job.pending.popleft())
+                job.deficit -= 1.0 / job.priority
+                free -= 1
+        for job in contenders:
+            batch = batches.get(job.index)
+            if batch:
+                self._spawn_for(job, batch)
+
+    def _spawn_for(self, job: Job, batch: list[WorkerAssignment]) -> None:
+        extras = self._backend.spawn(batch)
+        if job.started_wall is None:
+            job.started_wall = time.monotonic()
+        job.record_spawn(batch, extras)
+
+    # -- fault handling -------------------------------------------------
+
+    def _handle_deaths(self, deaths, now: float) -> None:
+        by_job: dict[str | None, list] = {}
+        for death in deaths:
+            by_job.setdefault(death.job, []).append(death)
+        for job_id in sorted(
+                by_job,
+                key=lambda jid: self._by_id[jid].index
+                if jid in self._by_id else -1):
+            job = self._by_id.get(job_id)
+            if job is None or job.status is not JobStatus.RUNNING:
+                continue  # stray deaths of finished jobs
+            try:
+                job.handle_deaths(by_job[job_id], now, self._spawn_for)
+            except BackendError as error:
+                if self._engine is not None:
+                    raise
+                job.fail(error)
+
+    # -- reporting ------------------------------------------------------
+
+    def sla_report(self) -> dict:
+        """Scheduler-level SLA summary across all named jobs."""
+        jobs = [job.sla_snapshot(self.started) for job in self._jobs
+                if job.id is not None]
+        missed = sum(1 for record in jobs if record["deadline_missed"])
+        return {
+            "workers": self._workers,
+            "max_jobs": self._max_jobs,
+            "jobs": jobs,
+            "submitted": len(self._jobs),
+            "rejected": self.rejected,
+            "deadline_misses": missed,
+            "stray_messages": self.stray_messages,
+        }

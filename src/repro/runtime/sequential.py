@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from dataclasses import replace
 
 from repro.obs.telemetry import WorkerTelemetry
 from repro.runtime.config import RunConfig
@@ -37,6 +38,7 @@ class SequentialBackend(EngineBackend):
     """
 
     name = "sequential"
+    supports_shared_jobs = True
 
     def __init__(self) -> None:
         super().__init__()
@@ -44,6 +46,8 @@ class SequentialBackend(EngineBackend):
 
     def spawn(self, assignments) -> None:
         self._pending.extend(assignments)
+        # A scheduler may hand out more work after the queue ran dry.
+        self._done = False
         return None
 
     def poll(self, timeout: float) -> MomentMessage | None:
@@ -53,21 +57,36 @@ class SequentialBackend(EngineBackend):
             return None
         assignment = self._pending.popleft()
         engine = self.engine
-        telemetry = engine.telemetry
+        job = assignment.job
+        if job is None:
+            routine, config = self.routine, self.config
+            deadline = self.deadline
+            telemetry = engine.telemetry
+            send = (lambda message:
+                    engine.ingest(message, time.monotonic()))
+        else:
+            context = engine.job_context(job)
+            routine, config = context.routine, context.config
+            deadline = context.deadline
+            telemetry = context.telemetry
+            send = (lambda message:
+                    engine.ingest(replace(message, job=job),
+                                  time.monotonic()))
         worker_telemetry = (WorkerTelemetry(assignment.rank)
                             if telemetry is not None else None)
         worker_started = time.monotonic()
         accumulator = run_worker(
-            self.routine, self.config, assignment.rank, assignment.quota,
-            send=lambda message: engine.ingest(message, time.monotonic()),
-            deadline=self.deadline, telemetry=worker_telemetry)
+            routine, config, assignment.rank, assignment.quota,
+            send=send, deadline=deadline, telemetry=worker_telemetry)
         if telemetry is not None:
             telemetry.tracer.record("worker.run", worker_started,
                                     time.monotonic(), rank=assignment.rank,
                                     volume=accumulator.volume)
-        if self.deadline is not None and time.monotonic() >= self.deadline:
+        if job is None and self.deadline is not None \
+                and time.monotonic() >= self.deadline:
             # Job time limit: drop the not-yet-started workers, exactly
             # like the batch system would cancel the remaining ranks.
+            # (Shared-mode jobs are expired by the scheduler instead.)
             self._pending.clear()
             self._done = True
         return None

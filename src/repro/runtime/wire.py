@@ -233,6 +233,10 @@ def message_to_payload(message: MomentMessage) -> dict:
         payload["metrics"] = message.metrics
     if message.statistics is not None:
         payload["statistics"] = payload_map(message.statistics)
+    if message.job is not None:
+        # Only multi-job (scheduler) sessions tag their passes; classic
+        # single-run frames stay byte-identical to wire version 1 peers.
+        payload["job"] = message.job
     return payload
 
 
@@ -248,13 +252,15 @@ def message_from_payload(payload: dict) -> MomentMessage:
                 raise WireError(
                     f"data frame carries unregistered statistic kinds "
                     f"{unknown}; register them on the collector side")
+        job = payload.get("job")
         return MomentMessage(
             rank=int(payload["rank"]),
             snapshot=snapshot,
             sent_at=float(payload["sent_at"]),
             final=bool(payload["final"]),
             metrics=payload.get("metrics"),
-            statistics=statistics)
+            statistics=statistics,
+            job=None if job is None else str(job))
     except WireError:
         raise
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:

@@ -164,3 +164,90 @@ class TestRunCli:
                          "--workdir", str(tmp_path)]) == 0
         output = capsys.readouterr().out
         assert "total sample volume: 100" in output
+
+
+class TestSchedCli:
+    def _write_model(self, directory):
+        (directory / "batchmodel.py").write_text(
+            "def realization(rng):\n    return rng.random()\n")
+
+    def test_submit_then_sched_end_to_end(self, tmp_path, capsys):
+        from repro.cli.sched import sched_main, submit_main
+        self._write_model(tmp_path)
+        queue = tmp_path / "jobs.jsonl"
+        for seqnum in (0, 1):
+            assert submit_main(["batchmodel:realization",
+                                "--queue", str(queue),
+                                "--maxsv", "30", "--processors", "2",
+                                "--seqnum", str(seqnum),
+                                "--perpass", "0", "--peraver", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "queued job-0 (#0)" in out
+        assert "queued job-1 (#1)" in out
+        report_path = tmp_path / "sla.json"
+        assert sched_main(["--queue", str(queue),
+                           "--backend", "sequential",
+                           "--sla-report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 jobs, 0 failed, 0 rejected" in out
+        import json as _json
+        report = _json.loads(report_path.read_text())
+        assert len(report["jobs"]) == 2
+        assert {record["job"] for record in report["jobs"]} \
+            == {"job-0", "job-1"}
+        assert all(record["completed"] for record in report["jobs"])
+        # Each job got its own session directory next to the queue.
+        for name in ("job-0", "job-1"):
+            mean = DataDirectory(tmp_path / name).read_mean_matrix()
+            assert 0.2 < mean[0, 0] < 0.8
+
+    def test_sched_admission_bound_rejects_excess_jobs(self, tmp_path,
+                                                       capsys):
+        from repro.cli.sched import sched_main, submit_main
+        self._write_model(tmp_path)
+        queue = tmp_path / "jobs.jsonl"
+        for seqnum in (0, 1, 2):
+            submit_main(["batchmodel:realization", "--queue", str(queue),
+                         "--maxsv", "10", "--seqnum", str(seqnum)])
+        report_path = tmp_path / "sla.json"
+        assert sched_main(["--queue", str(queue),
+                           "--backend", "sequential", "--max-jobs", "2",
+                           "--sla-report", str(report_path)]) == 0
+        captured = capsys.readouterr()
+        assert "rejected job-2" in captured.err
+        import json as _json
+        report = _json.loads(report_path.read_text())
+        assert report["rejected_jobs"] == ["job-2"]
+        assert report["rejected"] == 1
+
+    def test_sched_missing_queue_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli.sched import sched_main
+        assert sched_main(["--queue", str(tmp_path / "nope.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_sched_malformed_queue_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli.sched import sched_main
+        queue = tmp_path / "jobs.jsonl"
+        queue.write_text("{not json\n")
+        assert sched_main(["--queue", str(queue)]) == 2
+        assert "malformed" in capsys.readouterr().err
+
+    def test_sched_contains_failures_per_job(self, tmp_path, capsys):
+        # One crashing job must not take down its healthy neighbour:
+        # the multiprocess worker death fails only its own job, the
+        # batch finishes with exit code 1 and a FAILED line.
+        from repro.cli.sched import sched_main, submit_main
+        self._write_model(tmp_path)
+        (tmp_path / "crashmodel.py").write_text(
+            "def realization(rng):\n    raise ValueError('boom')\n")
+        queue = tmp_path / "jobs.jsonl"
+        submit_main(["crashmodel:realization", "--queue", str(queue),
+                     "--maxsv", "5", "--name", "bad"])
+        submit_main(["batchmodel:realization", "--queue", str(queue),
+                     "--maxsv", "10", "--seqnum", "1", "--name", "good"])
+        assert sched_main(["--queue", str(queue),
+                           "--backend", "multiprocess",
+                           "--start-method", "fork"]) == 1
+        out = capsys.readouterr().out
+        assert "bad: FAILED" in out
+        assert "good: L=10" in out

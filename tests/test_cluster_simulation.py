@@ -141,3 +141,54 @@ class TestSpecValidation:
         processors = ClusterSpec().processors_for(3)
         assert [p.rank for p in processors] == [0, 1, 2]
         assert all(p.speed_factor == 1.0 for p in processors)
+
+
+class TestPerJobBreakdown:
+    def test_labelled_ranks_are_accounted_per_job(self):
+        spec = ClusterSpec(duration_model=DurationModel(mean=1.0))
+        config = RunConfig(maxsv=12, processors=4, perpass=0.0,
+                           peraver=3600.0)
+        collector = Collector(config, MomentSnapshot.zero(1, 1), None)
+        simulation = ClusterSimulation(
+            config, spec, collector,
+            job_labels=["ising", "ising", "sde", None])
+        result = simulation.run()
+        assert set(result.per_job) == {"ising", "sde"}
+        ising = result.per_job["ising"]
+        assert ising["ranks"] == (0, 1)
+        assert ising["volume"] == (config.worker_quota(0)
+                                   + config.worker_quota(1))
+        assert ising["delivered"] == ising["volume"]
+        assert ising["messages"] >= 2
+        sde = result.per_job["sde"]
+        assert sde["ranks"] == (2,)
+        assert sde["volume"] == config.worker_quota(2)
+        # Per-job volumes plus the unlabelled rank cover the whole run.
+        labelled = ising["volume"] + sde["volume"]
+        assert labelled + config.worker_quota(3) == result.total_volume
+
+    def test_unlabelled_simulation_reports_empty_breakdown(self):
+        result, _ = simulate(10, 2, tau=1.0)
+        assert result.per_job == {}
+
+    def test_job_labels_length_must_match_processors(self):
+        spec = ClusterSpec(duration_model=DurationModel(mean=1.0))
+        config = RunConfig(maxsv=10, processors=3, perpass=0.0,
+                           peraver=3600.0)
+        collector = Collector(config, MomentSnapshot.zero(1, 1), None)
+        with pytest.raises(ConfigurationError):
+            ClusterSimulation(config, spec, collector,
+                              job_labels=["a", "b"])
+
+    def test_added_worker_charged_to_its_job(self):
+        spec = ClusterSpec(duration_model=DurationModel(mean=1.0))
+        config = RunConfig(maxsv=8, processors=2, perpass=0.0,
+                           peraver=3600.0)
+        collector = Collector(config, MomentSnapshot.zero(1, 1), None)
+        simulation = ClusterSimulation(config, spec, collector,
+                                       job_labels=["a", "a"])
+        collector.expect_rank(2)
+        simulation.add_worker(2, 4, job="b")
+        result = simulation.run()
+        assert result.per_job["b"]["ranks"] == (2,)
+        assert result.per_job["b"]["volume"] == 4

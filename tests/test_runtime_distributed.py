@@ -194,6 +194,74 @@ class TestDistributedRuns:
         assert time.monotonic() - started < 30
 
 
+class TestPoolReuse:
+    """The pool daemon is elastic capacity, not a one-shot server.
+
+    Regression coverage for the historical limitation where a
+    ``parmonc-pool`` process served exactly one session and then had to
+    be restarted: the same server must now serve back-to-back runs and
+    host several concurrent jobs of one scheduler session.
+    """
+
+    def test_back_to_back_sessions_without_restart(self, tmp_path):
+        server = PoolServer(port=0, workers=2, start_method="fork")
+        host, port = server.start()
+        try:
+            first = parmonc(square, maxsv=20, perpass=0.0, peraver=0.0,
+                            processors=2, backend="distributed",
+                            connect=f"{host}:{port}",
+                            workdir=tmp_path / "one")
+            second = parmonc(square, maxsv=20, seqnum=1, perpass=0.0,
+                             peraver=0.0, processors=2,
+                             backend="distributed",
+                             connect=f"{host}:{port}",
+                             workdir=tmp_path / "two")
+        finally:
+            server.stop()
+        assert server.sessions_served == 2
+        assert first.total_volume == second.total_volume == 20
+        # Different seqnums: genuinely independent experiments.
+        assert (first.estimates.mean[0, 0]
+                != second.estimates.mean[0, 0])
+
+    def test_scheduler_multiplexes_jobs_over_one_session(self, tmp_path):
+        from repro.runtime.engine import create_backend
+        from repro.runtime.job import JobSpec
+        from repro.runtime.scheduler import Scheduler
+        from repro.runtime.sequential import run_sequential
+
+        server = PoolServer(port=0, workers=4, start_method="fork")
+        host, port = server.start()
+        try:
+            scheduler = Scheduler(
+                create_backend("distributed", connect=f"{host}:{port}"),
+                workers=4)
+            jobs = [
+                scheduler.submit(JobSpec(
+                    routine=square,
+                    config=RunConfig(maxsv=30, processors=2, perpass=0.0,
+                                     peraver=0.0, seqnum=i,
+                                     workdir=tmp_path / f"job{i}"),
+                    name=f"job{i}", priority=float(i + 1)))
+                for i in range(2)]
+            scheduler.run()
+        finally:
+            server.stop()
+        # Both experiments travelled through one pool session ...
+        assert server.sessions_served == 1
+        # ... and each matches its solo sequential reference bit for bit.
+        for i, job in enumerate(jobs):
+            reference = run_sequential(
+                square, RunConfig(maxsv=30, processors=2, perpass=0.0,
+                                  peraver=0.0, seqnum=i,
+                                  workdir=tmp_path / f"ref{i}"),
+                use_files=False)
+            assert (job.result.estimates.mean.tobytes()
+                    == reference.estimates.mean.tobytes())
+            assert (job.result.estimates.abs_error.tobytes()
+                    == reference.estimates.abs_error.tobytes())
+
+
 class TestCli:
     def test_list_backends(self, capsys):
         from repro.cli.run import main

@@ -1,0 +1,416 @@
+"""Tests for the Job/Scheduler split: multi-tenant runs, one pool.
+
+Invariants under test:
+
+* fair share — long-run dispatch rates proportional to priorities;
+* quotas — per-job ``max_workers`` and the global ``workers`` cap are
+  never exceeded;
+* admission — ``max_jobs`` back-pressure raises ``AdmissionError``;
+* identity — N jobs multiplexed over one shared pool produce exactly
+  the estimates and save-point artifacts of N single-job runs;
+* the scheduler's measured SLOs match their own Monte Carlo
+  prediction (the G/G/c/K model in ``repro.apps.queueing``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import parmonc
+from repro.apps.queueing import (
+    GGcKQueue,
+    make_ggck_realization,
+    simulate_ggck,
+)
+from repro.exceptions import AdmissionError, ConfigurationError
+from repro.rng.lcg128 import Lcg128
+from repro.runtime.config import RunConfig
+from repro.runtime.engine import create_backend
+from repro.runtime.job import JobSpec, JobStatus
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.sequential import SequentialBackend, run_sequential
+
+
+def square(rng):
+    return rng.random() ** 2
+
+
+def nap(rng):
+    """A realization with a real wall-clock footprint (~0.3 s)."""
+    time.sleep(0.3)
+    return rng.random()
+
+
+def spec(routine=square, *, seqnum=0, maxsv=12, processors=12,
+         workdir=None, name=None, priority=1.0, max_workers=None,
+         use_files=False, deadline=None):
+    extra = {} if workdir is None else {"workdir": workdir}
+    config = RunConfig(maxsv=maxsv, processors=processors,
+                       perpass=0.0, peraver=0.0, seqnum=seqnum, **extra)
+    return JobSpec(routine=routine, config=config, name=name,
+                   priority=priority, max_workers=max_workers,
+                   deadline=deadline, use_files=use_files)
+
+
+class RecordingBackend(SequentialBackend):
+    """Sequential backend that records every spawn batch it receives."""
+
+    def __init__(self):
+        super().__init__()
+        self.spawned = []           # (job, rank) in dispatch order
+        self.concurrency = []       # in-flight total at each spawn
+
+    def spawn(self, assignments):
+        busy = sum(len(job.in_flight) for job in self.engine.jobs)
+        for assignment in assignments:
+            self.spawned.append((assignment.job, assignment.rank))
+            self.concurrency.append(busy + 1)
+            busy += 1
+        return super().spawn(assignments)
+
+
+class TestFairShare:
+    def test_dispatch_ratio_matches_priorities(self):
+        # One slot, two starved jobs with priorities 3:1.  The deficit
+        # auction must hand the slot to the priority-3 job three times
+        # as often: the first 12 dispatches are exactly 9 + 3.
+        backend = RecordingBackend()
+        scheduler = Scheduler(backend, workers=1)
+        high = scheduler.submit(spec(seqnum=0, name="high", priority=3.0))
+        low = scheduler.submit(spec(seqnum=1, name="low", priority=1.0))
+        scheduler.run()
+        first = [job for job, _ in backend.spawned[:12]]
+        assert first.count("high") == 9
+        assert first.count("low") == 3
+        assert high.status is JobStatus.DONE
+        assert low.status is JobStatus.DONE
+        # Starvation never happens: both jobs drain completely.
+        assert high.dispatched == low.dispatched == 12
+
+    def test_equal_priorities_alternate_fairly(self):
+        backend = RecordingBackend()
+        scheduler = Scheduler(backend, workers=1)
+        scheduler.submit(spec(seqnum=0, name="a"))
+        scheduler.submit(spec(seqnum=1, name="b"))
+        scheduler.run()
+        first = [job for job, _ in backend.spawned[:8]]
+        assert first.count("a") == 4
+        assert first.count("b") == 4
+
+    def test_estimates_unaffected_by_contention(self, tmp_path):
+        # Interleaving under a 1-slot pool must not change the numbers:
+        # each job's estimate equals its solo sequential run.
+        backend = RecordingBackend()
+        scheduler = Scheduler(backend, workers=1)
+        jobs = [scheduler.submit(spec(seqnum=i, name=f"j{i}",
+                                      priority=float(i + 1)))
+                for i in range(3)]
+        scheduler.run()
+        for i, job in enumerate(jobs):
+            reference = run_sequential(
+                square, RunConfig(maxsv=12, processors=12, perpass=0.0,
+                                  peraver=0.0, seqnum=i,
+                                  workdir=tmp_path / f"ref{i}"),
+                use_files=False)
+            assert (job.result.estimates.mean.tobytes()
+                    == reference.estimates.mean.tobytes())
+            assert (job.result.estimates.abs_error.tobytes()
+                    == reference.estimates.abs_error.tobytes())
+
+
+class TestQuotas:
+    def test_global_worker_cap_never_exceeded(self):
+        backend = RecordingBackend()
+        scheduler = Scheduler(backend, workers=2)
+        scheduler.submit(spec(seqnum=0, name="a"))
+        scheduler.submit(spec(seqnum=1, name="b"))
+        scheduler.run()
+        assert backend.concurrency
+        assert max(backend.concurrency) <= 2
+
+    def test_max_workers_caps_one_job(self):
+        # Unbounded pool: the capped job tops out at its quota while
+        # its uncapped sibling fans out to every processor at once.
+        backend = RecordingBackend()
+        scheduler = Scheduler(backend)
+        capped = scheduler.submit(
+            spec(seqnum=0, name="capped", processors=6, maxsv=6,
+                 max_workers=2))
+        free = scheduler.submit(
+            spec(seqnum=1, name="free", processors=6, maxsv=6))
+        scheduler.run()
+        assert capped.peak_workers == 2
+        assert free.peak_workers == 6
+        assert capped.status is JobStatus.DONE
+        assert capped.result.total_volume == 6
+
+    def test_max_workers_respected_under_global_cap(self):
+        backend = RecordingBackend()
+        scheduler = Scheduler(backend, workers=4)
+        capped = scheduler.submit(
+            spec(seqnum=0, name="capped", processors=8, maxsv=8,
+                 max_workers=1))
+        scheduler.submit(spec(seqnum=1, name="free", processors=8,
+                              maxsv=8))
+        scheduler.run()
+        assert capped.peak_workers == 1
+        assert max(backend.concurrency) <= 4
+
+
+class TestAdmission:
+    def test_admission_error_at_capacity(self):
+        scheduler = Scheduler(SequentialBackend(), max_jobs=2)
+        scheduler.submit(spec(seqnum=0, name="a"))
+        scheduler.submit(spec(seqnum=1, name="b"))
+        with pytest.raises(AdmissionError):
+            scheduler.submit(spec(seqnum=2, name="c"))
+        with pytest.raises(AdmissionError):
+            scheduler.submit(spec(seqnum=3, name="d"))
+        assert scheduler.rejected == 2
+        scheduler.run()
+        report = scheduler.sla_report()
+        assert report["submitted"] == 2
+        assert report["rejected"] == 2
+
+    def test_duplicate_job_names_rejected(self):
+        scheduler = Scheduler(SequentialBackend())
+        scheduler.submit(spec(seqnum=0, name="twin"))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            scheduler.submit(spec(seqnum=1, name="twin"))
+
+    def test_single_job_backends_rejected(self):
+        scheduler = Scheduler(create_backend("simcluster"))
+        with pytest.raises(ConfigurationError, match="multiplex"):
+            scheduler.submit(spec(seqnum=0, name="a"))
+
+    def test_colliding_workdirs_rejected(self, tmp_path):
+        scheduler = Scheduler(SequentialBackend())
+        scheduler.submit(spec(seqnum=0, name="a", workdir=tmp_path,
+                              use_files=True))
+        with pytest.raises(ConfigurationError, match="workdir"):
+            scheduler.submit(spec(seqnum=1, name="b", workdir=tmp_path,
+                                  use_files=True))
+
+    def test_submit_after_run_rejected(self):
+        scheduler = Scheduler(SequentialBackend())
+        scheduler.submit(spec(seqnum=0, name="a"))
+        scheduler.run()
+        with pytest.raises(ConfigurationError, match="before"):
+            scheduler.submit(spec(seqnum=1, name="b"))
+        with pytest.raises(ConfigurationError, match="once"):
+            scheduler.run()
+
+    def test_invalid_knobs(self):
+        with pytest.raises(ConfigurationError):
+            Scheduler(SequentialBackend(), workers=0)
+        with pytest.raises(ConfigurationError):
+            Scheduler(SequentialBackend(), max_jobs=0)
+        with pytest.raises(ConfigurationError):
+            Scheduler(SequentialBackend()).run()
+
+
+class TestSlaTracking:
+    def test_report_shape_and_deadline_miss(self):
+        scheduler = Scheduler(SequentialBackend(), workers=1)
+        # nap() sleeps 0.3 s per realization; a 1 ms deadline on a job
+        # with two realizations is guaranteed missed, a generous one
+        # is guaranteed met.
+        missed = scheduler.submit(
+            spec(nap, seqnum=0, name="tight", maxsv=2, processors=1,
+                 deadline=0.001))
+        met = scheduler.submit(
+            spec(square, seqnum=1, name="loose", maxsv=2, processors=1,
+                 deadline=3600.0))
+        scheduler.run()
+        report = scheduler.sla_report()
+        assert report["deadline_misses"] == 1
+        by_id = {record["job"]: record for record in report["jobs"]}
+        assert by_id["tight"]["deadline_missed"]
+        assert not by_id["loose"]["deadline_missed"]
+        assert by_id["tight"]["wait_seconds"] >= 0.0
+        assert (by_id["tight"]["makespan_seconds"]
+                >= by_id["tight"]["wait_seconds"])
+        # The result's snapshot is taken during finalization (status
+        # "complete"); the report re-snapshots afterwards ("done").
+        for result_sla, reported in ((missed.result.sla, by_id["tight"]),
+                                     (met.result.sla, by_id["loose"])):
+            assert {k: v for k, v in result_sla.items() if k != "status"} \
+                == {k: v for k, v in reported.items() if k != "status"}
+
+
+def _normalized_artifacts(workdir):
+    """Read a job's result artifacts with wall-clock fields removed.
+
+    Estimates and save-points depend only on the RNG hierarchy, never on
+    scheduling — but a handful of fields record wall time (how long the
+    run took), which legitimately differs between a contended shared
+    pool and a solo run.  Strip exactly those and require everything
+    else byte-identical.
+    """
+    root = workdir / "parmonc_data"
+    artifacts = {}
+    for name in ("results/func.dat", "results/func_ci.dat"):
+        artifacts[name] = (root / name).read_bytes()
+    log_lines = [line for line
+                 in (root / "results/func_log.dat").read_text().splitlines()
+                 if not line.startswith(("mean_time_per_realization_sec",
+                                         "written_at", "elapsed_sec"))]
+    artifacts["results/func_log.dat"] = "\n".join(log_lines)
+    savepoint = json.loads((root / "savepoint.json").read_text())
+    savepoint.pop("checksum", None)
+    savepoint.pop("written_at", None)
+    savepoint["payload"]["snapshot"].pop("compute_time", None)
+    artifacts["savepoint.json"] = savepoint
+    return artifacts
+
+
+class TestConcurrentIdentity:
+    def test_eight_jobs_match_single_runs_bit_for_bit(self, tmp_path):
+        # The acceptance scenario: 8 experiments multiplexed over one
+        # 4-slot multiprocess pool vs. the same 8 configs run one at a
+        # time on the reference sequential path.  Estimates and result
+        # artifacts must agree byte for byte (wall-clock fields aside).
+        jobs = [{"realization": square, "name": f"exp{i}",
+                 "maxsv": 40, "processors": 3, "seqnum": i,
+                 "perpass": 0.0, "peraver": 0.0,
+                 "workdir": tmp_path / "shared" / f"exp{i}",
+                 "priority": float(1 + i % 3)}
+                for i in range(8)]
+        results = parmonc(jobs=jobs, backend="multiprocess", workers=4,
+                          start_method="fork")
+        assert len(results) == 8
+        for i, shared in enumerate(results):
+            solo = parmonc(square, maxsv=40, seqnum=i, perpass=0.0,
+                           peraver=0.0, processors=3,
+                           backend="sequential",
+                           workdir=tmp_path / "solo" / f"exp{i}")
+            assert shared.total_volume == solo.total_volume == 40
+            assert (shared.estimates.mean.tobytes()
+                    == solo.estimates.mean.tobytes())
+            assert (shared.estimates.variance.tobytes()
+                    == solo.estimates.variance.tobytes())
+            assert (shared.estimates.abs_error.tobytes()
+                    == solo.estimates.abs_error.tobytes())
+            assert (_normalized_artifacts(tmp_path / "shared" / f"exp{i}")
+                    == _normalized_artifacts(tmp_path / "solo" / f"exp{i}"))
+            assert shared.sla["job"] == f"exp{i}"
+            assert shared.sla["completed"]
+
+    def test_batch_api_validation(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            parmonc(square, maxsv=10, jobs=[{"realization": square,
+                                             "maxsv": 10}])
+        with pytest.raises(ConfigurationError):
+            parmonc(square, maxsv=10, workers=4)
+        with pytest.raises(ConfigurationError, match="unknown"):
+            parmonc(jobs=[{"realization": square, "maxsv": 10,
+                           "wibble": 3}], backend="sequential")
+        with pytest.raises(ConfigurationError):
+            parmonc(jobs=[{"maxsv": 10}], backend="sequential")
+        with pytest.raises(ConfigurationError):
+            parmonc(jobs=[], backend="sequential")
+
+
+class TestSchedulerSlosMatchMonteCarlo:
+    """The SLA-validator pattern: the scheduler *is* a G/G/c/K queue.
+
+    Job submissions are a batch arrival stream, the shared worker slots
+    are the ``c`` servers, ``max_jobs`` is the capacity bound ``K``,
+    submit-to-start wait is the latency SLO and admission rejection is
+    blocking.  ``repro.apps.queueing`` simulates that queue with the
+    library's own Monte Carlo machinery — so the scheduler's measured
+    SLOs can be validated against their MC prediction.
+    """
+
+    def test_admission_rejections_match_predicted_blocking(self, tmp_path):
+        # Batch of 6 submissions into a K=4 queue: the G/G/c/K model
+        # with instantaneous arrivals predicts the blocked fraction
+        # deterministically, and the scheduler must reject exactly
+        # that share of the batch.
+        queue = GGcKQueue(servers=2, capacity=4, customers=6,
+                          interarrival=lambda rng: 0.0,
+                          service=lambda rng: 1.0)
+        prediction = parmonc(make_ggck_realization(queue), ncol=3,
+                             maxsv=16, processors=2, perpass=0.0,
+                             peraver=0.0, backend="sequential",
+                             workdir=tmp_path, use_files=False)
+        blocked_fraction = prediction.estimates.mean[0, 1]
+        assert blocked_fraction == pytest.approx(2.0 / 6.0)
+
+        scheduler = Scheduler(SequentialBackend(), workers=2, max_jobs=4)
+        rejected = 0
+        for i in range(6):
+            try:
+                scheduler.submit(spec(seqnum=i, name=f"j{i}", maxsv=4,
+                                      processors=1))
+            except AdmissionError:
+                rejected += 1
+        scheduler.run()
+        assert rejected == round(blocked_fraction * 6)
+        assert scheduler.sla_report()["rejected"] == rejected
+
+    def test_measured_waits_match_predicted_waits(self, tmp_path):
+        # 6 jobs of ~0.6 s each over c=2 real worker processes.  The
+        # deterministic G/G/c/K prediction for the mean submit-to-start
+        # wait is (0+0+s+s+2s+2s)/6 = 0.6 s; the measured scheduler
+        # waits must land within 50% (process startup and poll
+        # granularity are the slack).
+        service = 0.6
+        queue = GGcKQueue(servers=2, capacity=6, customers=6,
+                          interarrival=lambda rng: 0.0,
+                          service=lambda rng, s=service: s)
+        prediction = parmonc(make_ggck_realization(queue), ncol=3,
+                             maxsv=8, processors=1, perpass=0.0,
+                             peraver=0.0, backend="sequential",
+                             workdir=tmp_path, use_files=False)
+        predicted_wait = prediction.estimates.mean[0, 0]
+        assert predicted_wait == pytest.approx(service)
+
+        jobs = [{"realization": nap, "name": f"j{i}", "maxsv": 2,
+                 "processors": 1, "seqnum": i, "perpass": 0.0,
+                 "peraver": 0.0, "use_files": False}
+                for i in range(6)]
+        results = parmonc(jobs=jobs, backend="multiprocess", workers=2,
+                          start_method="fork")
+        waits = [result.sla["wait_seconds"] for result in results]
+        measured = sum(waits) / len(waits)
+        assert abs(measured - predicted_wait) <= 0.5 * predicted_wait
+
+    def test_ggck_batch_case_is_exact(self):
+        # The hand-computable case the analogy rests on: 8 batch
+        # arrivals, 2 servers, capacity 4, unit service.
+        queue = GGcKQueue(servers=2, capacity=4, customers=8,
+                          interarrival=lambda rng: 0.0,
+                          service=lambda rng: 1.0)
+        wait, blocked, sojourn = simulate_ggck(queue, Lcg128(7))
+        assert wait == pytest.approx(0.5)
+        assert blocked == pytest.approx(0.5)
+        assert sojourn == pytest.approx(1.5)
+
+    def test_ggck_validation(self):
+        with pytest.raises(ConfigurationError):
+            GGcKQueue(servers=0)
+        with pytest.raises(ConfigurationError):
+            GGcKQueue(servers=4, capacity=2)
+        with pytest.raises(ConfigurationError):
+            GGcKQueue(customers=0)
+
+    def test_ggck_reduces_to_mm1_lindley(self):
+        # c=1 with effectively unbounded capacity must reproduce the
+        # M/M/1 Lindley recursion's regime: near the known steady
+        # state for a long, moderately loaded day.
+        queue = GGcKQueue(servers=1, capacity=10_000, customers=20_000,
+                          interarrival=lambda rng: _expo(rng, 0.6),
+                          service=lambda rng: _expo(rng, 1.0))
+        wait, blocked, _ = simulate_ggck(queue, Lcg128(99))
+        assert blocked == 0.0
+        # W_q = rho / (mu - lambda) = 0.6 / 0.4 = 1.5
+        assert wait == pytest.approx(1.5, rel=0.15)
+
+
+def _expo(rng, rate):
+    from repro.rng.distributions import exponential
+    return exponential(rng, rate)
