@@ -1,0 +1,172 @@
+"""The streaming scheduler service under load (PR 10's two claims).
+
+Two experiments:
+
+* **Million-submission load study** — ~10^6 synthetic submissions
+  replayed against the *live* admission loop on a virtual clock
+  (:mod:`repro.apps.loadstudy`), validated two ways: the rejection
+  count must equal the G/G/c/K reference simulation *exactly* (shared
+  generator, same event order), and both the mean wait and the
+  blocking fraction must land within 50% of an independent Monte Carlo
+  prediction computed with the library's own machinery on the
+  ``simcluster`` backend.
+* **Staggered arrivals vs. sealed batch** — jobs that trickle in over
+  a submission window.  The streaming service starts each job the
+  moment it arrives; the sealed batch must wait for the window to
+  close before its first dispatch.  The makespan ratio is the payoff
+  of the event-driven refactor, and per-job estimates must stay
+  bit-identical between the two schedules.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.apps.loadstudy import run_load_study
+from repro.apps.queueing import GGcKQueue, make_ggck_realization, \
+    simulate_ggck
+from repro.core.parmonc import parmonc
+from repro.rng.distributions import exponential
+from repro.rng.lcg128 import Lcg128
+from repro.runtime.config import RunConfig
+from repro.runtime.engine import create_backend
+from repro.runtime.job import JobSpec, JobStatus
+from repro.runtime.scheduler import Scheduler
+
+SMOKE = bool(os.environ.get("PARMONC_BENCH_SMOKE"))
+
+#: Arrivals pushed at the live admission loop.
+SUBMISSIONS = 50_000 if SMOKE else 1_000_000
+#: Monte Carlo realizations (simulated G/G/c/K days) for the
+#: independent prediction.
+PREDICTION_DAYS = 16 if SMOKE else 64
+
+#: Staggered-arrival experiment shape.
+STAGGER_JOBS = 6
+STAGGER_GAP = 0.1 if SMOKE else 0.25
+TAU = 0.005 if SMOKE else 0.01
+MAXSV = 24
+WORKERS = 4
+
+
+def busy(rng):
+    time.sleep(TAU)
+    return rng.random()
+
+
+def test_million_submission_load_study(reporter):
+    queue = GGcKQueue(servers=4, capacity=8, customers=SUBMISSIONS,
+                      interarrival=lambda rng: exponential(rng, 3.5),
+                      service=lambda rng: exponential(rng, 1.0))
+
+    began = time.perf_counter()
+    study = run_load_study(queue, Lcg128(43))
+    study_seconds = time.perf_counter() - began
+
+    reference_wait, reference_blocked, _ = simulate_ggck(queue,
+                                                         Lcg128(43))
+
+    # Independent MC prediction: 2000-customer days, library machinery,
+    # simcluster backend, different seed.
+    prediction_queue = GGcKQueue(
+        servers=queue.servers, capacity=queue.capacity, customers=2_000,
+        interarrival=queue.interarrival, service=queue.service)
+    prediction = parmonc(make_ggck_realization(prediction_queue),
+                         ncol=3, maxsv=PREDICTION_DAYS, processors=4,
+                         perpass=0.0, peraver=0.0, backend="simcluster",
+                         use_files=False)
+    predicted_wait = prediction.estimates.mean[0, 0]
+    predicted_block = prediction.estimates.mean[0, 1]
+
+    reporter.line("million-submission load study (G/G/c/K, c=4, K=8)")
+    reporter.line(f"  submissions            {study.submitted:>10d}")
+    reporter.line(f"  admitted               {study.admitted:>10d}")
+    reporter.line(f"  rejected               {study.rejected:>10d}")
+    reporter.line(f"  reference blocked      "
+                  f"{round(reference_blocked * queue.customers):>10d}")
+    reporter.line(f"  mean wait (measured)   {study.mean_wait:>10.6f}")
+    reporter.line(f"  mean wait (reference)  {reference_wait:>10.6f}")
+    reporter.line(f"  mean wait (MC)         {predicted_wait:>10.6f}")
+    reporter.line(f"  blocking (MC)          {predicted_block:>10.6f}")
+    reporter.line(f"  throughput             "
+                  f"{study.submitted / study_seconds:>10.0f} arrivals/s")
+    reporter.metric("submissions", study.submitted)
+    reporter.metric("rejected", study.rejected)
+    reporter.metric("mean_wait", study.mean_wait)
+    reporter.metric("reference_wait", reference_wait)
+    reporter.metric("predicted_wait", float(predicted_wait))
+    reporter.metric("predicted_block", float(predicted_block))
+    reporter.metric("arrivals_per_second",
+                    study.submitted / study_seconds)
+
+    # Exact leg: shared generator, same event order — no tolerance.
+    assert study.rejected == round(reference_blocked * queue.customers)
+    assert study.mean_wait == reference_wait
+    # Statistical leg: the ISSUE's 50% envelope around the MC forecast.
+    assert abs(study.mean_wait - predicted_wait) <= 0.5 * predicted_wait
+    assert (abs(study.rejected / study.submitted - predicted_block)
+            <= 0.5 * predicted_block)
+
+
+def _stagger_specs():
+    specs = []
+    for index in range(STAGGER_JOBS):
+        config = RunConfig(maxsv=MAXSV, processors=2, perpass=0.0,
+                           peraver=0.0, seqnum=index)
+        specs.append(JobSpec(routine=busy, config=config,
+                             name=f"job{index}", use_files=False))
+    return specs
+
+
+def test_staggered_arrivals_beat_sealed_batch(reporter):
+    # Streaming: each job starts the moment it arrives.
+    backend = create_backend("multiprocess", start_method="fork")
+    scheduler = Scheduler(backend, workers=WORKERS)
+    scheduler.start()
+    began = time.perf_counter()
+    streamed = []
+    for spec in _stagger_specs():
+        if streamed:
+            time.sleep(STAGGER_GAP)
+        streamed.append(scheduler.submit(spec))
+    scheduler.shutdown(timeout=300.0)
+    streaming_seconds = time.perf_counter() - began
+    assert all(job.status is JobStatus.DONE for job in streamed)
+
+    # Sealed batch: the same arrival schedule, but dispatch can only
+    # begin once the submission window closes.
+    began = time.perf_counter()
+    time.sleep(STAGGER_GAP * (STAGGER_JOBS - 1))
+    sealed = parmonc(jobs=[{"realization": busy, "name": f"job{i}",
+                            "maxsv": MAXSV, "processors": 2,
+                            "seqnum": i, "perpass": 0.0, "peraver": 0.0,
+                            "use_files": False}
+                           for i in range(STAGGER_JOBS)],
+                     backend="multiprocess", workers=WORKERS,
+                     start_method="fork")
+    sealed_seconds = time.perf_counter() - began
+
+    ratio = sealed_seconds / streaming_seconds
+    reporter.line("staggered arrivals: streaming service vs sealed batch")
+    reporter.line(f"  jobs                 {STAGGER_JOBS}")
+    reporter.line(f"  arrival gap          {STAGGER_GAP:.2f} s")
+    reporter.line(f"  streaming makespan   {streaming_seconds:8.3f} s")
+    reporter.line(f"  sealed makespan      {sealed_seconds:8.3f} s")
+    reporter.line(f"  speedup              {ratio:8.2f}x")
+    reporter.metric("streaming_seconds", streaming_seconds)
+    reporter.metric("sealed_seconds", sealed_seconds)
+    reporter.metric("speedup", ratio)
+
+    # Scheduling must never change the numbers: the streamed jobs'
+    # estimates are bit-identical to the sealed batch's.
+    for job, result in zip(streamed, sealed):
+        assert job.result.total_volume == result.total_volume == MAXSV
+        assert (job.result.estimates.mean.tobytes()
+                == result.estimates.mean.tobytes())
+        assert (job.result.estimates.abs_error.tobytes()
+                == result.estimates.abs_error.tobytes())
+
+    # The event-driven service must not be slower than sealing the
+    # batch; full-size it overlaps most of the submission window.
+    assert ratio >= (1.0 if SMOKE else 1.1)

@@ -19,26 +19,79 @@ and ``sched`` imports the routines, submits every job and blocks until
 the batch drains.  The SLA report is the scheduler's
 :meth:`~repro.runtime.scheduler.Scheduler.sla_report` as JSON — per-job
 submit-to-start wait, makespan, deadline misses and dispatch counts.
+
+**Streaming service.**  ``parmonc-sched --serve`` turns the spool into
+a live queue: the command keeps the scheduler's admission loop running,
+tails the queue file, and admits every appended entry mid-run.  The
+service mirrors job states into ``<queue>.status.json`` (written
+atomically), which is what ``parmonc-submit --wait`` polls::
+
+    $ parmonc-sched --serve --queue jobs.jsonl --workers 8 &
+    $ parmonc-submit mymodel:one_trajectory --queue jobs.jsonl \\
+          --maxsv 100000 --name diffusion --wait   # blocks until done
+    $ parmonc-submit --cancel diffusion --queue jobs.jsonl
+
+Besides job entries the queue accepts two directives:
+``{"cancel": "<job>"}`` withdraws a queued or running job, and
+``{"shutdown": true}`` drains the admitted jobs and stops the service
+(SIGTERM does the same).  Every entry is validated *before* it is
+appended — a bad field fails ``parmonc-submit`` with exit code 2 and
+never reaches the queue.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
+import threading
+import time
 from pathlib import Path
 
 from repro.cli.run import load_routine
 from repro.core.parmonc import build_job_spec
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.runtime.engine import available_backends, create_backend
 from repro.runtime.job import JobStatus
 from repro.runtime.scheduler import Scheduler
 
-__all__ = ["submit_main", "sched_main"]
+__all__ = ["submit_main", "sched_main", "status_path", "validate_entry"]
 
 #: Default queue file, relative to the working directory.
 DEFAULT_QUEUE = "parmonc_jobs.jsonl"
+
+#: Seconds between ``--wait`` polls of the service status file.
+_WAIT_POLL_SECONDS = 0.2
+
+
+def status_path(queue: Path) -> Path:
+    """The live service's status file for a queue."""
+    return queue.with_name(queue.name + ".status.json")
+
+
+def _placeholder_routine(rng):  # pragma: no cover - never executed
+    """Stand-in callable for validating entries at submit time."""
+    return 0.0
+
+
+def validate_entry(entry: dict, position: int = 0) -> None:
+    """Check that a queue entry builds a valid :class:`JobSpec`.
+
+    The routine travels as its ``module:function`` name and is only
+    imported by the scheduler, so validation substitutes a placeholder
+    callable and lets :func:`~repro.core.parmonc.build_job_spec` (and
+    the :class:`~repro.runtime.config.RunConfig` it constructs) check
+    every other field.
+
+    Raises:
+        ConfigurationError: Naming the offending field, exactly as the
+            scheduler would have at admission time.
+    """
+    probe = dict(entry)
+    probe["routine"] = _placeholder_routine
+    build_job_spec(probe, position)
 
 
 # ---------------------------------------------------------------------------
@@ -51,7 +104,7 @@ def build_submit_parser() -> argparse.ArgumentParser:
         prog="parmonc-submit",
         description="Append one job to a parmonc batch queue file "
                     "(run the queue with parmonc-sched).")
-    parser.add_argument("routine",
+    parser.add_argument("routine", nargs="?", default=None,
                         help="realization routine as module:function "
                              "(imported by parmonc-sched at run time)")
     parser.add_argument("--queue", type=Path, default=Path(DEFAULT_QUEUE),
@@ -72,7 +125,7 @@ def build_submit_parser() -> argparse.ArgumentParser:
                              "hard cancellation)")
     parser.add_argument("--nrow", type=int, default=1)
     parser.add_argument("--ncol", type=int, default=1)
-    parser.add_argument("--maxsv", type=int, required=True,
+    parser.add_argument("--maxsv", type=int, default=None,
                         help="maximal total sample volume")
     parser.add_argument("--res", type=int, choices=(0, 1), default=0,
                         help="0 = new simulation, 1 = resume previous")
@@ -99,12 +152,77 @@ def build_submit_parser() -> argparse.ArgumentParser:
     parser.add_argument("--on-worker-death",
                         choices=("fail", "reassign"), default="fail")
     parser.add_argument("--death-grace", type=float, default=1.0)
+    parser.add_argument("--cancel", metavar="JOB", default=None,
+                        help="append a cancel directive for the named "
+                             "job instead of submitting one (needs a "
+                             "parmonc-sched --serve watching the queue)")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="append a shutdown directive: the serving "
+                             "parmonc-sched drains its jobs and exits")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job finishes, polling "
+                             "the --serve status file; exit 0 when "
+                             "done, 1 when failed/cancelled/rejected")
+    parser.add_argument("--wait-timeout", type=float, default=None,
+                        help="give up --wait after this many seconds "
+                             "(exit 1)")
     return parser
+
+
+def _append_line(queue: Path, entry: dict) -> None:
+    queue.parent.mkdir(parents=True, exist_ok=True)
+    with queue.open("a") as stream:
+        stream.write(json.dumps(entry) + "\n")
+
+
+def _wait_for(queue: Path, name: str, timeout: float | None) -> int:
+    """Poll the service status file until ``name`` finishes."""
+    path = status_path(queue)
+    deadline = (time.monotonic() + timeout
+                if timeout is not None else None)
+    while True:
+        try:
+            snapshot = json.loads(path.read_text())
+        except (OSError, ValueError):
+            snapshot = {}
+        record = (snapshot.get("jobs") or {}).get(name)
+        if record is not None:
+            state = record.get("status")
+            if state == JobStatus.DONE:
+                print(f"{name}: done")
+                return 0
+            if state in (JobStatus.FAILED, JobStatus.CANCELLED,
+                         "rejected"):
+                error = record.get("error")
+                print(f"{name}: {state}"
+                      + (f" — {error}" if error else ""),
+                      file=sys.stderr)
+                return 1
+        if deadline is not None and time.monotonic() >= deadline:
+            print(f"parmonc-submit: timed out waiting for {name} "
+                  f"(is parmonc-sched --serve running?)",
+                  file=sys.stderr)
+            return 1
+        time.sleep(_WAIT_POLL_SECONDS)
 
 
 def submit_main(argv: list[str] | None = None) -> int:
     """Entry point of ``parmonc-submit``; returns a process exit code."""
-    args = build_submit_parser().parse_args(argv)
+    parser = build_submit_parser()
+    args = parser.parse_args(argv)
+    if args.cancel is not None:
+        _append_line(args.queue, {"cancel": args.cancel})
+        print(f"cancel {args.cancel} queued in {args.queue}")
+        if args.wait:
+            return _wait_for(args.queue, args.cancel, args.wait_timeout)
+        return 0
+    if args.shutdown:
+        _append_line(args.queue, {"shutdown": True})
+        print(f"shutdown queued in {args.queue}")
+        return 0
+    if args.routine is None or args.maxsv is None:
+        parser.error("a routine and --maxsv are required "
+                     "(unless --cancel/--shutdown)")
     position = 0
     if args.queue.exists():
         position = sum(1 for line in
@@ -134,10 +252,17 @@ def submit_main(argv: list[str] | None = None) -> int:
         entry["statistics"] = args.statistics
     if args.workdir is not None:
         entry["workdir"] = str(args.workdir)
-    args.queue.parent.mkdir(parents=True, exist_ok=True)
-    with args.queue.open("a") as stream:
-        stream.write(json.dumps(entry) + "\n")
+    try:
+        # Catch bad fields here, with a field-level message, instead
+        # of poisoning the queue for the scheduler to trip over.
+        validate_entry(entry, position)
+    except ConfigurationError as exc:
+        print(f"parmonc-submit: error: {exc}", file=sys.stderr)
+        return 2
+    _append_line(args.queue, entry)
     print(f"queued {name} (#{position}) in {args.queue}")
+    if args.wait:
+        return _wait_for(args.queue, name, args.wait_timeout)
     return 0
 
 
@@ -154,6 +279,11 @@ def build_sched_parser() -> argparse.ArgumentParser:
     parser.add_argument("--queue", type=Path, default=Path(DEFAULT_QUEUE),
                         help=f"queue file written by parmonc-submit "
                              f"(default: {DEFAULT_QUEUE})")
+    parser.add_argument("--serve", action="store_true",
+                        help="run as a live service: keep the admission "
+                             "loop running, tail the queue file and "
+                             "admit appended jobs mid-run; stop via a "
+                             "shutdown directive or SIGTERM")
     parser.add_argument("--backend", choices=available_backends(),
                         default="multiprocess",
                         help="shared backend all jobs run on "
@@ -201,9 +331,161 @@ def _load_queue(path: Path) -> list[dict]:
     return entries
 
 
+def _write_status(path: Path, payload: dict,
+                  last: str | None) -> str | None:
+    """Atomically mirror the service state; skip unchanged rewrites."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if text == last:
+        return last
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    except OSError as exc:  # pragma: no cover - disk trouble
+        print(f"parmonc-sched: cannot write {path}: {exc}",
+              file=sys.stderr)
+        return last
+    return text
+
+
+def _serve_queue(args) -> int:
+    """The ``--serve`` path: a live scheduler tailing the queue file."""
+    queue: Path = args.queue
+    queue.parent.mkdir(parents=True, exist_ok=True)
+    queue.touch(exist_ok=True)
+    sys.path.insert(0, str(queue.parent.resolve()))
+    status_file = status_path(queue)
+    scheduler = Scheduler(
+        create_backend(args.backend, start_method=args.start_method,
+                       connect=args.connect),
+        workers=args.workers, max_jobs=args.max_jobs)
+    records: dict[str, dict] = {}
+    jobs: dict[str, object] = {}
+    state = {"offset": 0, "count": 0, "stop": False, "written": None}
+
+    def admit(entry: dict, position: int) -> None:
+        name = str(entry.get("name") or f"job-{position}")
+        spec = entry.pop("routine", None)
+        if not isinstance(spec, str):
+            records[name] = {"status": "rejected", "error":
+                             "entry misses its module:function routine"}
+            print(f"parmonc-sched: rejected {name}: no routine",
+                  file=sys.stderr)
+            return
+        try:
+            entry["routine"] = load_routine(spec)
+            entry.setdefault("name", name)
+            entry.setdefault("workdir", str(queue.parent / name))
+            job = scheduler.submit(build_job_spec(entry, position))
+        except ReproError as exc:
+            records[name] = {"status": "rejected", "error": str(exc)}
+            print(f"parmonc-sched: rejected {name}: {exc}",
+                  file=sys.stderr)
+            return
+        jobs[job.id] = job
+        print(f"parmonc-sched: admitted {job.id}", flush=True)
+
+    def process(line: str) -> None:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"parmonc-sched: skipping malformed entry: {exc}",
+                  file=sys.stderr)
+            return
+        if not isinstance(entry, dict):
+            print("parmonc-sched: skipping non-object entry",
+                  file=sys.stderr)
+            return
+        if entry.get("shutdown"):
+            state["stop"] = True
+            return
+        target = entry.get("cancel")
+        if target is not None:
+            try:
+                accepted = scheduler.cancel(str(target))
+            except ConfigurationError as exc:
+                print(f"parmonc-sched: cancel: {exc}", file=sys.stderr)
+                return
+            print(f"parmonc-sched: cancel {target}: "
+                  f"{'accepted' if accepted else 'already finished'}",
+                  flush=True)
+            return
+        position = state["count"]
+        state["count"] += 1
+        admit(entry, position)
+
+    def snapshot(serving: bool = True) -> dict:
+        for job in jobs.values():
+            record = records.setdefault(job.id, {})
+            status = job.status
+            if record.get("status") != status:
+                record["status"] = status
+                record["error"] = (str(job.error)
+                                   if job.error is not None else None)
+                if status in JobStatus.FINISHED:
+                    print(f"parmonc-sched: {job.id}: {status}"
+                          + (f" — {job.error}" if job.error else ""),
+                          flush=True)
+        return {"queue": str(queue), "serving": serving,
+                "jobs": records}
+
+    def watcher() -> bool:
+        try:
+            text = queue.read_text()
+        except OSError:
+            text = ""
+        chunk = text[state["offset"]:]
+        cut = chunk.rfind("\n")
+        if cut >= 0:
+            # Consume only complete lines; a submit racing this read
+            # keeps its partial line for the next tick.
+            state["offset"] += cut + 1
+            for line in chunk[:cut].splitlines():
+                if line.strip():
+                    process(line.strip())
+        state["written"] = _write_status(status_file, snapshot(),
+                                         state["written"])
+        return not state["stop"]
+
+    def request_stop(signum, frame):
+        state["stop"] = True
+
+    on_main = threading.current_thread() is threading.main_thread()
+    previous = {}
+    if on_main:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, request_stop)
+    print(f"parmonc-sched: serving {queue} on the {args.backend} "
+          f"backend (status file: {status_file})", flush=True)
+    try:
+        scheduler.serve(on_idle=watcher)
+    except ReproError as exc:
+        print(f"parmonc-sched: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        state["written"] = _write_status(status_file, snapshot(False),
+                                         state["written"])
+    report = scheduler.sla_report()
+    failed = sum(1 for job in jobs.values() if job.error is not None)
+    cancelled = sum(1 for job in jobs.values()
+                    if job.status is JobStatus.CANCELLED)
+    print(f"service: {len(jobs)} jobs admitted, {failed} failed, "
+          f"{cancelled} cancelled, {report['deadline_misses']} "
+          f"deadline misses")
+    if args.sla_report is not None:
+        args.sla_report.parent.mkdir(parents=True, exist_ok=True)
+        args.sla_report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"SLA report written to {args.sla_report}")
+    return 1 if failed else 0
+
+
 def sched_main(argv: list[str] | None = None) -> int:
     """Entry point of ``parmonc-sched``; returns a process exit code."""
     args = build_sched_parser().parse_args(argv)
+    if args.serve:
+        return _serve_queue(args)
     try:
         entries = _load_queue(args.queue)
     except (FileNotFoundError, ValueError) as exc:

@@ -117,6 +117,9 @@ class _PoolLink:
     capacity: int = 1
     label: str = ""
     active: set = field(default_factory=set)
+    #: Job ids this pool already has context for — seeded from the
+    #: HELLO snapshot, extended by SUBMIT frames (streaming mode).
+    announced: set = field(default_factory=set)
 
 
 def _sorted_keys(keys) -> list[tuple[str | None, int]]:
@@ -229,6 +232,12 @@ class DistributedBackend(EngineBackend):
                     for job in engine.jobs
                 },
             }
+            if getattr(engine, "streaming", False):
+                # Live admission: the handshake may carry no jobs at
+                # all; later admissions reach connected pools as
+                # SUBMIT frames and late-joining pools through the
+                # (mutated) HELLO snapshot.
+                self._hello["streaming"] = True
         self._last_pool_seen = time.monotonic()
         self._thread = threading.Thread(
             target=self._network_main, daemon=True,
@@ -319,6 +328,70 @@ class DistributedBackend(EngineBackend):
             self._thread = None
         self._flush_notices()
         self._done = True
+
+    def announce_job(self, job) -> None:
+        """Publish a newly admitted job's context to the pools.
+
+        Called by the scheduler (engine thread) right after admission.
+        The entry lands in the HELLO jobs map on the network thread —
+        every mutation of that map happens on the loop, so handshakes
+        always serialize a consistent snapshot — and the dispatcher
+        sends a SUBMIT frame to each already-connected pool before
+        that pool's first ASSIGN of this job.
+        """
+        entry = {
+            "config": config_to_payload(job.config),
+            "routine": routine_to_payload(job.routine),
+        }
+        loop = self._loop
+
+        def apply() -> None:
+            self._hello["jobs"][job.id] = entry
+            if self._dispatch_event is not None:
+                self._dispatch_event.set()
+
+        if loop is None:
+            apply()
+            return
+        try:
+            loop.call_soon_threadsafe(apply)
+        except RuntimeError:
+            apply()
+
+    def cancel_job(self, job: str | None) -> None:
+        """Tell every connected pool to drop the job's workers.
+
+        The run side's queued assignments for the job are purged on
+        the loop thread *before* the CANCEL frames go out, so no
+        ASSIGN of the cancelled job can be sent after its CANCEL on
+        any one link (TCP preserves the per-link order; the pool
+        drops stragglers anyway).
+        """
+        if job is None:
+            return
+        loop = self._loop
+
+        def purge_and_send() -> None:
+            # Rotate the deque in place: concurrent appends from the
+            # engine thread land at the tail and survive the sweep.
+            for _ in range(len(self._pending)):
+                assignment = self._pending.popleft()
+                if assignment.job != job:
+                    self._pending.append(assignment)
+            for link in self._links.values():
+                try:
+                    write_frame(link.writer, FrameKind.CANCEL,
+                                {"job": job})
+                except (ConnectionError, RuntimeError):
+                    continue
+
+        if loop is None:
+            purge_and_send()
+            return
+        try:
+            loop.call_soon_threadsafe(purge_and_send)
+        except RuntimeError:
+            pass
 
     # -- engine-thread helpers ---------------------------------------------
 
@@ -478,6 +551,9 @@ class DistributedBackend(EngineBackend):
             payload["time_limit"] = max(
                 self.deadline - time.monotonic(), 0.0)
         write_frame(link.writer, FrameKind.HELLO, payload)
+        # Snapshot before the first await: the jobs map is mutated
+        # only on this loop, so this matches what was just serialized.
+        link.announced = set(payload.get("jobs") or ())
         await link.writer.drain()
         kind, welcome = await asyncio.wait_for(
             read_frame(link.reader), timeout=self._heartbeat_timeout)
@@ -532,6 +608,27 @@ class DistributedBackend(EngineBackend):
                 if link is None:
                     break  # every slot busy; an EXIT will wake us
                 assignment = self._pending.popleft()
+                job = assignment.job
+                if job is not None and self._hello.get("streaming") \
+                        and job not in link.announced:
+                    # Streaming admission: ship the job's context
+                    # ahead of its first ASSIGN on this link.
+                    entry = self._hello["jobs"].get(job)
+                    if entry is None:
+                        # The announce callback has not landed yet;
+                        # requeue and retry shortly.
+                        self._pending.appendleft(assignment)
+                        self._loop.call_later(
+                            0.05, self._dispatch_event.set)
+                        break
+                    try:
+                        write_frame(link.writer, FrameKind.SUBMIT,
+                                    dict(entry, job=job))
+                        await link.writer.drain()
+                    except (ConnectionError, RuntimeError):
+                        self._pending.appendleft(assignment)
+                        break
+                    link.announced.add(job)
                 payload = {"rank": assignment.rank,
                            "quota": assignment.quota}
                 if assignment.job is not None:

@@ -64,6 +64,7 @@ __all__ = [
     "WorkerDeath",
     "available_backends",
     "create_backend",
+    "shared_job_backends",
     "register_backend",
     "register_lazy_backend",
 ]
@@ -422,6 +423,25 @@ def available_backends() -> tuple[str, ...]:
     """
     return tuple(name for name in _ORDER
                  if name in _FACTORIES or name in _LAZY)
+
+
+def shared_job_backends() -> tuple[str, ...]:
+    """Backend names whose class declares ``supports_shared_jobs``.
+
+    Used by the scheduler's submit-time rejection message so the caller
+    learns which backends *can* multiplex concurrent jobs.  Resolving
+    the answer for a lazy entry imports its module (the class attribute
+    cannot be read otherwise); the registration order is unaffected.
+    """
+    names = []
+    for name in available_backends():
+        try:
+            factory = _resolve_factory(name)
+        except ConfigurationError:
+            continue
+        if getattr(factory, "supports_shared_jobs", False):
+            names.append(name)
+    return tuple(names)
 
 
 def _resolve_factory(name: str) -> Callable[..., Backend]:

@@ -28,6 +28,7 @@ happened to me".
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -52,20 +53,30 @@ __all__ = ["Job", "JobSpec", "JobStatus"]
 class JobStatus:
     """The job lifecycle states (plain strings, stable for reporting).
 
-    ``PENDING -> RUNNING -> COMPLETE -> DONE`` on the happy path;
+    ``QUEUED -> RUNNING -> DRAINING -> DONE`` on the happy path;
     ``FAILED`` when the job's death policy raised and the scheduler
     contained the error (shared mode only — the classic single-job
-    path propagates instead).
+    path propagates instead); ``CANCELLED`` when the caller withdrew
+    the job through the streaming service.  Every transition records a
+    per-state SLA timestamp in :attr:`Job.state_times`.
     """
 
-    PENDING = "pending"
+    QUEUED = "queued"
     RUNNING = "running"
     #: Drain loop finished for this job; finalization still owed.
-    COMPLETE = "complete"
+    DRAINING = "draining"
     DONE = "done"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
-    TERMINAL = (COMPLETE, DONE, FAILED)
+    #: Pre-streaming aliases (PR 8 names), kept for compatibility.
+    PENDING = QUEUED
+    COMPLETE = DRAINING
+
+    #: States that have left the drain loop.
+    TERMINAL = (DRAINING, DONE, FAILED, CANCELLED)
+    #: States that need no further scheduler attention at all.
+    FINISHED = (DONE, FAILED, CANCELLED)
 
 
 @dataclass(frozen=True)
@@ -144,7 +155,14 @@ class Job:
         self.spec = spec
         self.id = job_id
         self.index = index
-        self.status = JobStatus.PENDING
+        #: Per-state SLA stamps (monotonic seconds at each transition).
+        self.state_times: dict[str, float] = {}
+        #: Set once the job reaches DONE/FAILED/CANCELLED.
+        self.finished = threading.Event()
+        #: Scheduler hook fired on entry into a FINISHED state.
+        self.on_terminal = None
+        self._status = None
+        self.status = JobStatus.QUEUED
         self.error: BaseException | None = None
         self.result: RunResult | None = None
         # -- scheduling state ------------------------------------------
@@ -175,6 +193,22 @@ class Job:
         self._recovery_budget = _RECOVERY_FACTOR * spec.config.processors
         self._stale_after: float | None = None
         self._flag_stale_enabled = False
+
+    # -- lifecycle state ------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """Current lifecycle state (a :class:`JobStatus` constant)."""
+        return self._status
+
+    @status.setter
+    def status(self, value: str) -> None:
+        self._status = value
+        self.state_times[value] = time.monotonic()
+        if value in JobStatus.FINISHED:
+            self.finished.set()
+            if self.on_terminal is not None:
+                self.on_terminal(self)
 
     # -- context the backends read (mirrors the engine surface) --------
 
@@ -385,8 +419,11 @@ class Job:
         self.in_flight.clear()
 
     def fail(self, error: BaseException) -> None:
-        """Contain a per-job failure (shared mode): drop its work."""
-        self.status = JobStatus.FAILED
+        """Contain a per-job failure (shared mode): drop its work.
+
+        ``error`` lands before the FAILED transition so a waiter woken
+        by :attr:`finished` always observes it.
+        """
         self.error = error
         self.finished_wall = time.monotonic()
         self.pending.clear()
@@ -394,6 +431,22 @@ class Job:
         if self.telemetry is not None:
             self.telemetry.events.append("job_failed", error=str(error))
             self.telemetry.events.flush()
+        self.status = JobStatus.FAILED
+
+    def cancel(self) -> None:
+        """Withdraw the job: drop its work and mark it CANCELLED.
+
+        The scheduler tears down any backend-side workers first (via
+        the backend's ``cancel_job`` hook); messages that were already
+        in flight land as stray traffic and are counted, not applied.
+        """
+        self.finished_wall = time.monotonic()
+        self.pending.clear()
+        self.in_flight.clear()
+        if self.telemetry is not None:
+            self.telemetry.events.append("job_cancelled")
+            self.telemetry.events.flush()
+        self.status = JobStatus.CANCELLED
 
     def finalize(self, backend, scheduler_started: float) -> RunResult:
         """Save, merge and assemble this job's :class:`RunResult`.
@@ -448,7 +501,9 @@ class Job:
 
         Keys: submit-to-start ``wait_seconds``, ``makespan_seconds``
         (submit to finish), the advisory ``deadline_seconds`` target
-        and whether it was missed, plus dispatch accounting.
+        and whether it was missed, dispatch accounting, and ``states``
+        — the per-state lifecycle stamps (seconds relative to
+        ``base``) recorded at each transition.
         """
         wait = (self.started_wall - self.submitted_wall
                 if self.started_wall is not None
@@ -477,4 +532,6 @@ class Job:
             "dispatched": self.dispatched,
             "peak_workers": self.peak_workers,
             "recovered": len(self._recovered),
+            "states": {state: stamp - base
+                       for state, stamp in self.state_times.items()},
         }

@@ -109,12 +109,17 @@ class CombinedMessage:
         sent_at: Forward time in run seconds.
         metrics: Optional reducer-side telemetry (level, messages
             drained/forwarded, shm reads) aggregated by the collector.
+        job: Identifier of the owning job when the reducer serves a
+            job-scoped tree (every entry then carries the same job);
+            ``None`` for a run-wide tree, keeping the classic combined
+            messages byte-identical to the historical format.
     """
 
     node_id: str
     entries: tuple[MomentMessage, ...]
     sent_at: float
     metrics: dict | None = None
+    job: str | None = None
 
     def __post_init__(self) -> None:
         if not self.entries:

@@ -124,23 +124,32 @@ class MultiprocessBackend(EngineBackend):
     name = "multiprocess"
     monitors_staleness = True
     supports_shared_jobs = True
+    #: Shared-pool jobs may carry their own ``reduction_fanout``: the
+    #: backend plans a private k-ary tree per job at admission and
+    #: tears it down at completion (``prepare_job``/``release_job``).
+    supports_job_reduction = True
 
     def __init__(self, start_method: str | None = None) -> None:
         super().__init__()
         self._start_method = start_method
         self._context = None
         self._outbox = None
+        self._bootstrapped = False
         self._processes: list = []
         # Keyed by rank on the classic path, by (job, rank) for
         # scheduler-dispatched assignments.
         self._live: dict = {}
         self._suspects: dict = {}
-        self._plan = None
-        self._leaf_parents: dict[int, str] = {}
+        # Reduction topology, one entry per tree owner: the classic
+        # run-wide tree lives under the key None, each job-scoped tree
+        # under its job id.  Reducer inboxes/processes are keyed
+        # (owner, node_id).
+        self._plans: dict = {}
+        self._leaf_parents: dict = {}
         self._rings: dict[int, ShmRing] = {}
         self._root_rings: dict[int, ShmRing] = {}
-        self._reducer_inboxes: dict[str, object] = {}
-        self._reducers: dict[str, object] = {}
+        self._reducer_inboxes: dict[tuple, object] = {}
+        self._reducers: dict[tuple, object] = {}
         self._reducer_respawns = 0
         self._respawn_budget = 0
         # The fetch closures read self._outbox / self._root_rings at
@@ -158,8 +167,10 @@ class MultiprocessBackend(EngineBackend):
     def _shm(self) -> bool:
         return self.config.transport == "shm"
 
-    def _bootstrap(self, assignments) -> None:
-        """First spawn: context, queues, rings and reducer processes."""
+    def _ensure_context(self) -> None:
+        """Create the multiprocessing context and outbox once."""
+        if self._context is not None:
+            return
         self._context = (
             multiprocessing.get_context(self._start_method)
             if self._start_method else multiprocessing.get_context())
@@ -167,38 +178,107 @@ class MultiprocessBackend(EngineBackend):
         if self._shm:
             # Reclaim segments a SIGKILLed earlier run left behind.
             sweep_orphans()
+
+    def _bootstrap(self, assignments) -> None:
+        """First spawn: context, queues, rings and reducer processes."""
+        self._ensure_context()
         ranks = [assignment.rank for assignment in assignments]
-        self._plan = plan_reduction(ranks, self.config.reduction_fanout)
-        self._leaf_parents = dict(self._plan.leaf_parents)
-        self._respawn_budget = (_REDUCER_RESPAWN_FACTOR
-                                * max(len(self._plan.nodes), 1))
+        plan = plan_reduction(ranks, self.config.reduction_fanout)
+        self._plans[None] = plan
+        self._leaf_parents[None] = dict(plan.leaf_parents)
+        self._respawn_budget += (_REDUCER_RESPAWN_FACTOR
+                                 * max(len(plan.nodes), 1))
         if self._shm:
             for rank in ranks:
                 self._rings[rank] = ShmRing.create(
                     segment_name(f"r{rank}"), self.config.shape)
-        for node in self._plan.nodes:
-            self._reducer_inboxes[node.node_id] = self._context.Queue()
-        for node in self._plan.nodes:
-            self._start_reducer(node)
+        for node in plan.nodes:
+            self._reducer_inboxes[(None, node.node_id)] = \
+                self._context.Queue()
+        for node in plan.nodes:
+            self._start_reducer(None, node)
 
-    def _upstream_of(self, node: ReducerNode):
+    def _upstream_of(self, owner, node: ReducerNode):
         """Where a reducer forwards to: its parent's inbox or rank 0."""
         if node.parent is not None:
-            return self._reducer_inboxes[node.parent]
+            return self._reducer_inboxes[(owner, node.parent)]
         return self._outbox
 
-    def _start_reducer(self, node: ReducerNode) -> int:
+    def _start_reducer(self, owner, node: ReducerNode) -> int:
         ring_names = (tuple(self._rings[rank].name
                             for rank in node.worker_ranks)
-                      if self._shm else ())
+                      if self._shm and owner is None else ())
         process = self._context.Process(
             target=_reducer_entry,
-            args=(node, self._reducer_inboxes[node.node_id],
-                  self._upstream_of(node), ring_names),
+            args=(node, self._reducer_inboxes[(owner, node.node_id)],
+                  self._upstream_of(owner, node), ring_names),
             daemon=True)
         process.start()
-        self._reducers[node.node_id] = process
+        self._reducers[(owner, node.node_id)] = process
         return process.pid
+
+    # -- job-scoped trees -------------------------------------------------
+
+    def prepare_job(self, job) -> None:
+        """Plan and start a private reduction tree for one job.
+
+        Called by the scheduler at admission.  A job whose
+        ``reduction_fanout`` is None — or already covers its worker
+        count — keeps the flat exchange and costs nothing.
+        """
+        fanout = job.config.reduction_fanout
+        if fanout is None:
+            return
+        plan = plan_reduction(range(job.config.processors), fanout)
+        if plan.flat:
+            return
+        self._ensure_context()
+        self._plans[job.id] = plan
+        self._leaf_parents[job.id] = dict(plan.leaf_parents)
+        self._respawn_budget += _REDUCER_RESPAWN_FACTOR * len(plan.nodes)
+        for node in plan.nodes:
+            self._reducer_inboxes[(job.id, node.node_id)] = \
+                self._context.Queue()
+        for node in plan.nodes:
+            self._start_reducer(job.id, node)
+
+    def release_job(self, job: str | None) -> None:
+        """Tear down a finished/cancelled job's reduction tree.
+
+        The reducers normally retire themselves once every subtree
+        rank's final pass is forwarded; the sentinel covers cancelled
+        jobs and the join puts a bound on wedged nodes.
+        """
+        plan = self._plans.pop(job, None)
+        self._leaf_parents.pop(job, None)
+        if plan is None:
+            return
+        for node in plan.nodes:
+            inbox = self._reducer_inboxes.get((job, node.node_id))
+            if inbox is not None:
+                try:
+                    inbox.put_nowait(None)
+                except (queue_module.Full, ValueError):  # pragma: no cover
+                    pass
+        for node in plan.nodes:
+            process = self._reducers.pop((job, node.node_id), None)
+            if process is None:
+                continue
+            process.join(timeout=_REDUCER_JOIN_SECONDS)
+            if process.is_alive():
+                process.terminate()
+        for node in plan.nodes:
+            inbox = self._reducer_inboxes.pop((job, node.node_id), None)
+            if inbox is not None:
+                inbox.close()
+
+    def cancel_job(self, job: str | None) -> None:
+        """Terminate a cancelled job's live workers immediately."""
+        for key, process in list(self._live.items()):
+            if isinstance(key, tuple) and key[0] == job:
+                process.terminate()
+                self._live.pop(key, None)
+                self._suspects.pop(key, None)
 
     def _job_context(self, job: str | None):
         """Per-assignment context: this backend for the classic path
@@ -208,7 +288,8 @@ class MultiprocessBackend(EngineBackend):
         return self.engine.job_context(job)
 
     def spawn(self, assignments) -> list[dict]:
-        if self._context is None:
+        if not self._bootstrapped:
+            self._bootstrapped = True
             self._bootstrap(assignments)
         extras = []
         for assignment in assignments:
@@ -220,9 +301,9 @@ class MultiprocessBackend(EngineBackend):
                 # straight to rank 0 on a fresh ring.
                 self._rings[rank] = ShmRing.create(
                     segment_name(f"r{rank}"), self.config.shape)
-            parent = self._leaf_parents.get(rank)
-            outbox = (self._reducer_inboxes[parent] if parent is not None
-                      else self._outbox)
+            parent = self._leaf_parents.get(job, {}).get(rank)
+            outbox = (self._reducer_inboxes[(job, parent)]
+                      if parent is not None else self._outbox)
             ring_name = None
             if self._shm:
                 ring_name = self._rings[rank].name
@@ -271,14 +352,19 @@ class MultiprocessBackend(EngineBackend):
         normal worker grace path (an eaten final leads to a quota
         reassignment; late subtree duplicates drop at the collector).
         """
-        for node_id, process in list(self._reducers.items()):
+        for key, process in list(self._reducers.items()):
+            owner, node_id = key
             exitcode = process.exitcode
             if exitcode is None:
                 continue
-            del self._reducers[node_id]
+            del self._reducers[key]
             if exitcode == 0:
                 continue  # subtree complete; the node retired itself
-            if self.config.on_worker_death != "reassign":
+            plan = self._plans.get(owner)
+            if plan is None:
+                continue  # the owning job's tree was already released
+            context = self._job_context(owner)
+            if context.config.on_worker_death != "reassign":
                 raise BackendError(
                     f"reducer {node_id} died (exitcode {exitcode}) "
                     f"before its subtree finished")
@@ -288,9 +374,10 @@ class MultiprocessBackend(EngineBackend):
                     f"exhausted")
             self._respawn_budget -= 1
             self._reducer_respawns += 1
-            pid = self._start_reducer(self._plan.node(node_id))
-            telemetry = (self.engine.telemetry
-                         if self.engine is not None else None)
+            pid = self._start_reducer(owner, plan.node(node_id))
+            telemetry = (context.telemetry if owner is not None
+                         else (self.engine.telemetry
+                               if self.engine is not None else None))
             if telemetry is not None:
                 telemetry.registry.counter("reduction.respawns").inc()
                 telemetry.events.append(

@@ -132,6 +132,11 @@ class _Session:
         # Per-job ``(routine, config)`` contexts; a classic single-run
         # HELLO lands under the None key.
         self._contexts: dict[str | None, tuple] = {}
+        # Streaming sessions declare jobs mid-session (SUBMIT frames)
+        # and may withdraw them (CANCEL); a late ASSIGN racing its
+        # job's cancellation is dropped, not fatal.
+        self._streaming = False
+        self._cancelled: set[str | None] = set()
 
     async def run(self) -> None:
         heartbeat_task = None
@@ -154,6 +159,10 @@ class _Session:
                 kind, payload = await read_frame(self._reader)
                 if kind is FrameKind.ASSIGN:
                     self._start_worker(payload)
+                elif kind is FrameKind.SUBMIT:
+                    self._submit_job(payload)
+                elif kind is FrameKind.CANCEL:
+                    self._cancel_job(payload)
                 elif kind is FrameKind.HEARTBEAT:
                     self._last_run_heartbeat = time.monotonic()
                 elif kind is FrameKind.BYE:
@@ -180,11 +189,15 @@ class _Session:
 
     def _adopt_hello(self, payload: dict) -> None:
         jobs = payload.get("jobs")
+        self._streaming = bool(payload.get("streaming"))
         if jobs is None:
             # Classic single-run HELLO: {config, routine[, batch_size]}.
             self._contexts[None] = self._adopt_context(payload)
         else:
-            if not isinstance(jobs, dict) or not jobs:
+            if not isinstance(jobs, dict) or (not jobs
+                                              and not self._streaming):
+                # Only a streaming session may open empty-handed: its
+                # jobs arrive later as SUBMIT frames.
                 raise WireError(
                     "hello jobs payload must be a non-empty object")
             for job_id, entry in jobs.items():
@@ -193,6 +206,36 @@ class _Session:
                         f"hello job {job_id!r} entry must be an object")
                 self._contexts[str(job_id)] = self._adopt_context(entry)
         self._time_limit = payload.get("time_limit")
+
+    def _submit_job(self, payload: dict) -> None:
+        """Adopt one job declared mid-session (streaming only)."""
+        if not self._streaming:
+            raise WireError(
+                "submit frames are only valid in a streaming session")
+        job = payload.get("job")
+        if job is None:
+            raise WireError("submit frame misses its job id")
+        job = str(job)
+        if job in self._contexts:
+            return  # idempotent re-announcement
+        self._contexts[job] = self._adopt_context(payload)
+        _logger.info("session from %s: job %s submitted", self._peer, job)
+
+    def _cancel_job(self, payload: dict) -> None:
+        """Terminate a withdrawn job's workers (streaming only)."""
+        if not self._streaming:
+            raise WireError(
+                "cancel frames are only valid in a streaming session")
+        job = payload.get("job")
+        job = None if job is None else str(job)
+        self._cancelled.add(job)
+        terminated = 0
+        for (owner, _rank), worker in list(self._workers.items()):
+            if owner == job and worker.process.exitcode is None:
+                worker.process.terminate()
+                terminated += 1
+        _logger.info("session from %s: job %s cancelled (%d workers "
+                     "terminated)", self._peer, job, terminated)
 
     def _adopt_context(self, payload: dict) -> tuple:
         """One ``(routine, config)`` context from a HELLO (sub)payload."""
@@ -219,6 +262,12 @@ class _Session:
         job = payload.get("job")
         job = None if job is None else str(job)
         label = f"rank {rank}" if job is None else f"job {job} rank {rank}"
+        if job in self._cancelled:
+            # The run cancelled this job; an ASSIGN that raced the
+            # CANCEL is dropped rather than poisoning the session.
+            _logger.info("session from %s: dropping %s of a cancelled "
+                         "job", self._peer, label)
+            return
         if (job, rank) in self._workers:
             raise WireError(f"{label} is already assigned on this pool")
         try:

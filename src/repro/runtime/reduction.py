@@ -306,11 +306,15 @@ def run_reducer(node: ReducerNode, inbox, upstream,
             os._exit(_CRASH_EXITCODE)
         if dirty:
             entries = tuple(latest[rank] for rank in sorted(dirty))
+            # A job-scoped tree serves exactly one job, so the combined
+            # message inherits its entries' tag (None on the classic
+            # run-wide tree, keeping those messages byte-identical).
             upstream.put(CombinedMessage(
                 node_id=node.node_id, entries=entries, sent_at=clock(),
                 metrics={"level": node.level,
                          "drained": drained_since_forward,
-                         "shm_reads": shm_since_forward}))
+                         "shm_reads": shm_since_forward},
+                job=entries[0].job))
             dirty.clear()
             forwards += 1
             drained_since_forward = 0

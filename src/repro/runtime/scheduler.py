@@ -36,15 +36,23 @@ single-job contract and is rejected at submit time.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Sequence
+from collections import deque
+from typing import Callable, Sequence
 
 from repro.exceptions import (
     AdmissionError,
     BackendError,
     ConfigurationError,
+    ReproError,
 )
-from repro.runtime.engine import _POLL_SECONDS, Backend, WorkerAssignment
+from repro.runtime.engine import (
+    _POLL_SECONDS,
+    Backend,
+    WorkerAssignment,
+    shared_job_backends,
+)
 from repro.runtime.job import Job, JobSpec, JobStatus
 
 __all__ = ["Scheduler"]
@@ -90,6 +98,26 @@ class Scheduler:
         self.started = 0.0
         self.rejected = 0
         self.stray_messages = 0
+        # -- streaming-service state -----------------------------------
+        self._lock = threading.RLock()
+        self._state_cond = threading.Condition(self._lock)
+        #: True while the event-driven service accepts live submissions
+        #: (set by :meth:`start`/:meth:`serve`; backends read it at bind
+        #: time to switch to the streaming handshake).
+        self.streaming = False
+        self._serving = False
+        self._stop = False
+        self._thread: threading.Thread | None = None
+        self._bound = False
+        #: Jobs admitted by submit() but not yet opened by the loop.
+        self._admissions: deque[Job] = deque()
+        #: RUNNING jobs with a cancellation pending loop-side teardown.
+        self._cancels: deque[Job] = deque()
+        #: Jobs not yet DONE/FAILED/CANCELLED (the admission bound).
+        self._active = 0
+        #: Monotonic submission counter; unlike ``len(self._jobs)`` it
+        #: survives :meth:`prune`, keeping ids and indices unique.
+        self._submitted = 0
         # Backend-facing surface when the scheduler itself is bound
         # (shared mode).  ``config`` becomes a representative config at
         # run(); per-job context flows through job_context() instead.
@@ -103,48 +131,71 @@ class Scheduler:
     def submit(self, spec: JobSpec) -> Job:
         """Queue one job; returns its live :class:`Job` handle.
 
+        In the sealed batch mode all submissions must precede
+        :meth:`run`.  Once the streaming service is live
+        (:meth:`start`/:meth:`serve`) this is callable at any time,
+        from any thread: the job is admitted by the service loop and
+        starts competing for workers mid-run.
+
         Raises:
-            AdmissionError: The queue is at its ``max_jobs`` bound.
+            AdmissionError: The scheduler is at its ``max_jobs`` bound
+                of active (not yet finished) jobs.
             ConfigurationError: The spec cannot run on this backend or
                 collides with an already-submitted job.
         """
-        if self._ran:
-            raise ConfigurationError(
-                "jobs must be submitted before the scheduler runs")
-        if self._max_jobs is not None and len(self._jobs) >= self._max_jobs:
-            self.rejected += 1
-            raise AdmissionError(
-                f"job queue is at capacity ({self._max_jobs} jobs); "
-                f"retry after a job finishes or raise max_jobs")
-        anonymous = self._engine is not None
-        if anonymous:
-            if self._jobs:
+        with self._state_cond:
+            if self._ran and not self.streaming:
                 raise ConfigurationError(
-                    "the classic engine path runs exactly one job")
-            job_id = None
-        else:
-            self._validate_shared(spec)
-            job_id = spec.name or f"job-{len(self._jobs)}"
-            if job_id in self._by_id:
+                    "jobs must be submitted before the scheduler runs")
+            if self.streaming and self._stop:
                 raise ConfigurationError(
-                    f"duplicate job name {job_id!r}")
-        job = Job(spec, job_id, len(self._jobs))
-        job.submitted_wall = time.monotonic()
-        self._jobs.append(job)
-        self._by_id[job_id] = job
-        return job
+                    "the scheduler service is shutting down and no "
+                    "longer admits jobs")
+            if self._max_jobs is not None and self._active >= self._max_jobs:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"job queue is at capacity ({self._max_jobs} jobs); "
+                    f"retry after a job finishes or raise max_jobs")
+            anonymous = self._engine is not None
+            if anonymous:
+                if self._jobs:
+                    raise ConfigurationError(
+                        "the classic engine path runs exactly one job")
+                job_id = None
+            else:
+                self._validate_shared(spec)
+                job_id = spec.name or f"job-{self._submitted}"
+                if job_id in self._by_id:
+                    raise ConfigurationError(
+                        f"duplicate job name {job_id!r}")
+            job = Job(spec, job_id, self._submitted)
+            job.on_terminal = self._on_job_terminal
+            job.submitted_wall = time.monotonic()
+            self._jobs.append(job)
+            self._by_id[job_id] = job
+            self._submitted += 1
+            self._active += 1
+            if self.streaming:
+                self._admissions.append(job)
+                self._state_cond.notify_all()
+            return job
 
     def _validate_shared(self, spec: JobSpec) -> None:
         if not getattr(self._backend, "supports_shared_jobs", False):
+            supported = ", ".join(shared_job_backends()) or "none"
             raise ConfigurationError(
                 f"backend {getattr(self._backend, 'name', '?')!r} cannot "
-                f"multiplex concurrent jobs; run them one at a time "
-                f"through parmonc()")
+                f"multiplex concurrent jobs (backends that can: "
+                f"{supported}); run them one at a time through "
+                f"parmonc()")
         config = spec.config
-        if config.reduction_fanout is not None:
+        if (config.reduction_fanout is not None
+                and not getattr(self._backend, "supports_job_reduction",
+                                False)):
             raise ConfigurationError(
-                "reduction trees are not job-scoped yet; submit "
-                "reduced runs through the single-job path")
+                f"backend {getattr(self._backend, 'name', '?')!r} does "
+                f"not plan job-scoped reduction trees; drop "
+                f"reduction_fanout or use the multiprocess backend")
         if config.transport != "queue":
             raise ConfigurationError(
                 f"shared-pool jobs require transport='queue', got "
@@ -184,15 +235,16 @@ class Scheduler:
 
     def ingest(self, message, now: float) -> None:
         """Route one worker/reducer message to its owning job."""
-        job = self._by_id.get(getattr(message, "job", None))
-        if job is None or job.status is not JobStatus.RUNNING:
-            # Late traffic from an already-finished or failed job.
-            self.stray_messages += 1
-            return
-        for rank in job.ingest(message, now):
-            job.in_flight.discard(rank)
-        if job.collector.complete:
-            job.mark_complete(completed=True)
+        with self._lock:
+            job = self._by_id.get(getattr(message, "job", None))
+            if job is None or job.status is not JobStatus.RUNNING:
+                # Late traffic from an already-finished or failed job.
+                self.stray_messages += 1
+                return
+            for rank in job.ingest(message, now):
+                job.in_flight.discard(rank)
+            if job.collector.complete:
+                job.mark_complete(completed=True)
 
     # -- the run --------------------------------------------------------
 
@@ -232,9 +284,15 @@ class Scheduler:
                 transport="queue")
             bind_target = self
         backend.bind(bind_target)
+        self._bound = True
         epoch = backend.clock()
         for job in self._jobs:
             job.collector.mark_epoch(epoch)
+        if engine is None:
+            prepare = getattr(backend, "prepare_job", None)
+            if prepare is not None:
+                for job in self._jobs:
+                    prepare(job)
         for job in self._jobs:
             job.status = JobStatus.RUNNING
             if engine is not None:
@@ -390,19 +448,308 @@ class Scheduler:
                     raise
                 job.fail(error)
 
+    # -- streaming service ----------------------------------------------
+    #
+    # The sealed run() above is the historical batch path and is kept
+    # statement-for-statement identical.  The service below is a second
+    # driver over the same dispatch/ingest/death machinery: jobs are
+    # admitted, cancelled and finalized *while the loop runs*, so the
+    # scheduler behaves like the long-lived G/G/c/K station the
+    # queueing model in apps/queueing.py describes.
+
+    def start(self, on_idle: Callable[[], object] | None = None
+              ) -> threading.Thread:
+        """Run :meth:`serve` on a background thread; returns the thread.
+
+        ``submit``/``cancel``/``drain``/``shutdown`` are then callable
+        from the caller's thread while the service loop owns the
+        backend.
+        """
+        with self._lock:
+            if self._ran:
+                raise ConfigurationError("a scheduler can only run once")
+            self.streaming = True
+        thread = threading.Thread(
+            target=self.serve, kwargs={"on_idle": on_idle},
+            name="parmonc-scheduler", daemon=True)
+        self._thread = thread
+        thread.start()
+        return thread
+
+    def serve(self, on_idle: Callable[[], object] | None = None) -> None:
+        """The live admission loop: block until :meth:`shutdown`.
+
+        Args:
+            on_idle: Optional tick callback invoked once per loop
+                iteration (at least every poll interval) — the CLI
+                hooks its queue-file watcher here.  Returning ``False``
+                requests shutdown: the loop finishes the jobs it has,
+                admits nothing further and returns.
+        """
+        with self._state_cond:
+            if self._ran and not self.streaming:
+                raise ConfigurationError("a scheduler can only run once")
+            if self._serving:
+                raise ConfigurationError(
+                    "the scheduler service is already running")
+            self._ran = True
+            self.streaming = True
+            self._serving = True
+            if not self.started:
+                self.started = time.monotonic()
+            self._state_cond.notify_all()
+        try:
+            while True:
+                busy = self.step()
+                if on_idle is not None and on_idle() is False:
+                    with self._state_cond:
+                        self._stop = True
+                        self._state_cond.notify_all()
+                with self._state_cond:
+                    idle = (not busy and not self._admissions
+                            and not self._cancels)
+                    if idle and self._stop:
+                        break
+                    if idle:
+                        # Park until a submit/cancel/shutdown wakes us
+                        # (bounded so the on_idle watcher keeps ticking).
+                        self._state_cond.wait(_POLL_SECONDS)
+        finally:
+            with self._state_cond:
+                self._serving = False
+                self._state_cond.notify_all()
+            if self._bound:
+                self._backend.shutdown()
+
+    def step(self, poll_timeout: float = _POLL_SECONDS) -> bool:
+        """One service-loop iteration; returns True while work remains.
+
+        Order mirrors one turn of the sealed drain loop: admit, apply
+        cancellations, dispatch, expire deadlines, poll/ingest, reap
+        deaths, flag stale workers, finalize whatever drained.  Public
+        so synchronous harnesses (the load study, tests) can drive the
+        service without a thread.
+        """
+        backend = self._backend
+        with self._lock:
+            self._admit_pending()
+            self._apply_cancels()
+            running = [job for job in self._jobs
+                       if job.status is JobStatus.RUNNING]
+            if running:
+                self._dispatch()
+                self._expire_deadlines(running)
+        if running:
+            message = backend.poll(poll_timeout)
+            if message is not None:
+                self.ingest(message, backend.clock())
+            else:
+                now = backend.clock()
+                deaths = backend.reap()
+                with self._lock:
+                    if deaths:
+                        self._handle_deaths(deaths, now)
+                    for job in self._jobs:
+                        if job.status is JobStatus.RUNNING:
+                            job.flag_stale(now)
+        self._finalize_ready()
+        with self._lock:
+            return any(job.status not in JobStatus.FINISHED
+                       for job in self._jobs)
+
+    def _ensure_bound(self, job: Job) -> None:
+        """Bind the backend lazily, at the first admission.
+
+        The service can start with an empty queue, so the
+        representative config the backend reads at bind time comes
+        from the first admitted job.
+        """
+        if self._bound:
+            return
+        self.config = job.spec.config.with_updates(
+            time_limit=None, reduction_fanout=None, transport="queue")
+        self._backend.bind(self)
+        self._bound = True
+
+    def _admit_pending(self) -> None:
+        """Open queued jobs and put their work plans in contention."""
+        backend = self._backend
+        while self._admissions:
+            job = self._admissions.popleft()
+            if job.status is not JobStatus.QUEUED:
+                continue  # cancelled while queued
+            self._ensure_bound(job)
+            try:
+                job.open(backend, time.monotonic())
+                job.collector.mark_epoch(backend.clock())
+                announce = getattr(backend, "announce_job", None)
+                if announce is not None:
+                    announce(job)
+                prepare = getattr(backend, "prepare_job", None)
+                if prepare is not None:
+                    prepare(job)
+            except ReproError as error:
+                job.fail(error)
+                continue
+            # Join the fair-share auction where the field currently
+            # stands: matching the least-charged running job means the
+            # newcomer competes on equal terms from now on instead of
+            # replaying dispatches it never contended for.
+            job.deficit = max(
+                (other.deficit for other in self._jobs
+                 if other.status is JobStatus.RUNNING), default=0.0)
+            job.status = JobStatus.RUNNING
+            job.pending.extend(job.initial_plan())
+            job.drain_started = backend.clock()
+
+    def _apply_cancels(self) -> None:
+        """Tear down backend workers of jobs cancelled while RUNNING."""
+        backend = self._backend
+        while self._cancels:
+            job = self._cancels.popleft()
+            if job.status is not JobStatus.RUNNING:
+                continue
+            cancel_job = getattr(backend, "cancel_job", None)
+            if cancel_job is not None:
+                cancel_job(job.id)
+            release = getattr(backend, "release_job", None)
+            if release is not None:
+                release(job.id)
+            job.cancel()
+
+    def _finalize_ready(self) -> None:
+        """Finalize jobs whose drain finished, inside the live loop.
+
+        The sealed path finalizes after backend shutdown; a service
+        never shuts the pool down between jobs, so each job's epilogue
+        (save, merge, result assembly) runs as soon as it drains.
+        ``backend.finish()`` is a no-op for every shared-capable
+        backend, which is what makes the early epilogue safe.
+        """
+        backend = self._backend
+        with self._lock:
+            ready = [job for job in self._jobs
+                     if job.status is JobStatus.DRAINING]
+        for job in ready:
+            if job.telemetry is not None and job.drain_started is not None:
+                job.telemetry.tracer.record(
+                    "collector.drain", job.drain_started, backend.clock(),
+                    messages=job.collector.receive_count)
+            release = getattr(backend, "release_job", None)
+            if release is not None:
+                release(job.id)
+            try:
+                job.finalize(backend, self.started)
+            except ReproError as error:
+                job.fail(error)
+
+    def cancel(self, job: Job | str) -> bool:
+        """Cancel a job by handle or id; returns True if it will stop.
+
+        A QUEUED job is withdrawn immediately; a RUNNING job is torn
+        down by the service loop (workers terminated, late messages
+        counted as stray).  Jobs already draining or finished are left
+        alone and ``False`` is returned.
+        """
+        with self._state_cond:
+            if isinstance(job, str):
+                resolved = self._by_id.get(job)
+                if resolved is None:
+                    raise ConfigurationError(f"unknown job {job!r}")
+                job = resolved
+            if job.status is JobStatus.QUEUED:
+                job.cancel()
+                self._state_cond.notify_all()
+                return True
+            if job.status is JobStatus.RUNNING:
+                self._cancels.append(job)
+                self._state_cond.notify_all()
+                return True
+            return False
+
+    def wait(self, job: Job, timeout: float | None = None) -> bool:
+        """Block until ``job`` reaches DONE/FAILED/CANCELLED."""
+        return job.finished.wait(timeout)
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted job has finished.
+
+        Returns True when the queue is fully drained (immediately so
+        when it already is), False on timeout.  With the service on a
+        background thread this waits; driven synchronously it steps the
+        loop itself.
+        """
+
+        def drained() -> bool:
+            return (not self._admissions and not self._cancels
+                    and all(job.status in JobStatus.FINISHED
+                            for job in self._jobs))
+
+        with self._state_cond:
+            if self._serving or (self._thread is not None
+                                 and self._thread.is_alive()):
+                return self._state_cond.wait_for(drained, timeout)
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            with self._lock:
+                if drained():
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            self.step()
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Finish the admitted jobs, stop the loop, free the backend."""
+        self.drain(timeout)
+        with self._state_cond:
+            self._stop = True
+            self._state_cond.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+        elif not self._serving:
+            # Synchronously driven service: nobody else will run the
+            # loop's epilogue.
+            if self._bound:
+                self._backend.shutdown()
+
+    def prune(self) -> int:
+        """Drop finished jobs from the live tables; returns the count.
+
+        A long-running service under sustained traffic (the million-
+        submission study) would otherwise grow its job list without
+        bound.  Aggregate counters (``submitted``, ``rejected``) are
+        kept; per-job results must be read before pruning.
+        """
+        with self._lock:
+            keep = [job for job in self._jobs
+                    if job.status not in JobStatus.FINISHED]
+            removed = len(self._jobs) - len(keep)
+            self._jobs = keep
+            self._by_id = {job.id: job for job in keep}
+            return removed
+
+    def _on_job_terminal(self, job: Job) -> None:
+        with self._state_cond:
+            self._active -= 1
+            self._state_cond.notify_all()
+
     # -- reporting ------------------------------------------------------
 
     def sla_report(self) -> dict:
         """Scheduler-level SLA summary across all named jobs."""
-        jobs = [job.sla_snapshot(self.started) for job in self._jobs
-                if job.id is not None]
-        missed = sum(1 for record in jobs if record["deadline_missed"])
-        return {
-            "workers": self._workers,
-            "max_jobs": self._max_jobs,
-            "jobs": jobs,
-            "submitted": len(self._jobs),
-            "rejected": self.rejected,
-            "deadline_misses": missed,
-            "stray_messages": self.stray_messages,
-        }
+        with self._lock:
+            jobs = [job.sla_snapshot(self.started) for job in self._jobs
+                    if job.id is not None]
+            missed = sum(1 for record in jobs if record["deadline_missed"])
+            return {
+                "workers": self._workers,
+                "max_jobs": self._max_jobs,
+                "jobs": jobs,
+                "submitted": self._submitted,
+                "rejected": self.rejected,
+                "deadline_misses": missed,
+                "stray_messages": self.stray_messages,
+            }

@@ -50,6 +50,11 @@ class SequentialBackend(EngineBackend):
         self._done = False
         return None
 
+    def cancel_job(self, job: str | None) -> None:
+        """Drop a cancelled job's not-yet-run assignments."""
+        self._pending = deque(assignment for assignment in self._pending
+                              if assignment.job != job)
+
     def poll(self, timeout: float) -> MomentMessage | None:
         """Run the next queued worker to completion; always returns None."""
         if not self._pending:

@@ -38,7 +38,18 @@ Control frames (:class:`FrameKind`):
 ``HEARTBEAT``   both ways: liveness + pool occupancy
 ``BYE``         run -> pool: session over, release the workers
 ``ERROR``       either way: human-readable fatal protocol error
+``SUBMIT``      run -> pool: declare one job (config + routine)
+                mid-session — streaming-scheduler sessions only
+``CANCEL``      run -> pool: terminate a job's workers mid-session —
+                streaming-scheduler sessions only
 ==============  =======================================================
+
+``SUBMIT`` and ``CANCEL`` extend wire version 1 *additively*: a classic
+single-job or sealed-batch session never emits them (its jobs all
+travel in the HELLO), so those sessions stay byte-identical on the
+wire.  Only a streaming scheduler (``parmonc-sched --serve``) opens a
+session that declares ``"streaming": true`` in its HELLO and then
+announces jobs as they are admitted.
 """
 
 from __future__ import annotations
@@ -101,6 +112,12 @@ class FrameKind(enum.IntEnum):
     HEARTBEAT = 6
     BYE = 7
     ERROR = 8
+    #: Mid-session job declaration (streaming sessions only; a sealed
+    #: session's jobs all travel in the HELLO, keeping it byte-
+    #: identical to historical version-1 traffic).
+    SUBMIT = 9
+    #: Mid-session job withdrawal (streaming sessions only).
+    CANCEL = 10
 
 
 def encode_frame(kind: FrameKind, payload: dict) -> bytes:

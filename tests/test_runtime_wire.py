@@ -220,3 +220,37 @@ class TestRoutineCodec:
     def test_empty_routine_payload_rejected(self):
         with pytest.raises(WireError, match="neither"):
             routine_from_payload({}, lambda s: None)
+
+
+class TestStreamingFrames:
+    """PR 10's additive frames: values frozen, version unchanged.
+
+    A classic (sealed) session never emits SUBMIT or CANCEL, so its
+    byte stream must be indistinguishable from historical version-1
+    traffic — which pins the version constant and every existing
+    frame-kind value."""
+
+    def test_frame_kind_values_are_frozen(self):
+        assert WIRE_VERSION == 1
+        assert [int(kind) for kind in FrameKind] == list(range(1, 11))
+        assert int(FrameKind.SUBMIT) == 9
+        assert int(FrameKind.CANCEL) == 10
+
+    def test_submit_frame_round_trips_job_context(self):
+        payload = {
+            "job": "late",
+            "config": config_to_payload(RunConfig(maxsv=8, processors=2,
+                                                  perpass=0.0,
+                                                  peraver=0.0)),
+            "routine": routine_to_payload(module_level_routine),
+        }
+        kind, decoded = decode_frame(
+            encode_frame(FrameKind.SUBMIT, payload))
+        assert kind is FrameKind.SUBMIT
+        assert decoded == payload
+
+    def test_cancel_frame_round_trips(self):
+        kind, decoded = decode_frame(
+            encode_frame(FrameKind.CANCEL, {"job": "victim"}))
+        assert kind is FrameKind.CANCEL
+        assert decoded == {"job": "victim"}
